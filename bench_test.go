@@ -1,0 +1,514 @@
+package supmr
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§VI), plus ablation benches for the design decisions
+// DESIGN.md calls out. Table/figure benches execute the real runtimes on
+// scaled inputs over the simulated storage; the perfmodel benches
+// regenerate the paper-scale numbers. Expected shapes:
+//
+//	Table II word count: SupMR(chunked) < baseline; small chunks <= large.
+//	Table II sort:       p-way merge < pairwise merge; totals follow.
+//	Fig 7:               pipelined HDFS ingest <= copy-then-compute.
+//	Ablations:           persistent container, chunk-size sweep,
+//	                     container choice, merge crossover.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"supmr/internal/kv"
+	"supmr/internal/perfmodel"
+	"supmr/internal/sortalgo"
+	"supmr/internal/workload"
+)
+
+// benchWordCount runs one word count configuration per iteration.
+func benchWordCount(b *testing.B, rt Runtime, size, chunkBytes int64, bw float64) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := NewClock()
+		dev, err := NewDisk("sim", bw, 0, clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := TextFile("wc", size, 7, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := RunFile[string, int64](WordCountJob(), f, WordCountContainer(64),
+			Config{Runtime: rt, ChunkBytes: chunkBytes, Clock: clock})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Pairs) == 0 {
+			b.Fatal("no output")
+		}
+		b.ReportMetric(rep.Times.Total.Seconds(), "job-s")
+	}
+	b.SetBytes(size)
+}
+
+// Table II word count rows (E-T2-WC). Input and bandwidth are scaled so
+// read:map ≈ the paper's 6:1.
+const (
+	wcBenchSize = 2 << 20
+	wcBenchBW   = 8 << 20
+)
+
+func BenchmarkTable2WordCountNone(b *testing.B) {
+	benchWordCount(b, RuntimeTraditional, wcBenchSize, 0, wcBenchBW)
+}
+
+func BenchmarkTable2WordCountChunkSmall(b *testing.B) {
+	benchWordCount(b, RuntimeSupMR, wcBenchSize, wcBenchSize/32, wcBenchBW)
+}
+
+func BenchmarkTable2WordCountChunkLarge(b *testing.B) {
+	benchWordCount(b, RuntimeSupMR, wcBenchSize, wcBenchSize/3, wcBenchBW)
+}
+
+// benchSort runs one sort configuration per iteration.
+func benchSort(b *testing.B, rt Runtime, records, chunkBytes int64, merge MergeAlgo, bw float64) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := NewClock()
+		dev, err := NewDisk("sim", bw, 0, clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := TeraFile("sort", records, 7, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := RunFile[string, uint64](SortJob(), f, SortContainer(),
+			Config{Runtime: rt, ChunkBytes: chunkBytes, Boundary: CRLFRecords,
+				Merge: &merge, Splits: 64, Clock: clock})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int64(len(rep.Pairs)) != records {
+			b.Fatalf("sorted %d of %d records", len(rep.Pairs), records)
+		}
+		b.ReportMetric(rep.Times.Get(PhaseMerge).Seconds(), "merge-s")
+	}
+	b.SetBytes(records * workload.TeraRecordSize)
+}
+
+// Table II sort rows (E-T2-SORT).
+const (
+	sortBenchRecords = 40_000
+	sortBenchBW      = 64 << 20
+)
+
+func BenchmarkTable2SortNone(b *testing.B) {
+	benchSort(b, RuntimeTraditional, sortBenchRecords, 0, MergePairwise, sortBenchBW)
+}
+
+func BenchmarkTable2SortChunked(b *testing.B) {
+	benchSort(b, RuntimeSupMR, sortBenchRecords, sortBenchRecords*100/10, MergePWay, sortBenchBW)
+}
+
+// Fig. 1 (E-F1): baseline sort with live utilization recording.
+func BenchmarkFig1BaselineSortTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := NewClock()
+		dev, err := NewDisk("sim", 32<<20, 0, clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := TeraFile("sort", 30_000, 7, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := RunFile[string, uint64](SortJob(), f, SortContainer(),
+			Config{Runtime: RuntimeTraditional, Boundary: CRLFRecords,
+				Splits: 64, Clock: clock,
+				TraceContexts: 4, TraceBucket: 20 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Trace == nil || len(rep.Trace.Samples) == 0 {
+			b.Fatal("no trace")
+		}
+	}
+}
+
+// Fig. 3 (E-F3): the OpenMP-analog sort (sequential ingest + parse,
+// parallel sort) against the MapReduce baseline.
+func BenchmarkFig3OpenMPSort(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := NewClock()
+		dev, err := NewDisk("sim", 32<<20, 0, clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := TeraFile("sort", 30_000, 7, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := OpenMPSortFile(f, 4, clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Pairs) != 30_000 {
+			b.Fatalf("sorted %d records", len(rep.Pairs))
+		}
+	}
+}
+
+// Fig. 5 (E-F5): the word count chunk-size utilization sweep.
+func BenchmarkFig5WordCountTraces(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		rt    Runtime
+		chunk int64
+	}{
+		{"NoChunks", RuntimeTraditional, 0},
+		{"SmallChunks", RuntimeSupMR, wcBenchSize / 32},
+		{"LargeChunks", RuntimeSupMR, wcBenchSize / 3},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clock := NewClock()
+				dev, err := NewDisk("sim", wcBenchBW, 0, clock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := TextFile("wc", wcBenchSize, 7, dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := RunFile[string, int64](WordCountJob(), f, WordCountContainer(64),
+					Config{Runtime: cfg.rt, ChunkBytes: cfg.chunk, Clock: clock,
+						TraceContexts: 4, TraceBucket: 20 * time.Millisecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Trace.MeanTotal(), "util-%")
+			}
+		})
+	}
+}
+
+// Fig. 6 (E-F6): SupMR sort with the p-way merge, traced.
+func BenchmarkFig6SupMRSortTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := NewClock()
+		dev, err := NewDisk("sim", 32<<20, 0, clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := TeraFile("sort", 30_000, 7, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := RunFile[string, uint64](SortJob(), f, SortContainer(),
+			Config{Runtime: RuntimeSupMR, ChunkBytes: 500_000, Boundary: CRLFRecords,
+				Splits: 64, Clock: clock,
+				TraceContexts: 4, TraceBucket: 20 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.MergeRounds != 1 {
+			b.Fatalf("p-way merge ran %d rounds, want 1", rep.Stats.MergeRounds)
+		}
+	}
+}
+
+// Fig. 7 (E-F7): HDFS case study — copy-then-compute vs pipelined.
+func BenchmarkFig7HDFSCase(b *testing.B) {
+	for _, mode := range []string{"CopyThenCompute", "Pipelined"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clock := NewClock()
+				cluster, err := NewHDFS(HDFSConfig{
+					Nodes: 32, BlockSize: 1 << 20, DiskBW: 64 << 20,
+					LinkBW: 8 << 20, Latency: 200 * time.Microsecond,
+				}, clock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hf, err := cluster.Create("in.txt", 4<<20, TextFill(7))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "CopyThenCompute" {
+					local, err := hf.CopyToLocal(NewFastDevice(clock), nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := RunFile[string, int64](WordCountJob(), local,
+						WordCountContainer(64),
+						Config{Runtime: RuntimeTraditional, Clock: clock}); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := RunFile[string, int64](WordCountJob(), hf,
+						WordCountContainer(64),
+						Config{Runtime: RuntimeSupMR, ChunkBytes: 1 << 20, Clock: clock}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Paper-scale model benches: Table II and all figures in microseconds.
+func BenchmarkModelTable2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := perfmodel.ModelTable2()
+		if len(rows) != 5 {
+			b.Fatal("expected 5 Table II rows")
+		}
+	}
+}
+
+func BenchmarkModelFigures(b *testing.B) {
+	m := perfmodel.Testbed()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j := perfmodel.Baseline(perfmodel.Sort(), m, int64(perfmodel.SortInputBytes))
+		tr := j.Trace(m, 2*time.Second)
+		if len(tr.Samples) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// AblationMerge: pairwise vs p-way across run counts — the crossover
+// (few runs: pairwise competitive; many runs: p-way avoids rescans).
+func BenchmarkAblationMerge(b *testing.B) {
+	for _, runs := range []int{4, 32, 256} {
+		for _, algo := range []sortalgo.MergeAlgo{sortalgo.MergePairwise, sortalgo.MergePWay} {
+			b.Run(fmt.Sprintf("%s/runs=%d", algo, runs), func(b *testing.B) {
+				const total = 200_000
+				less := kv.Less[uint64](func(a, c uint64) bool { return a < c })
+				base := makeRuns(total, runs)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					rs := make([][]kv.Pair[uint64, uint64], len(base))
+					for j := range base {
+						rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
+					}
+					b.StartTimer()
+					out := sortalgo.Merge(algo, rs, less, 4, nil)
+					if len(out) != total {
+						b.Fatalf("merged %d of %d", len(out), total)
+					}
+				}
+			})
+		}
+	}
+}
+
+// makeRuns builds sorted runs of deterministic pseudo-random keys.
+func makeRuns(total, runs int) [][]kv.Pair[uint64, uint64] {
+	per := total / runs
+	out := make([][]kv.Pair[uint64, uint64], runs)
+	x := uint64(12345)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for r := range out {
+		n := per
+		if r == runs-1 {
+			n = total - per*(runs-1)
+		}
+		run := make([]kv.Pair[uint64, uint64], n)
+		for i := range run {
+			run[i] = kv.Pair[uint64, uint64]{Key: next(), Val: uint64(i)}
+		}
+		kv.SortPairs(run, func(a, c uint64) bool { return a < c })
+		out[r] = run
+	}
+	return out
+}
+
+// AblationChunkSize: the fine-vs-coarse granularity trade-off of
+// Conclusion 2 at fixed input size and bandwidth.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	const size = 2 << 20
+	for _, chunk := range []int64{size / 64, size / 16, size / 4, size} {
+		b.Run(fmt.Sprintf("chunk=%dKiB", chunk/1024), func(b *testing.B) {
+			benchWordCount(b, RuntimeSupMR, size, chunk, 8<<20)
+		})
+	}
+}
+
+// AblationContainerChoice: sort on the unlocked key-range container vs
+// the (wrong-for-sort) hash container, per §V-B.
+func BenchmarkAblationContainerChoice(b *testing.B) {
+	const records = 40_000
+	data := make([]byte, records*workload.TeraRecordSize)
+	workload.TeraGen{Seed: 7}.Fill()(0, data)
+	run := func(b *testing.B, cont Container[string, uint64]) {
+		rep, err := RunBytes[string, uint64](SortJob(), data, cont,
+			Config{Boundary: CRLFRecords, Splits: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Pairs) != records {
+			b.Fatalf("sorted %d of %d", len(rep.Pairs), records)
+		}
+	}
+	b.Run("KeyRange", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, SortContainer())
+		}
+	})
+	b.Run("Hash", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, SortJob().NewHashContainer(64))
+		}
+	})
+}
+
+// AblationPersistentContainer: the §III-C requirement. Re-initializing
+// per round is (a) wrong — output shrinks — and this bench quantifies
+// the bookkeeping cost of keeping it persistent instead.
+func BenchmarkAblationPersistentContainer(b *testing.B) {
+	text := make([]byte, 1<<20)
+	workload.TextGen{Seed: 7}.Fill()(0, text)
+	for _, reset := range []bool{false, true} {
+		name := "Persistent"
+		if reset {
+			name = "ResetEachRound"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := RunBytes[string, int64](WordCountJob(), text,
+					WordCountContainer(64),
+					Config{Runtime: RuntimeSupMR, ChunkBytes: 64 << 10, ResetEachRound: reset})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total int64
+				for _, p := range rep.Pairs {
+					total += p.Val
+				}
+				b.ReportMetric(float64(total), "occurrences")
+			}
+		})
+	}
+}
+
+// AblationAdaptiveChunks: the §VIII future-work feedback loop vs fixed
+// chunk sizes — adaptive starts badly sized and must converge.
+func BenchmarkAblationAdaptiveChunks(b *testing.B) {
+	const size = 2 << 20
+	run := func(b *testing.B, adaptive bool, chunk int64) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clock := NewClock()
+			dev, err := NewDisk("sim", 16<<20, 0, clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := TextFile("wc", size, 7, dev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := RunFile[string, int64](WordCountJob(), f, WordCountContainer(64),
+				Config{Runtime: RuntimeSupMR, ChunkBytes: chunk,
+					AdaptiveChunks: adaptive, Clock: clock})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Stats.MapWaves), "waves")
+		}
+	}
+	b.Run("FixedTiny", func(b *testing.B) { run(b, false, 32<<10) })
+	b.Run("AdaptiveFromTiny", func(b *testing.B) { run(b, true, 32<<10) })
+	b.Run("FixedTuned", func(b *testing.B) { run(b, false, size/16) })
+}
+
+// AblationHybridChunking: intra-file vs hybrid chunking over a skewed
+// file-size distribution (many small files plus one large one).
+func BenchmarkAblationHybridChunking(b *testing.B) {
+	mkFiles := func(clock Clock) []Input {
+		dev := NewFastDevice(clock)
+		files, err := TextFiles("doc", 16, 32<<10, 1, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		big, err := TextFile("big", 1<<20, 9, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return append(files, big)
+	}
+	for _, mode := range []string{"IntraFile", "Hybrid"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clock := NewClock()
+				rep, err := RunFiles[string, int64](WordCountJob(), mkFiles(clock),
+					WordCountContainer(64), Config{
+						Runtime:       RuntimeSupMR,
+						FilesPerChunk: 4,
+						HybridChunks:  mode == "Hybrid",
+						ChunkBytes:    128 << 10,
+						Clock:         clock,
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Stats.MapWaves), "waves")
+			}
+		})
+	}
+}
+
+// AblationEnergy: the §VI-C utilization/energy trade-off — small chunks
+// raise mean utilization (and power) while cutting wall-clock time.
+func BenchmarkAblationEnergy(b *testing.B) {
+	const size = 2 << 20
+	for _, cfg := range []struct {
+		name  string
+		chunk int64
+	}{
+		{"SmallChunks", size / 32},
+		{"LargeChunks", size / 2},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clock := NewClock()
+				dev, err := NewDisk("sim", 8<<20, 0, clock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := TextFile("wc", size, 7, dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := RunFile[string, int64](WordCountJob(), f, WordCountContainer(64),
+					Config{Runtime: RuntimeSupMR, ChunkBytes: cfg.chunk, Clock: clock,
+						TraceContexts: 4, TraceBucket: 20 * time.Millisecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := Energy(rep.Trace, 4)
+				b.ReportMetric(e.AvgWatts, "avg-W")
+				b.ReportMetric(e.Joules, "J")
+			}
+		})
+	}
+}

@@ -1,0 +1,191 @@
+// Command figures regenerates the paper's utilization figures — Fig. 1
+// (baseline sort: ingest plateau + merge "steps"), Fig. 3 (OpenMP sort:
+// sequential ingest/parse then a short parallel burst), Fig. 5a/b/c
+// (word count without chunks, 1 GB chunks, 50 GB chunks), Fig. 6 (SupMR
+// sort with the single p-way merge round) and Fig. 7 (HDFS case study) —
+// as ASCII charts and CSV series.
+//
+// By default figures come from the paper-scale performance model (exact
+// testbed configuration, deterministic). With -real, figures 1, 5 and 6
+// are additionally generated from real scaled executions of this runtime
+// with live utilization recording.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"supmr"
+	"supmr/internal/metrics"
+	"supmr/internal/perfmodel"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1 | 3 | 5 | 6 | 7 | all")
+		csv    = flag.Bool("csv", false, "emit CSV series instead of ASCII charts")
+		real   = flag.Bool("real", false, "also run real scaled executions (figs 1, 5, 6)")
+		height = flag.Int("height", 16, "ASCII chart height")
+	)
+	flag.Parse()
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	m := perfmodel.Testbed()
+	show := func(title string, tr *metrics.Trace) {
+		fmt.Printf("--- %s ---\n", title)
+		if *csv {
+			fmt.Print(tr.CSV())
+		} else {
+			fmt.Print(tr.ASCII(*height))
+		}
+		fmt.Printf("mean utilization: %.0f%% (user %.0f%%)\n\n", tr.MeanTotal(), tr.MeanUser())
+	}
+
+	if want("1") {
+		j := perfmodel.Baseline(perfmodel.Sort(), m, int64(perfmodel.SortInputBytes))
+		show(fmt.Sprintf("Fig 1 (model): baseline sort, 60GB — total %s", fmtS(j.Times.Total)),
+			j.Trace(m, 2*time.Second))
+	}
+	if want("3") {
+		j := perfmodel.OpenMP(perfmodel.Sort(), m, int64(perfmodel.SortInputBytes))
+		mr, omp, computeDelta, totalDelta := perfmodel.Fig3Durations()
+		show(fmt.Sprintf("Fig 3 (model): OpenMP sort, 60GB — total %s", fmtS(j.Times.Total)),
+			j.Trace(m, 2*time.Second))
+		fmt.Printf("MapReduce total %s vs OpenMP total %s: OpenMP %s slower despite a compute phase %s shorter\n\n",
+			fmtS(mr), fmtS(omp), fmtS(totalDelta), fmtS(computeDelta))
+	}
+	if want("5") {
+		p := perfmodel.WordCount()
+		for _, cfg := range []struct {
+			name  string
+			chunk int64
+		}{
+			{"5a: no ingest chunks", 0},
+			{"5b: 1GB chunks", 1 * perfmodel.GB},
+			{"5c: 50GB chunks", 50 * perfmodel.GB},
+		} {
+			var j *perfmodel.JobModel
+			if cfg.chunk == 0 {
+				j = perfmodel.Baseline(p, m, int64(perfmodel.WordCountInputBytes))
+			} else {
+				j = perfmodel.SupMR(p, m, int64(perfmodel.WordCountInputBytes), cfg.chunk)
+			}
+			show(fmt.Sprintf("Fig %s (model): word count 155GB — total %s", cfg.name, fmtS(j.Times.Total)),
+				j.Trace(m, 2*time.Second))
+		}
+	}
+	if want("6") {
+		j := perfmodel.SupMR(perfmodel.Sort(), m, int64(perfmodel.SortInputBytes), perfmodel.GB)
+		show(fmt.Sprintf("Fig 6 (model): SupMR sort (p-way merge), 60GB — total %s", fmtS(j.Times.Total)),
+			j.Trace(m, 2*time.Second))
+	}
+	if want("7") {
+		base, sup, saved := perfmodel.ModelFig7()
+		show(fmt.Sprintf("Fig 7 (model): word count 30GB on 32-node HDFS, copy-then-compute — total %s", fmtS(base.Times.Total)),
+			base.Trace(m, 2*time.Second))
+		show(fmt.Sprintf("Fig 7 (model): word count 30GB on 32-node HDFS, SupMR pipelined — total %s", fmtS(sup.Times.Total)),
+			sup.Trace(m, 2*time.Second))
+		fmt.Printf("speedup: %.1f seconds despite high ingest-phase utilization (map ≪ link-bound ingest)\n\n", saved)
+	}
+
+	if *real {
+		if err := realFigures(want, *csv, *height); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// realFigures reruns figs 1, 5a/b/c and 6 as real scaled executions with
+// live utilization recording.
+func realFigures(want func(string) bool, csv bool, height int) error {
+	const (
+		contexts = 4
+		wcSize   = 12 << 20
+		sortRecs = 120000
+	)
+	show := func(title string, tr *metrics.Trace) {
+		fmt.Printf("--- %s ---\n", title)
+		if csv {
+			fmt.Print(tr.CSV())
+		} else {
+			fmt.Print(tr.ASCII(height))
+		}
+		fmt.Println()
+	}
+
+	runSort := func(rt supmr.Runtime, merge supmr.MergeAlgo, chunk int64) (*supmr.Report[string, uint64], error) {
+		clock := supmr.NewClock()
+		dev, err := supmr.NewDisk("sim", 40<<20, 0, clock)
+		if err != nil {
+			return nil, err
+		}
+		f, err := supmr.TeraFile("sort", sortRecs, 7, dev)
+		if err != nil {
+			return nil, err
+		}
+		return supmr.RunFile[string, uint64](supmr.SortJob(), f, supmr.SortContainer(), supmr.Config{
+			Runtime: rt, ChunkBytes: chunk, Boundary: supmr.CRLFRecords,
+			Merge: &merge, Splits: 64, Clock: clock,
+			TraceContexts: contexts, TraceBucket: 50 * time.Millisecond,
+		})
+	}
+	if want("1") {
+		rep, err := runSort(supmr.RuntimeTraditional, supmr.MergePairwise, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s ---\n", "Fig 1 (real, scaled): baseline sort — "+rep.Times.String())
+		if csv {
+			fmt.Print(rep.Trace.CSV())
+		} else {
+			fmt.Print(rep.Trace.AnnotatedASCII(height, rep.Markers))
+		}
+		fmt.Println()
+	}
+	if want("6") {
+		rep, err := runSort(supmr.RuntimeSupMR, supmr.MergePWay, sortRecs*100/60)
+		if err != nil {
+			return err
+		}
+		show("Fig 6 (real, scaled): SupMR sort — "+rep.Times.String(), rep.Trace)
+	}
+	if want("5") {
+		for _, cfg := range []struct {
+			name  string
+			rt    supmr.Runtime
+			chunk int64
+		}{
+			{"5a (real): no chunks", supmr.RuntimeTraditional, 0},
+			{"5b (real): small chunks", supmr.RuntimeSupMR, wcSize / 155},
+			{"5c (real): large chunks", supmr.RuntimeSupMR, wcSize * 50 / 155},
+		} {
+			clock := supmr.NewClock()
+			dev, err := supmr.NewDisk("sim", 6<<20, 0, clock)
+			if err != nil {
+				return err
+			}
+			f, err := supmr.TextFile("wc", wcSize, 7, dev)
+			if err != nil {
+				return err
+			}
+			rep, err := supmr.RunFile[string, int64](supmr.WordCountJob(), f,
+				supmr.WordCountContainer(64), supmr.Config{
+					Runtime: cfg.rt, ChunkBytes: cfg.chunk, Clock: clock,
+					TraceContexts: contexts, TraceBucket: 50 * time.Millisecond,
+				})
+			if err != nil {
+				return err
+			}
+			show("Fig "+cfg.name+" — "+rep.Times.String(), rep.Trace)
+		}
+	}
+	return nil
+}
+
+func fmtS(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 2, 64) + "s"
+}

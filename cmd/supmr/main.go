@@ -1,0 +1,308 @@
+// Command supmr runs one of the benchmark applications under either
+// runtime against a simulated storage substrate, printing a Table II
+// style phase breakdown and, optionally, the collectl-style utilization
+// trace.
+//
+// Examples:
+//
+//	supmr -app wordcount -runtime supmr -size 32m -chunk 2m -bw 8m -trace
+//	supmr -app sort -runtime traditional -size 16m -bw 16m
+//	supmr -app wordcount -files 30 -files-per-chunk 4 -filesize 1m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"supmr"
+	"supmr/internal/cliutil"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "wordcount", "application: wordcount | sort | histogram | invindex | grep | linreg | kmeans")
+		rt        = flag.String("runtime", "supmr", "runtime: traditional | supmr")
+		size      = flag.String("size", "32m", "input size in bytes (k/m/g suffixes)")
+		chunkSz   = flag.String("chunk", "2m", "SupMR ingest chunk size (0 = whole input)")
+		bw        = flag.String("bw", "8m", "simulated storage bandwidth, bytes/sec (0 = infinite)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		merge     = flag.String("merge", "", "merge algorithm override: pairwise | pway")
+		files     = flag.Int("files", 0, "use N small files with intra-file chunking instead of one big file")
+		filesPer  = flag.Int("files-per-chunk", 4, "files per intra-file chunk")
+		fileSize  = flag.String("filesize", "1m", "per-file size for -files")
+		trace     = flag.Bool("trace", false, "print utilization trace")
+		adaptive  = flag.Bool("adaptive", false, "enable the adaptive chunk-size feedback loop")
+		hybrid    = flag.Bool("hybrid", false, "use hybrid inter/intra-file chunking for -files inputs")
+		energy    = flag.Bool("energy", false, "estimate energy from the utilization trace (implies -trace)")
+		pattern   = flag.String("pattern", "ERROR", "comma-separated patterns for -app grep")
+		contexts  = flag.Int("contexts", 4, "hardware contexts to normalize the trace to")
+		bucketStr = flag.String("bucket", "100ms", "trace bucket width")
+		seed      = flag.Int64("seed", 1, "workload generation seed")
+	)
+	flag.Parse()
+
+	if *energy {
+		*trace = true
+	}
+	if err := run(runOpts{
+		app: *app, rt: *rt, size: parseSize(*size), chunkSz: parseSize(*chunkSz),
+		bw: parseSize(*bw), workers: *workers, merge: *merge, files: *files,
+		filesPer: *filesPer, fileSize: parseSize(*fileSize), trace: *trace,
+		contexts: *contexts, bucket: parseDur(*bucketStr), seed: *seed,
+		adaptive: *adaptive, hybrid: *hybrid, energy: *energy, pattern: *pattern,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "supmr:", err)
+		os.Exit(1)
+	}
+}
+
+type runOpts struct {
+	app, rt, merge, pattern  string
+	size, chunkSz, bw        int64
+	workers, files, filesPer int
+	fileSize                 int64
+	trace, adaptive, hybrid  bool
+	energy                   bool
+	contexts                 int
+	bucket                   time.Duration
+	seed                     int64
+}
+
+func run(o runOpts) error {
+	app, rt := o.app, o.rt
+	size, chunkSz, bw := o.size, o.chunkSz, o.bw
+	workers, merge := o.workers, o.merge
+	files, filesPer, fileSize := o.files, o.filesPer, o.fileSize
+	trace, contexts, bucket, seed := o.trace, o.contexts, o.bucket, o.seed
+
+	clock := supmr.NewClock()
+	var dev supmr.Device
+	if bw > 0 {
+		d, err := supmr.NewDisk("sim", float64(bw), 0, clock)
+		if err != nil {
+			return err
+		}
+		dev = d
+	} else {
+		dev = supmr.NewFastDevice(clock)
+	}
+
+	cfg := supmr.Config{
+		Workers:        workers,
+		ChunkBytes:     chunkSz,
+		FilesPerChunk:  filesPer,
+		Clock:          clock,
+		AdaptiveChunks: o.adaptive,
+		HybridChunks:   o.hybrid,
+	}
+	switch rt {
+	case "supmr":
+		cfg.Runtime = supmr.RuntimeSupMR
+	case "traditional":
+		cfg.Runtime = supmr.RuntimeTraditional
+	default:
+		return fmt.Errorf("unknown runtime %q", rt)
+	}
+	switch merge {
+	case "":
+	case "pairwise":
+		m := supmr.MergePairwise
+		cfg.Merge = &m
+	case "pway":
+		m := supmr.MergePWay
+		cfg.Merge = &m
+	default:
+		return fmt.Errorf("unknown merge algorithm %q", merge)
+	}
+	if trace {
+		cfg.TraceContexts = contexts
+		cfg.TraceBucket = bucket
+	}
+
+	var (
+		times  fmt.Stringer
+		tr     interface{ ASCII(int) string }
+		report func()
+	)
+	switch app {
+	case "wordcount":
+		rep, err := runWordCount(cfg, dev, size, files, fileSize, seed)
+		if err != nil {
+			return err
+		}
+		times, report = &rep.Times, func() {
+			fmt.Printf("distinct words: %d  occurrences kept: %d  map waves: %d\n",
+				len(rep.Pairs), rep.Stats.IntermediateN, rep.Stats.MapWaves)
+		}
+		if rep.Trace != nil {
+			tr = rep.Trace
+		}
+	case "sort":
+		cfg.Boundary = supmr.CRLFRecords
+		f, err := supmr.TeraFile("sortinput", size/100, uint64(seed), dev)
+		if err != nil {
+			return err
+		}
+		rep, err := supmr.RunFile[string, uint64](supmr.SortJob(), f, supmr.SortContainer(), cfg)
+		if err != nil {
+			return err
+		}
+		times, report = &rep.Times, func() {
+			fmt.Printf("records sorted: %d  map waves: %d  merge rounds: %d\n",
+				len(rep.Pairs), rep.Stats.MapWaves, rep.Stats.MergeRounds)
+		}
+		if rep.Trace != nil {
+			tr = rep.Trace
+		}
+	case "histogram":
+		f, err := supmr.TextFile("histinput", size, seed, dev)
+		if err != nil {
+			return err
+		}
+		job := supmr.HistogramJob()
+		rep, err := supmr.RunFile[int, int64](job, f, job.NewContainer(8), cfg)
+		if err != nil {
+			return err
+		}
+		times, report = &rep.Times, func() {
+			fmt.Printf("byte values seen: %d  map waves: %d\n", len(rep.Pairs), rep.Stats.MapWaves)
+		}
+		if rep.Trace != nil {
+			tr = rep.Trace
+		}
+	case "invindex":
+		if files <= 0 {
+			files = 16
+		}
+		inputs, err := supmr.TextFiles("doc", files, fileSize, seed, dev)
+		if err != nil {
+			return err
+		}
+		cfg.FilesPerChunk = 1 // per-file attribution
+		job := supmr.InvertedIndexJob()
+		rep, err := supmr.RunFiles[string, []string](job, inputs, job.NewContainer(32), cfg)
+		if err != nil {
+			return err
+		}
+		times, report = &rep.Times, func() {
+			fmt.Printf("indexed words: %d  files: %d\n", len(rep.Pairs), files)
+		}
+		if rep.Trace != nil {
+			tr = rep.Trace
+		}
+	case "grep":
+		pats := strings.Split(o.pattern, ",")
+		job := supmr.GrepJob(pats...)
+		f, err := supmr.TextFile("grepinput", size, seed, dev)
+		if err != nil {
+			return err
+		}
+		rep, err := supmr.RunFile[string, int64](job, f, job.NewContainer(), cfg)
+		if err != nil {
+			return err
+		}
+		times, report = &rep.Times, func() {
+			for _, p := range rep.Pairs {
+				fmt.Printf("  %-16s %d matching lines\n", p.Key, p.Val)
+			}
+		}
+		if rep.Trace != nil {
+			tr = rep.Trace
+		}
+	case "kmeans":
+		km := supmr.KMeansJob(4, 2)
+		km.Epsilon = 0.05
+		f, err := supmr.TextFile("points", size, seed, dev) // bytes as 2-D points
+		if err != nil {
+			return err
+		}
+		res, err := supmr.RunKMeans(km, f, cfg, 25)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("app=%s runtime=supmr size=%d chunk=%d bw=%d\n", app, size, chunkSz, bw)
+		fmt.Printf("k-means: %d iterations, %d total map waves, final movement %.4f\n",
+			res.Iterations, res.Waves, res.Moved)
+		for i, n := range res.Sizes {
+			fmt.Printf("  cluster %d: %d points, centroid (%.1f, %.1f)\n",
+				i, n, km.Centroids[i][0], km.Centroids[i][1])
+		}
+		return nil
+	case "linreg":
+		job := supmr.LinearRegressionJob()
+		f, err := supmr.TextFile("points", size, seed, dev) // any bytes are points
+		if err != nil {
+			return err
+		}
+		cfg.Boundary = supmr.FixedRecords(2)
+		rep, err := supmr.RunFile[int, float64](job, f, job.NewContainer(), cfg)
+		if err != nil {
+			return err
+		}
+		times, report = &rep.Times, func() {
+			if slope, intercept, ok := job.Fit(rep.Pairs); ok {
+				fmt.Printf("fit: y = %.4f*x + %.2f over %d points\n", slope, intercept, int64(rep.Pairs[0].Val))
+			}
+		}
+		if rep.Trace != nil {
+			tr = rep.Trace
+		}
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+
+	fmt.Printf("app=%s runtime=%s size=%d chunk=%d bw=%d\n", app, rt, size, chunkSz, bw)
+	fmt.Println(times.String())
+	report()
+	if trace && tr != nil {
+		fmt.Println()
+		fmt.Print(tr.ASCII(16))
+	}
+	if o.energy {
+		if ut, ok := tr.(*supmr.UtilTrace); ok && ut != nil {
+			e := supmr.Energy(ut, contexts)
+			fmt.Printf("energy: %.1f J over %v (avg %.1f W, peak %.1f W, E*D %.1f J*s)\n",
+				e.Joules, e.Duration.Round(time.Millisecond), e.AvgWatts, e.PeakWatts, e.EnergyDelay())
+		}
+	}
+	return nil
+}
+
+func runWordCount(cfg supmr.Config, dev supmr.Device, size int64, files int, fileSize int64, seed int64) (*supmr.Report[string, int64], error) {
+	job := supmr.WordCountJob()
+	cont := supmr.WordCountContainer(64)
+	if files > 0 {
+		inputs, err := supmr.TextFiles("wc", files, fileSize, seed, dev)
+		if err != nil {
+			return nil, err
+		}
+		return supmr.RunFiles[string, int64](job, inputs, cont, cfg)
+	}
+	f, err := supmr.TextFile("wcinput", size, seed, dev)
+	if err != nil {
+		return nil, err
+	}
+	return supmr.RunFile[string, int64](job, f, cont, cfg)
+}
+
+// parseSize parses "64", "64k", "4m", "2g" into bytes.
+func parseSize(s string) int64 {
+	v, err := cliutil.ParseSize(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supmr:", err)
+		os.Exit(2)
+	}
+	return v
+}
+
+func parseDur(s string) time.Duration {
+	d, err := cliutil.ParseDuration(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supmr:", err)
+		os.Exit(2)
+	}
+	return d
+}

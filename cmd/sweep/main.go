@@ -1,0 +1,87 @@
+// Command sweep regenerates the design-space curves behind the paper's
+// conclusions:
+//
+//   - the chunk-size sweep (Conclusion 2): total time, waves and mean
+//     utilization as a function of ingest chunk size, at paper scale
+//     through the model and optionally as scaled real executions;
+//   - the merge crossover (Conclusion 3): pairwise vs p-way merge time
+//     across sorted-run counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"supmr"
+	"supmr/internal/perfmodel"
+)
+
+func main() {
+	var (
+		what   = flag.String("what", "all", "chunk | merge | all")
+		app    = flag.String("app", "wordcount", "profile for the chunk sweep: wordcount | sort")
+		points = flag.Int("points", 9, "sweep points")
+		real   = flag.Bool("real", false, "also run a scaled real chunk sweep")
+	)
+	flag.Parse()
+
+	m := perfmodel.Testbed()
+	if *what == "chunk" || *what == "all" {
+		var p perfmodel.Profile
+		var size int64
+		switch *app {
+		case "sort":
+			p, size = perfmodel.Sort(), int64(perfmodel.SortInputBytes)
+		default:
+			p, size = perfmodel.WordCount(), int64(perfmodel.WordCountInputBytes)
+		}
+		grid := perfmodel.DefaultChunkGrid(256<<20, size/2, *points)
+		pts, base := perfmodel.ChunkSweep(p, m, size, grid)
+		fmt.Printf("=== chunk-size sweep at paper scale (%s, %d bytes) ===\n", p.Name, size)
+		fmt.Print(perfmodel.FormatChunkSweep(pts, base))
+		fmt.Println()
+	}
+	if *what == "merge" || *what == "all" {
+		pts := perfmodel.MergeCrossover(perfmodel.Sort(), m, 600e6,
+			[]int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+		fmt.Println("=== merge crossover at paper scale (600M records, 32 contexts) ===")
+		fmt.Print(perfmodel.FormatMergeCrossover(pts))
+		fmt.Println()
+	}
+	if *real {
+		if err := realChunkSweep(*points); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// realChunkSweep runs the scaled real word count across chunk sizes.
+func realChunkSweep(points int) error {
+	const size = 8 << 20
+	const bw = 8 << 20
+	fmt.Printf("=== chunk-size sweep, scaled real runs (%d B at %d B/s) ===\n", size, int64(bw))
+	fmt.Printf("%14s %8s %10s\n", "chunk", "waves", "total")
+	grid := perfmodel.DefaultChunkGrid(size/128, size, points)
+	for _, c := range grid {
+		clock := supmr.NewClock()
+		dev, err := supmr.NewDisk("sim", bw, 0, clock)
+		if err != nil {
+			return err
+		}
+		f, err := supmr.TextFile("wc", size, 7, dev)
+		if err != nil {
+			return err
+		}
+		rep, err := supmr.RunFile[string, int64](supmr.WordCountJob(), f,
+			supmr.WordCountContainer(64), supmr.Config{
+				Runtime: supmr.RuntimeSupMR, ChunkBytes: c, Clock: clock,
+			})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%14d %8d %9.2fs\n", c, rep.Stats.MapWaves, rep.Times.Total.Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package supmr
+
+import (
+	"time"
+
+	"supmr/internal/apps"
+	"supmr/internal/hdfs"
+	"supmr/internal/netsim"
+	"supmr/internal/storage"
+	"supmr/internal/workload"
+)
+
+// This file exposes the simulated experiment environment: clocks,
+// disks/RAID arrays, workload generators, and the HDFS cluster of the
+// Fig. 7 case study — everything needed to reproduce the paper's
+// experiments through the public API.
+
+// Clock abstracts time for devices and measurements.
+type Clock = storage.Clock
+
+// NewClock returns a wall clock; device waits really sleep, so ingest
+// genuinely overlaps computation.
+func NewClock() Clock { return storage.NewRealClock() }
+
+// Device is a simulated block device.
+type Device = storage.Device
+
+// File is a simulated file on a device.
+type File = storage.File
+
+// NewTestbedRAID builds the paper's 3-disk RAID-0 storage with aggregate
+// bandwidth 384 MB/s scaled by factor (use small factors, e.g. 1.0/256,
+// to make wall-clock experiments fast while preserving every ratio).
+func NewTestbedRAID(clock Clock, factor float64) (Device, error) {
+	return storage.TestbedRAID(clock, factor)
+}
+
+// NewDisk builds a single simulated disk with the given sequential
+// bandwidth (bytes/sec) and seek latency.
+func NewDisk(name string, bandwidth float64, seek time.Duration, clock Clock) (Device, error) {
+	return storage.NewDisk(storage.DiskConfig{Name: name, Bandwidth: bandwidth, SeekTime: seek}, clock)
+}
+
+// NewFastDevice returns an infinitely fast device (input effectively in
+// memory).
+func NewFastDevice(clock Clock) Device { return storage.NewNullDevice(clock) }
+
+// TeraFile generates a terasort-style input of the given number of
+// 100-byte \r\n-terminated records on dev, deterministically from seed.
+func TeraFile(name string, records int64, seed uint64, dev Device) (*File, error) {
+	return workload.TeraGen{Seed: seed}.File(name, records, dev)
+}
+
+// TextFile generates a Zipf-word text input of size bytes on dev,
+// deterministically from seed.
+func TextFile(name string, size int64, seed int64, dev Device) (*File, error) {
+	return workload.TextGen{Seed: seed}.File(name, size, dev)
+}
+
+// TextFiles generates count text files of fileSize bytes each — the
+// many-small-files word count input shape for intra-file chunking.
+func TextFiles(prefix string, count int, fileSize int64, seed int64, dev Device) ([]Input, error) {
+	set, err := workload.TextGen{Seed: seed}.FileSet(prefix, count, fileSize, dev)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([]Input, set.Len())
+	for i := range inputs {
+		inputs[i] = set.At(i)
+	}
+	return inputs, nil
+}
+
+// TextFill returns the deterministic text generator's fill function for
+// creating HDFS files or custom storage layouts.
+func TextFill(seed int64) func(off int64, p []byte) {
+	return workload.TextGen{Seed: seed}.Fill()
+}
+
+// TeraFill returns the deterministic terasort generator's fill function.
+func TeraFill(seed uint64) func(off int64, p []byte) {
+	return workload.TeraGen{Seed: seed}.Fill()
+}
+
+// NewByteFile places an in-memory buffer on an arbitrary (possibly
+// throttled or cached) device.
+func NewByteFile(name string, data []byte, dev Device) (*File, error) {
+	return storage.NewFile(name, int64(len(data)), 0, func(off int64, p []byte) {
+		copy(p, data[off:])
+	}, dev)
+}
+
+// MemoryFile wraps an in-memory buffer as an Input on an infinitely
+// fast device.
+func MemoryFile(name string, data []byte, clock Clock) Input {
+	return storage.BytesFile(name, data, storage.NewNullDevice(clock))
+}
+
+// HDFS is the simulated distributed file system of the case study.
+type HDFS = hdfs.Cluster
+
+// HDFSFile is a file stored in the simulated HDFS.
+type HDFSFile = hdfs.File
+
+// HDFSConfig describes a simulated HDFS deployment.
+type HDFSConfig struct {
+	Nodes     int           // datanodes (case study: 32)
+	BlockSize int64         // HDFS block size (classic: 64 MB)
+	DiskBW    float64       // per-datanode disk bandwidth, bytes/sec
+	LinkBW    float64       // shared front link bandwidth, bytes/sec
+	Latency   time.Duration // link latency
+	// AccessBW, when positive, gives every datanode a dedicated access
+	// port of this bandwidth behind the shared uplink (star topology).
+	AccessBW float64
+}
+
+// NewHDFS builds the case study's storage: nodes datanodes behind one
+// shared link of LinkBW bytes/sec (1 Gbit ethernet = 125e6).
+func NewHDFS(cfg HDFSConfig, clock Clock) (*HDFS, error) {
+	hc := hdfs.Config{
+		Nodes:     cfg.Nodes,
+		BlockSize: cfg.BlockSize,
+		DiskBW:    cfg.DiskBW,
+		Clock:     clock,
+	}
+	if cfg.AccessBW > 0 {
+		top, err := netsim.NewStarTopology(cfg.Nodes, cfg.AccessBW, cfg.LinkBW, cfg.Latency, clock)
+		if err != nil {
+			return nil, err
+		}
+		hc.Topology = top
+	} else {
+		link, err := netsim.NewLink(cfg.LinkBW, cfg.Latency, clock)
+		if err != nil {
+			return nil, err
+		}
+		hc.Link = link
+	}
+	return hdfs.NewCluster(hc)
+}
+
+// GigabitLinkBW is 1 Gbit ethernet in bytes/sec.
+const GigabitLinkBW = netsim.GigabitEthernet
+
+// The paper's two target applications plus the extra demo apps, exposed
+// for examples and tools. Each app documents which container §V-B
+// prescribes for it.
+
+// WordCountJob returns the word count application (hash container with
+// combiner).
+func WordCountJob() apps.WordCount { return apps.WordCount{} }
+
+// SortJob returns the terasort-style sort application (unlocked
+// key-range container).
+func SortJob() apps.Sort { return apps.Sort{} }
+
+// HistogramJob returns the byte-histogram application (array container).
+func HistogramJob() apps.Histogram { return apps.Histogram{} }
+
+// InvertedIndexJob returns the inverted index application (hash
+// container without combiner; implements the set_data() chunk callback).
+func InvertedIndexJob() *apps.InvertedIndex { return &apps.InvertedIndex{} }
+
+// NewCachedDevice wraps dev with an LRU block cache of capacity blocks
+// of blockSize bytes — the page-cache/MixApart-style layer (§VII) that
+// makes re-reads (e.g. iterative jobs) free of device time.
+func NewCachedDevice(dev Device, blockSize int64, capacity int) (Device, error) {
+	return storage.NewCache(dev, blockSize, capacity)
+}
+
+// KMeansJob builds the iterative K-means application over Dim-byte
+// points (Phoenix's kmeans benchmark; each iteration is one SupMR job).
+func KMeansJob(k, dim int) *apps.KMeans {
+	km := &apps.KMeans{K: k, Dim: dim}
+	km.InitCentroids(1)
+	return km
+}
+
+// KMeansResult reports a K-means driver run.
+type KMeansResult = apps.KMeansResult
+
+// RunKMeans drives Lloyd's algorithm over file through the SupMR
+// pipeline, re-streaming the input each iteration (wrap the device with
+// NewCachedDevice to make iterations after the first compute-bound).
+func RunKMeans(km *apps.KMeans, file Input, cfg Config, maxIters int) (*KMeansResult, error) {
+	mk := func() (Stream, error) {
+		cfgIter := cfg
+		cfgIter.Runtime = RuntimeSupMR
+		cfgIter.Boundary = km.Boundary()
+		return StreamFile(file, cfgIter)
+	}
+	return apps.RunKMeans(km, mk, mapreduceOptions(cfg), maxIters)
+}
+
+// GrepJob returns a string-match application over the given patterns
+// (the Phoenix string-match benchmark).
+func GrepJob(patterns ...string) apps.Grep { return apps.Grep{Patterns: patterns} }
+
+// LinearRegressionJob returns the Phoenix linear-regression application
+// (array container over six statistic cells; Fit solves the model).
+func LinearRegressionJob() apps.LinearRegression { return apps.LinearRegression{} }
+
+// WordCountContainer returns the container word count uses.
+func WordCountContainer(shards int) Container[string, int64] {
+	return WordCountJob().NewContainer(shards)
+}
+
+// SortContainer returns the unlocked container sort uses.
+func SortContainer() Container[string, uint64] {
+	return SortJob().NewContainer()
+}

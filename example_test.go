@@ -1,0 +1,98 @@
+package supmr_test
+
+import (
+	"fmt"
+
+	"supmr"
+)
+
+// Counting words through the SupMR pipeline: the input streams through
+// 16-byte ingest chunks while mapper goroutines process earlier chunks.
+func ExampleRunBytes() {
+	data := []byte("b a\nc a b\na\n")
+	rep, err := supmr.RunBytes[string, int64](
+		supmr.WordCountJob(),
+		data,
+		supmr.WordCountContainer(8),
+		supmr.Config{Runtime: supmr.RuntimeSupMR, ChunkBytes: 4},
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range rep.Pairs {
+		fmt.Printf("%s=%d\n", p.Key, p.Val)
+	}
+	// Output:
+	// a=3
+	// b=2
+	// c=1
+}
+
+// A custom job needs only Map, Reduce and Less. Here: total line
+// lengths by first letter.
+func ExampleRun_customJob() {
+	rep, err := supmr.RunBytes[string, int64](
+		firstLetterJob{},
+		[]byte("apple\navocado\nbanana\n"),
+		supmr.NewHashContainer[string, int64](4, supmr.HashString, nil),
+		supmr.Config{},
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range rep.Pairs {
+		fmt.Printf("%s=%d\n", p.Key, p.Val)
+	}
+	// Output:
+	// a=12
+	// b=6
+}
+
+type firstLetterJob struct{}
+
+func (firstLetterJob) Map(split []byte, emit supmr.Emitter[string, int64]) {
+	start := 0
+	for i, c := range split {
+		if c == '\n' {
+			if i > start {
+				emit.Emit(string(split[start]), int64(i-start))
+			}
+			start = i + 1
+		}
+	}
+}
+
+func (firstLetterJob) Reduce(_ string, vs []int64) int64 {
+	var s int64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+func (firstLetterJob) Less(a, b string) bool { return a < b }
+
+// The traditional runtime and SupMR produce identical sorted output;
+// only the phase structure differs.
+func ExampleConfig_runtime() {
+	data := []byte("z y\nx z\n")
+	run := func(rt supmr.Runtime) []supmr.Pair[string, int64] {
+		rep, err := supmr.RunBytes[string, int64](
+			supmr.WordCountJob(), data, supmr.WordCountContainer(4),
+			supmr.Config{Runtime: rt, ChunkBytes: 4})
+		if err != nil {
+			panic(err)
+		}
+		return rep.Pairs
+	}
+	a := run(supmr.RuntimeTraditional)
+	b := run(supmr.RuntimeSupMR)
+	fmt.Println(len(a) == len(b))
+	for i := range a {
+		if a[i] != b[i] {
+			fmt.Println("mismatch")
+		}
+	}
+	// Output:
+	// true
+}

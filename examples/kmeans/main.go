@@ -1,0 +1,89 @@
+// Kmeans: iterative MapReduce on SupMR. Each Lloyd iteration is one
+// complete pipelined job over the same input; an LRU block cache in
+// front of the simulated disk makes every iteration after the first
+// free of device time — the data-reuse idea of the iterative-MapReduce
+// systems (Twister, HaLoop) the paper's related work discusses.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"supmr"
+)
+
+func main() {
+	clock := supmr.NewClock()
+	disk, err := supmr.NewDisk("hdd", 24<<20, 0, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached, err := supmr.NewCachedDevice(disk, 64<<10, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2-D byte points from three well-separated blobs.
+	var data []byte
+	state := uint64(2024)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	centers := [][2]int{{35, 35}, {200, 70}, {110, 215}}
+	const perCluster = 40_000
+	for i := 0; i < perCluster; i++ {
+		for _, c := range centers {
+			data = append(data,
+				byte(c[0]+int(next()%13)-6),
+				byte(c[1]+int(next()%13)-6))
+		}
+	}
+	points, err := supmr.NewByteFile("points.bin", data, cached)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	km := supmr.KMeansJob(3, 2)
+	km.Epsilon = 0.05
+	// Seed centroids from actual data points (the generator interleaves
+	// blobs, so the first three points cover all three).
+	km.Centroids = [][]float64{
+		{float64(data[0]), float64(data[1])},
+		{float64(data[2]), float64(data[3])},
+		{float64(data[4]), float64(data[5])},
+	}
+	start := clock.Now()
+	res, err := supmr.RunKMeans(km, points, supmr.Config{
+		ChunkBytes: 64 << 10,
+		Clock:      clock,
+	}, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := clock.Now() - start
+
+	fmt.Printf("clustered %d points in %d iterations (%.2fs, %d total map waves)\n",
+		len(data)/2, res.Iterations, elapsed.Seconds(), res.Waves)
+	for i, c := range km.Centroids {
+		fmt.Printf("  cluster %d: %6d points at (%.1f, %.1f)\n",
+			i, res.Sizes[i], c[0], c[1])
+	}
+	fmt.Printf("device served %s; later iterations hit the cache\n",
+		byteCount(diskBytes(disk)))
+}
+
+func diskBytes(d supmr.Device) int64 { return d.Stats().BytesRead }
+
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,3 @@
+module supmr
+
+go 1.24

@@ -1,0 +1,57 @@
+// Package apps implements the benchmark applications of the evaluation:
+// word count and sort (the paper's two target applications, chosen
+// because they sit at opposite ends of the application space), plus a
+// histogram app for the array container, an inverted index app for the
+// no-combiner hash path, and the OpenMP-analog sort used as the thread
+// library baseline of Fig. 3.
+package apps
+
+import (
+	"supmr/internal/chunk"
+	"supmr/internal/container"
+	"supmr/internal/kv"
+	"supmr/internal/workload"
+)
+
+// WordCount counts word occurrences. Its map phase is comparatively
+// expensive (tokenizing, hashing, checking the container before
+// insertion), which is precisely why the ingest chunk pipeline helps it
+// most: a longer map phase gives the pipeline more computation to
+// overlap with ingest (§VI-B).
+type WordCount struct{}
+
+var _ kv.App[string, int64] = WordCount{}
+var _ kv.Combiner[int64] = WordCount{}
+
+// Map tokenizes the split and emits (word, 1) pairs.
+func (WordCount) Map(split []byte, emit kv.Emitter[string, int64]) {
+	workload.Tokenize(split, func(w []byte) {
+		emit.Emit(string(w), 1)
+	})
+}
+
+// Reduce sums the counts for one word.
+func (WordCount) Reduce(_ string, vs []int64) int64 {
+	var sum int64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// Combine folds two partial counts (the hash container applies this
+// eagerly in worker-local maps).
+func (WordCount) Combine(a, b int64) int64 { return a + b }
+
+// Less orders words lexicographically.
+func (WordCount) Less(a, b string) bool { return a < b }
+
+// Boundary returns the record boundary for text input: newline.
+func (WordCount) Boundary() chunk.Boundary { return chunk.NewlineBoundary{} }
+
+// NewContainer returns the container §V-B prescribes for word count: the
+// default hash container with a combiner, which shrinks the huge input
+// set to a vocabulary-sized intermediate set.
+func (w WordCount) NewContainer(shards int) container.Container[string, int64] {
+	return container.NewHash[string, int64](shards, container.StringHasher, w.Combine)
+}

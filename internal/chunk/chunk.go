@@ -1,0 +1,539 @@
+// Package chunk implements SupMR's ingest chunk management: the
+// partitioning of the input into small, similarly-sized units that the
+// ingest chunk pipeline streams through the runtime. Both chunking
+// strategies from the paper are provided — inter-file chunking (one big
+// file split at a user-defined size with record-boundary adjustment) and
+// intra-file chunking (several small files coalesced per chunk) — plus
+// the in-memory split of an ingested chunk into per-mapper input splits.
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"supmr/internal/storage"
+)
+
+// Chunk is one ingested unit of input: the unit of the n+1-round SupMR
+// pipeline. Data holds the raw bytes after ingest; Files names the input
+// files coalesced into the chunk under intra-file chunking.
+type Chunk struct {
+	Index int
+	Data  []byte
+	Files []string
+}
+
+// Size returns the chunk payload size.
+func (c *Chunk) Size() int64 { return int64(len(c.Data)) }
+
+// Input is any byte source chunkers can ingest from: a simulated local
+// file (storage.File), an HDFS file behind a network link (hdfs.File), or
+// anything else with a name, a size and positioned reads.
+type Input interface {
+	Name() string
+	Size() int64
+	io.ReaderAt
+}
+
+// Stream produces the sequence of ingest chunks. Next performs the
+// actual (device-throttled) read, so calling Next concurrently with map
+// work is exactly the paper's double-buffering. Implementations are not
+// safe for concurrent Next calls; the pipeline has a single ingest thread.
+type Stream interface {
+	// Next ingests and returns the next chunk, or nil, io.EOF when the
+	// input is exhausted.
+	Next() (*Chunk, error)
+	// TotalBytes returns the total input size in bytes.
+	TotalBytes() int64
+}
+
+// Boundary knows where records end, so that chunking never separates a
+// key or value across chunks. The paper's runtime seeks to the nominal
+// chunk size and then extends the split point to the end of the value.
+type Boundary interface {
+	// Complete reports whether buf ends exactly at a record boundary.
+	Complete(buf []byte) bool
+	// Scan returns the index just past the first record terminator in p,
+	// or -1 if p contains none.
+	Scan(p []byte) int
+	// Need returns the exact number of extra bytes required to finish the
+	// record in progress after cur bytes, or -1 when the answer depends
+	// on content (delimiter-terminated records).
+	Need(cur int64) int64
+}
+
+// NewlineBoundary treats '\n' as the record terminator (word count text).
+type NewlineBoundary struct{}
+
+// Complete reports whether buf ends with a newline.
+func (NewlineBoundary) Complete(buf []byte) bool {
+	return len(buf) == 0 || buf[len(buf)-1] == '\n'
+}
+
+// Scan finds the first newline.
+func (NewlineBoundary) Scan(p []byte) int {
+	if i := bytes.IndexByte(p, '\n'); i >= 0 {
+		return i + 1
+	}
+	return -1
+}
+
+// Need is content-dependent for newline records.
+func (NewlineBoundary) Need(int64) int64 { return -1 }
+
+// CRLFBoundary treats "\r\n" as the terminator, the terasort convention
+// the paper cites ("each key-value pair ... is terminated with \r\n").
+type CRLFBoundary struct{}
+
+// Complete reports whether buf ends with \r\n.
+func (CRLFBoundary) Complete(buf []byte) bool {
+	n := len(buf)
+	return n == 0 || (n >= 2 && buf[n-2] == '\r' && buf[n-1] == '\n')
+}
+
+// Scan finds the first \r\n pair.
+func (CRLFBoundary) Scan(p []byte) int {
+	for i := 0; i+1 < len(p); i++ {
+		if p[i] == '\r' && p[i+1] == '\n' {
+			return i + 2
+		}
+	}
+	return -1
+}
+
+// Need is content-dependent for delimiter-terminated records.
+func (CRLFBoundary) Need(int64) int64 { return -1 }
+
+// FixedBoundary is for fixed-width records (width bytes each): the extra
+// bytes needed after a nominal cut are computable without scanning.
+type FixedBoundary struct{ Width int64 }
+
+// Complete reports whether buf is a whole number of records.
+func (b FixedBoundary) Complete(buf []byte) bool {
+	return b.Width <= 0 || int64(len(buf))%b.Width == 0
+}
+
+// Scan returns -1; Need is always exact for fixed-width records.
+func (b FixedBoundary) Scan(p []byte) int { return -1 }
+
+// Need returns the bytes required to complete the record in progress.
+func (b FixedBoundary) Need(cur int64) int64 {
+	if b.Width <= 0 {
+		return 0
+	}
+	return (b.Width - cur%b.Width) % b.Width
+}
+
+// extendStep is how many bytes the inter-file chunker reads at a time
+// while hunting for the record terminator past the nominal cut.
+const extendStep = 4096
+
+// InterFile splits one large file into chunks of a nominal size, adjusting
+// each split point forward to the next record boundary ("it seeks to the
+// user-defined chunk size, checks to see if it is in the middle of a key
+// or value, and then continually increases the split point until reaching
+// the end of the value", §III-A1). Bytes read past a cut are carried into
+// the next chunk, so every input byte crosses the device exactly once.
+type InterFile struct {
+	file      Input
+	chunkSize int64
+	boundary  Boundary
+	off       int64  // next unread file offset
+	emitted   int64  // total bytes already emitted in chunks
+	carry     []byte // bytes read past the previous cut
+	index     int
+}
+
+// NewInterFile builds the inter-file chunker. chunkSize is the
+// user-specified nominal chunk size in bytes.
+func NewInterFile(file Input, chunkSize int64, b Boundary) (*InterFile, error) {
+	if file == nil {
+		return nil, errors.New("chunk: inter-file chunker requires a file")
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("chunk: chunk size must be positive, got %d", chunkSize)
+	}
+	if b == nil {
+		return nil, errors.New("chunk: inter-file chunker requires a boundary")
+	}
+	return &InterFile{file: file, chunkSize: chunkSize, boundary: b}, nil
+}
+
+// TotalBytes returns the file size.
+func (c *InterFile) TotalBytes() int64 { return c.file.Size() }
+
+// ChunkSize returns the current nominal chunk size.
+func (c *InterFile) ChunkSize() int64 { return c.chunkSize }
+
+// SetChunkSize changes the nominal size of subsequent chunks — the hook
+// the adaptive chunk-size feedback loop (internal/tuner) drives.
+// Non-positive sizes are ignored.
+func (c *InterFile) SetChunkSize(n int64) {
+	if n > 0 {
+		c.chunkSize = n
+	}
+}
+
+// fetch appends up to want more bytes from the file to buf.
+func (c *InterFile) fetch(buf []byte, want int64) ([]byte, error) {
+	if rest := c.file.Size() - c.off; want > rest {
+		want = rest
+	}
+	if want <= 0 {
+		return buf, nil
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, want)...)
+	if err := readFull(c.file, buf[start:], c.off); err != nil {
+		return nil, fmt.Errorf("chunk: ingest of chunk %d failed: %w", c.index, err)
+	}
+	c.off += want
+	return buf, nil
+}
+
+// Next ingests the next chunk. The device is asked for the nominal chunk
+// plus a small margin in one request; the cut lands on the first record
+// boundary at or past the nominal size and the remainder carries forward.
+func (c *InterFile) Next() (*Chunk, error) {
+	size := c.file.Size()
+	if c.off >= size && len(c.carry) == 0 {
+		return nil, io.EOF
+	}
+	buf := c.carry
+	c.carry = nil
+
+	// One read covering the nominal chunk plus the boundary-hunt margin.
+	if int64(len(buf)) < c.chunkSize+extendStep {
+		var err error
+		buf, err = c.fetch(buf, c.chunkSize+extendStep-int64(len(buf)))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cut := len(buf)
+	if int64(len(buf)) > c.chunkSize {
+		nominal := int(c.chunkSize)
+		switch {
+		case c.boundary.Complete(buf[:nominal]):
+			cut = nominal
+		default:
+			if need := c.boundary.Need(c.emitted + c.chunkSize); need >= 0 {
+				// Fixed-width records: exact extension, no scanning.
+				cut = nominal + int(need)
+				for int64(len(buf)) < int64(cut) && c.off < size {
+					var err error
+					buf, err = c.fetch(buf, int64(cut-len(buf)))
+					if err != nil {
+						return nil, err
+					}
+				}
+				if cut > len(buf) {
+					cut = len(buf)
+				}
+			} else {
+				// Delimiter-terminated records: scan forward (with one
+				// byte of overlap for multi-byte terminators), reading
+				// more as needed.
+				scanFrom := nominal - 1
+				if scanFrom < 0 {
+					scanFrom = 0
+				}
+				for {
+					if i := c.boundary.Scan(buf[scanFrom:]); i >= 0 {
+						cut = scanFrom + i
+						break
+					}
+					if c.off >= size {
+						cut = len(buf) // unterminated tail: last chunk keeps it
+						break
+					}
+					scanFrom = len(buf) - 1
+					var err error
+					buf, err = c.fetch(buf, extendStep)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Carry the over-read remainder into the next chunk. Copy it: the
+	// chunk's data slice shares buf's backing array and is handed to
+	// mapper threads that run concurrently with the next ingest.
+	if cut < len(buf) {
+		c.carry = append([]byte(nil), buf[cut:]...)
+	}
+	c.emitted += int64(cut)
+	ch := &Chunk{Index: c.index, Data: buf[:cut:cut], Files: []string{c.file.Name()}}
+	c.index++
+	return ch, nil
+}
+
+// IntraFile coalesces filesPerChunk small files into each chunk. If the
+// user-defined count exceeds the files left, the last chunk is smaller
+// than the rest (30 files at 4 per chunk produce 7 full chunks and one
+// chunk of 2, per §III-A1).
+type IntraFile struct {
+	files         []Input
+	filesPerChunk int
+	next          int
+	index         int
+}
+
+// NewIntraFile builds the intra-file chunker.
+func NewIntraFile(files []Input, filesPerChunk int) (*IntraFile, error) {
+	if len(files) == 0 {
+		return nil, errors.New("chunk: intra-file chunker requires at least one file")
+	}
+	if filesPerChunk <= 0 {
+		return nil, fmt.Errorf("chunk: files per chunk must be positive, got %d", filesPerChunk)
+	}
+	return &IntraFile{files: files, filesPerChunk: filesPerChunk}, nil
+}
+
+// InputsFromSet adapts a storage.FileSet to the chunker input slice.
+func InputsFromSet(set *storage.FileSet) []Input {
+	inputs := make([]Input, set.Len())
+	for i := range inputs {
+		inputs[i] = set.At(i)
+	}
+	return inputs
+}
+
+// TotalBytes sums the file set.
+func (c *IntraFile) TotalBytes() int64 {
+	var t int64
+	for _, f := range c.files {
+		t += f.Size()
+	}
+	return t
+}
+
+// Next ingests the next group of files into one chunk, growing the
+// allocation as files are appended so the whole chunk is collocated in
+// RAM.
+func (c *IntraFile) Next() (*Chunk, error) {
+	if c.next >= len(c.files) {
+		return nil, io.EOF
+	}
+	// Allocate space equal to one file and grow dynamically, as the
+	// runtime described in §III-A1 does.
+	first := c.files[c.next]
+	buf := make([]byte, 0, first.Size())
+	var names []string
+	for k := 0; k < c.filesPerChunk && c.next < len(c.files); k++ {
+		f := c.files[c.next]
+		start := len(buf)
+		buf = append(buf, make([]byte, f.Size())...)
+		if err := readFull(f, buf[start:], 0); err != nil {
+			return nil, fmt.Errorf("chunk: ingest of file %q failed: %w", f.Name(), err)
+		}
+		names = append(names, f.Name())
+		c.next++
+	}
+	ch := &Chunk{Index: c.index, Data: buf, Files: names}
+	c.index++
+	return ch, nil
+}
+
+// WholeInput delivers the entire input as a single chunk: the traditional
+// runtime's ingest phase ("none" rows of Table II).
+type WholeInput struct {
+	inner Stream
+	done  bool
+}
+
+// NewWholeInput wraps any stream, concatenating everything it produces
+// into one chunk.
+func NewWholeInput(inner Stream) *WholeInput { return &WholeInput{inner: inner} }
+
+// TotalBytes returns the wrapped stream's size.
+func (c *WholeInput) TotalBytes() int64 { return c.inner.TotalBytes() }
+
+// Next ingests the whole input at once.
+func (c *WholeInput) Next() (*Chunk, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	c.done = true
+	var buf []byte
+	var names []string
+	for {
+		ch, err := c.inner.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, ch.Data...)
+		names = append(names, ch.Files...)
+	}
+	return &Chunk{Index: 0, Data: buf, Files: names}, nil
+}
+
+// readFull fills buf from f starting at off.
+func readFull(f Input, buf []byte, off int64) error {
+	for len(buf) > 0 {
+		n, err := f.ReadAt(buf, off)
+		if n > 0 {
+			buf = buf[n:]
+			off += int64(n)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+// SplitBuffer cuts an in-memory chunk into at most n input splits on
+// record boundaries (the traditional MapReduce input splits mappers work
+// on). Splits are views into buf, not copies. All bytes of buf appear in
+// exactly one split.
+func SplitBuffer(buf []byte, n int, b Boundary) [][]byte {
+	if n <= 1 || len(buf) == 0 {
+		if len(buf) == 0 {
+			return nil
+		}
+		return [][]byte{buf}
+	}
+	splits := make([][]byte, 0, n)
+	target := len(buf) / n
+	if target == 0 {
+		target = 1
+	}
+	start := 0
+	for i := 0; i < n-1 && start < len(buf); i++ {
+		end := start + target
+		if end >= len(buf) {
+			break
+		}
+		// Advance to a record boundary.
+		if need := b.Need(int64(end)); need >= 0 {
+			end += int(need)
+		} else if j := b.Scan(buf[end:]); j >= 0 {
+			end += j
+		} else {
+			end = len(buf)
+		}
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if end > start {
+			splits = append(splits, buf[start:end])
+			start = end
+		}
+	}
+	if start < len(buf) {
+		splits = append(splits, buf[start:])
+	}
+	return splits
+}
+
+// Resizable is implemented by streams whose chunk granularity can be
+// changed mid-job; the SupMR pipeline uses it to apply the adaptive
+// chunk-size feedback loop.
+type Resizable interface {
+	Stream
+	ChunkSize() int64
+	SetChunkSize(n int64)
+}
+
+// Hybrid combines inter- and intra-file chunking (the "hybrid
+// inter/intra-file chunking approach" §III-A1 mentions but does not
+// implement): small files coalesce until a chunk reaches the nominal
+// size, while files larger than the nominal size are split inter-file.
+// Chunks therefore have similar sizes regardless of the input's file
+// size distribution.
+type Hybrid struct {
+	files     []Input
+	chunkSize int64
+	boundary  Boundary
+
+	next  int
+	cur   *InterFile // active splitter for an oversized file
+	index int
+}
+
+// NewHybrid builds the hybrid chunker.
+func NewHybrid(files []Input, chunkSize int64, b Boundary) (*Hybrid, error) {
+	if len(files) == 0 {
+		return nil, errors.New("chunk: hybrid chunker requires at least one file")
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("chunk: chunk size must be positive, got %d", chunkSize)
+	}
+	if b == nil {
+		return nil, errors.New("chunk: hybrid chunker requires a boundary")
+	}
+	return &Hybrid{files: files, chunkSize: chunkSize, boundary: b}, nil
+}
+
+// TotalBytes sums the file set.
+func (h *Hybrid) TotalBytes() int64 {
+	var t int64
+	for _, f := range h.files {
+		t += f.Size()
+	}
+	return t
+}
+
+// Next produces the next similarly-sized chunk.
+func (h *Hybrid) Next() (*Chunk, error) {
+	// Continue splitting an oversized file if one is active.
+	if h.cur != nil {
+		c, err := h.cur.Next()
+		if err == nil {
+			c.Index = h.index
+			h.index++
+			return c, nil
+		}
+		if !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+		h.cur = nil
+	}
+	if h.next >= len(h.files) {
+		return nil, io.EOF
+	}
+	f := h.files[h.next]
+	if f.Size() > h.chunkSize {
+		// Oversized file: split it inter-file.
+		h.next++
+		inter, err := NewInterFile(f, h.chunkSize, h.boundary)
+		if err != nil {
+			return nil, err
+		}
+		h.cur = inter
+		return h.Next()
+	}
+	// Coalesce small files until the nominal size is reached.
+	var buf []byte
+	var names []string
+	for h.next < len(h.files) {
+		g := h.files[h.next]
+		if g.Size() > h.chunkSize {
+			break // oversized file starts its own chunks
+		}
+		if len(names) > 0 && int64(len(buf))+g.Size() > h.chunkSize {
+			break
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, g.Size())...)
+		if err := readFull(g, buf[start:], 0); err != nil {
+			return nil, fmt.Errorf("chunk: hybrid ingest of %q failed: %w", g.Name(), err)
+		}
+		names = append(names, g.Name())
+		h.next++
+	}
+	c := &Chunk{Index: h.index, Data: buf, Files: names}
+	h.index++
+	return c, nil
+}

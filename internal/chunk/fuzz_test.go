@@ -1,0 +1,131 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"supmr/internal/storage"
+)
+
+// FuzzInterFileCoverage feeds arbitrary data and chunk sizes through the
+// inter-file chunker and checks the two invariants that matter: every
+// input byte appears exactly once across chunks (in order), and no
+// chunk except the last ends mid-record.
+func FuzzInterFileCoverage(f *testing.F) {
+	f.Add([]byte("alpha beta\ngamma\n"), int64(4))
+	f.Add([]byte("no newline at all"), int64(3))
+	f.Add([]byte("\n\n\n"), int64(1))
+	f.Add(bytes.Repeat([]byte("word\n"), 100), int64(7))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSize int64) {
+		if chunkSize <= 0 || chunkSize > int64(len(data))+10 {
+			chunkSize = int64(len(data)%97) + 1
+		}
+		file := storage.BytesFile("f", data, storage.NewNullDevice(storage.NewFakeClock()))
+		s, err := NewInterFile(file, chunkSize, NewlineBoundary{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		var chunks [][]byte
+		for {
+			c, err := s.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, c.Data...)
+			chunks = append(chunks, c.Data)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("coverage broken: %d bytes in, %d out", len(data), len(got))
+		}
+		for i, c := range chunks[:max(0, len(chunks)-1)] {
+			if len(c) > 0 && c[len(c)-1] != '\n' {
+				t.Fatalf("chunk %d of %d ends mid-record", i, len(chunks))
+			}
+		}
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FuzzSplitBuffer checks that in-memory splitting covers the buffer
+// exactly and respects record boundaries.
+func FuzzSplitBuffer(f *testing.F) {
+	f.Add([]byte("a b c\nd e\n"), 3)
+	f.Add([]byte(""), 5)
+	f.Add([]byte("unterminated tail"), 2)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n = n%32 + 1
+		splits := SplitBuffer(data, n, NewlineBoundary{})
+		var got []byte
+		for i, sp := range splits {
+			if len(sp) == 0 {
+				t.Fatalf("split %d empty", i)
+			}
+			got = append(got, sp...)
+			if i < len(splits)-1 && sp[len(sp)-1] != '\n' {
+				t.Fatalf("split %d cut mid-record", i)
+			}
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("splits do not cover the buffer")
+		}
+	})
+}
+
+// FuzzCRLFBoundary checks the two-byte terminator logic never splits a
+// \r\n pair across chunks.
+func FuzzCRLFBoundary(f *testing.F) {
+	f.Add([]byte("ab\r\ncd\r\n"), int64(3))
+	f.Add([]byte("\r\r\n\r\n"), int64(2))
+	f.Add([]byte("xx\rqq\nzz\r\n"), int64(4))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSize int64) {
+		if chunkSize <= 0 {
+			chunkSize = 1
+		}
+		if chunkSize > 1<<16 {
+			chunkSize = 1 << 16
+		}
+		file := storage.BytesFile("f", data, storage.NewNullDevice(storage.NewFakeClock()))
+		s, err := NewInterFile(file, chunkSize, CRLFBoundary{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		var prev *Chunk
+		for {
+			c, err := s.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != nil && len(prev.Data) > 0 && len(c.Data) > 0 {
+				// A \r at the end of one chunk followed by \n at the start
+				// of the next would be a split terminator.
+				if prev.Data[len(prev.Data)-1] == '\r' && c.Data[0] == '\n' {
+					t.Fatal("\\r\\n pair split across chunks")
+				}
+			}
+			got = append(got, c.Data...)
+			prev = c
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("coverage broken")
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"0":     0,
+		"64":    64,
+		"64k":   64 << 10,
+		"4m":    4 << 20,
+		"2g":    2 << 30,
+		"1.5m":  3 << 19,
+		" 8K ":  8 << 10,
+		"0.5g":  1 << 29,
+		"100M ": 100 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil {
+			t.Errorf("ParseSize(%q) error: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "12q", "-5m", "m"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	if d, err := ParseDuration("150ms"); err != nil || d != 150*time.Millisecond {
+		t.Errorf("ParseDuration = %v, %v", d, err)
+	}
+	if _, err := ParseDuration("nope"); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.0KB",
+		3 << 20: "3.1MB",
+		2e9:     "2.0GB",
+		155e9:   "155.0GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	if got := FormatSeconds(1500 * time.Millisecond); got != "1.50s" {
+		t.Errorf("FormatSeconds = %q", got)
+	}
+}

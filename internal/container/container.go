@@ -1,0 +1,70 @@
+// Package container implements the Phoenix++-style intermediate
+// key-value containers that sit between the map and reduce phases: the
+// hash container (default; combiner-backed, ideal for word-count-like
+// jobs whose huge input set shrinks to a small intermediate set), the
+// array container (dense integer keys, histogram-like jobs), and the
+// unlocked key-range container (sort-like jobs with unique keys, where
+// every mapper writes its own region with no synchronization).
+//
+// SupMR's pipeline requires containers to persist across map rounds;
+// Reset exists so the traditional runtime (and the ablation bench) can
+// model the original re-initialize-per-wave behaviour.
+package container
+
+import (
+	"hash/maphash"
+
+	"supmr/internal/kv"
+)
+
+// Local is the per-map-worker view of a container. Map workers emit into
+// a Local with no synchronization; Flush folds the worker's pairs into
+// the global container state at the end of the worker's task.
+type Local[K comparable, V any] interface {
+	kv.Emitter[K, V]
+	// Flush publishes this worker's pairs into the global container.
+	// The Local must not be used after Flush.
+	Flush()
+}
+
+// Container stores intermediate key-value pairs between map and reduce.
+// Implementations are safe for concurrent NewLocal/Flush during the map
+// phase; Partitions/Reduce run after the map phase completes.
+type Container[K comparable, V any] interface {
+	// NewLocal returns an emitter for one map worker or map task.
+	NewLocal() Local[K, V]
+	// Partitions returns the number of reduce partitions currently held.
+	Partitions() int
+	// Reduce applies reduce to every key of partition p, appending the
+	// resulting pairs to out, and returns the extended slice. Pairs
+	// within a partition are in container order (not sorted); sorting is
+	// the merge phase's job.
+	Reduce(p int, reduce func(k K, vs []V) V, out []kv.Pair[K, V]) []kv.Pair[K, V]
+	// Len returns the number of distinct entries held.
+	Len() int
+	// Reset clears all state, restoring the freshly-initialized
+	// container. The traditional runtime resets when mappers start; the
+	// SupMR pipeline must not (persistent container, §III-C).
+	Reset()
+}
+
+// Hasher maps a key to a 64-bit hash for shard selection.
+type Hasher[K comparable] func(K) uint64
+
+var stringSeed = maphash.MakeSeed()
+
+// StringHasher hashes string keys with runtime maphash.
+func StringHasher(s string) uint64 { return maphash.String(stringSeed, s) }
+
+// Uint64Hasher mixes an integer key (splitmix64 finalizer).
+func Uint64Hasher(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// IntHasher hashes int keys.
+func IntHasher(i int) uint64 { return Uint64Hasher(uint64(i)) }

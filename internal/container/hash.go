@@ -1,0 +1,169 @@
+package container
+
+import (
+	"fmt"
+	"sync"
+
+	"supmr/internal/kv"
+)
+
+// Hash is the default Phoenix++ container: keys hash to shards of a
+// concurrent map. With a combiner, each map worker folds values into a
+// thread-local map first and Flush merges the (already tiny) local map
+// into the global shards — this is what makes word count's 155 GB input
+// collapse into a vocabulary-sized intermediate set.
+//
+// Without a combiner, all values per key are retained, which is exactly
+// the pathology §V-B describes for sort-like workloads: mappers must
+// check the container for the key before insertion and reducers sweep
+// cells of unique keys. The key-range container exists for those.
+type Hash[K comparable, V any] struct {
+	shards  []hashShard[K, V]
+	hasher  Hasher[K]
+	combine kv.Combine[V] // nil = retain all values
+}
+
+type hashShard[K comparable, V any] struct {
+	mu   sync.Mutex
+	vals map[K]V   // used when combining
+	list map[K][]V // used when retaining
+	_    [32]byte  // pad to reduce false sharing between shards
+}
+
+// NewHash builds a hash container with the given shard count (rounded up
+// to a power of two), key hasher and optional combiner. A nil combine
+// retains every emitted value per key.
+func NewHash[K comparable, V any](shards int, hasher Hasher[K], combine kv.Combine[V]) *Hash[K, V] {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if hasher == nil {
+		panic("container: NewHash requires a hasher")
+	}
+	h := &Hash[K, V]{shards: make([]hashShard[K, V], n), hasher: hasher, combine: combine}
+	h.Reset()
+	return h
+}
+
+// Reset reinitializes every shard.
+func (h *Hash[K, V]) Reset() {
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		if h.combine != nil {
+			s.vals = make(map[K]V)
+			s.list = nil
+		} else {
+			s.list = make(map[K][]V)
+			s.vals = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Partitions returns the shard count; each shard is one reduce partition.
+func (h *Hash[K, V]) Partitions() int { return len(h.shards) }
+
+// Len counts distinct keys across shards.
+func (h *Hash[K, V]) Len() int {
+	total := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		if h.combine != nil {
+			total += len(s.vals)
+		} else {
+			total += len(s.list)
+		}
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// NewLocal returns a thread-local combiner map for one map worker.
+func (h *Hash[K, V]) NewLocal() Local[K, V] {
+	if h.combine != nil {
+		return &hashLocalCombine[K, V]{parent: h, vals: make(map[K]V)}
+	}
+	return &hashLocalList[K, V]{parent: h, list: make(map[K][]V)}
+}
+
+type hashLocalCombine[K comparable, V any] struct {
+	parent *Hash[K, V]
+	vals   map[K]V
+}
+
+// Emit folds val into the worker-local map.
+func (l *hashLocalCombine[K, V]) Emit(key K, val V) {
+	if old, ok := l.vals[key]; ok {
+		l.vals[key] = l.parent.combine(old, val)
+	} else {
+		l.vals[key] = val
+	}
+}
+
+// Flush merges the local map into the global shards.
+func (l *hashLocalCombine[K, V]) Flush() {
+	p := l.parent
+	mask := uint64(len(p.shards) - 1)
+	for k, v := range l.vals {
+		s := &p.shards[p.hasher(k)&mask]
+		s.mu.Lock()
+		if old, ok := s.vals[k]; ok {
+			s.vals[k] = p.combine(old, v)
+		} else {
+			s.vals[k] = v
+		}
+		s.mu.Unlock()
+	}
+	l.vals = nil
+}
+
+type hashLocalList[K comparable, V any] struct {
+	parent *Hash[K, V]
+	list   map[K][]V
+}
+
+// Emit appends val to the local value list for key.
+func (l *hashLocalList[K, V]) Emit(key K, val V) {
+	l.list[key] = append(l.list[key], val)
+}
+
+// Flush appends local value lists into the global shards.
+func (l *hashLocalList[K, V]) Flush() {
+	p := l.parent
+	mask := uint64(len(p.shards) - 1)
+	for k, vs := range l.list {
+		s := &p.shards[p.hasher(k)&mask]
+		s.mu.Lock()
+		s.list[k] = append(s.list[k], vs...)
+		s.mu.Unlock()
+	}
+	l.list = nil
+}
+
+// Reduce applies reduce over every key in shard p.
+func (h *Hash[K, V]) Reduce(p int, reduce func(k K, vs []V) V, out []kv.Pair[K, V]) []kv.Pair[K, V] {
+	if p < 0 || p >= len(h.shards) {
+		panic(fmt.Sprintf("container: hash partition %d out of range [0,%d)", p, len(h.shards)))
+	}
+	s := &h.shards[p]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.combine != nil {
+		var one [1]V
+		for k, v := range s.vals {
+			one[0] = v
+			out = append(out, kv.Pair[K, V]{Key: k, Val: reduce(k, one[:])})
+		}
+		return out
+	}
+	for k, vs := range s.list {
+		out = append(out, kv.Pair[K, V]{Key: k, Val: reduce(k, vs)})
+	}
+	return out
+}

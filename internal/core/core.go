@@ -1,0 +1,204 @@
+// Package core implements SupMR, the paper's primary contribution: a
+// scale-up MapReduce runtime whose ingest chunk pipeline overlaps reading
+// the input with map computation (double-buffering, §III) and whose merge
+// phase uses a single-round parallel p-way merge (§IV).
+//
+// The shape follows Table I:
+//
+//	run_ingestMR()  -> Run            (launch the SupMR runtime)
+//	run_mappers()   -> runMappers     (wrapper over mapreduce.MapWave that
+//	                                   keeps the container persistent)
+//	run_reducers()  -> mapreduce.ReducePhase (same as the internal reduce)
+//	set_data()      -> ChunkAware.SetData    (chunk pointer/length callback)
+//
+// The pipeline executes n+1 rounds for n ingest chunks: the first round
+// ingests chunk 0 serially, rounds 1..n-1 ingest chunk i+1 while mappers
+// operate on chunk i, and the final round maps the last chunk.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"supmr/internal/chunk"
+	"supmr/internal/container"
+	"supmr/internal/kv"
+	"supmr/internal/mapreduce"
+	"supmr/internal/metrics"
+	"supmr/internal/sortalgo"
+)
+
+// ChunkAware is the set_data() callback of Table I: applications that
+// need to know which ingest chunk their map callbacks are about to
+// operate on (its length, index and source files) implement it; the
+// runtime invokes it before each map wave.
+type ChunkAware interface {
+	SetData(c *chunk.Chunk)
+}
+
+// Tuner is the adaptive chunk-size feedback loop (the paper's §VIII
+// future work, implemented in internal/tuner): after each pipelined
+// round it receives the ingested chunk size and the round's observed
+// ingest and map durations, and returns the chunk size to use next.
+type Tuner interface {
+	Next(chunkBytes int64, ingest, mapT time.Duration) int64
+}
+
+// Options configure the SupMR pipeline. The embedded runtime options
+// carry worker counts, split counts and instrumentation; Merge defaults
+// to the p-way algorithm, the SupMR sort modification.
+type Options struct {
+	mapreduce.Options
+	// ResetEachRound re-initializes the container at every map round,
+	// the traditional behaviour SupMR had to remove (§III-C). It exists
+	// only for the persistent-container ablation: with it set, combiner
+	// state from earlier rounds is discarded and results are wrong for
+	// multi-chunk inputs.
+	ResetEachRound bool
+	// Tuner, when set and the input stream is chunk.Resizable, drives
+	// the adaptive chunk-size feedback loop.
+	Tuner Tuner
+}
+
+// Result aliases the runtime result type.
+type Result[K comparable, V any] = mapreduce.Result[K, V]
+
+// Run launches the SupMR runtime (the run_ingestMR() API call): it
+// drives the ingest chunk pipeline over the stream, reduces once, and
+// merges with the configured algorithm. The container persists across
+// all map rounds.
+func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont container.Container[K, V], opts Options) (*Result[K, V], error) {
+	ro := opts.Options
+	timer := ro.Timer
+	if timer == nil {
+		timer = metrics.NewTimer(wallNow())
+	}
+
+	// Fresh container at job start; never again (unless the ablation
+	// flag asks for the broken behaviour).
+	cont.Reset()
+	ro.ResetContainer = false
+
+	var ingestID int
+	rec := ro.Recorder
+	if rec != nil {
+		ingestID = rec.Register()
+	}
+	ingest := func() (*chunk.Chunk, error) {
+		if rec != nil {
+			rec.SetState(ingestID, metrics.StateIOWait)
+			defer rec.SetState(ingestID, metrics.StateIdle)
+		}
+		c, err := input.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("core: ingest failed: %w", err)
+		}
+		return c, nil
+	}
+
+	var stats mapreduce.Stats
+	runMappers := func(c *chunk.Chunk) time.Duration {
+		start := wallClock()
+		if opts.ResetEachRound {
+			cont.Reset()
+		}
+		if ca, ok := any(app).(ChunkAware); ok {
+			ca.SetData(c)
+		}
+		n, busy := mapreduce.MapWaveTimed(app, c.Data, cont, ro)
+		stats.Splits += n
+		stats.MapBusy += busy
+		stats.MapWaves++
+		stats.BytesIngested += c.Size()
+		return wallClock() - start
+	}
+
+	resizable, _ := input.(chunk.Resizable)
+
+	// The ingest chunk pipeline (§III-B pseudo-code):
+	//   ingest 1st chunk
+	//   for each ingest chunk:
+	//     create thread to ingest next chunk
+	//     run mappers on previous chunk
+	//     destroy thread
+	//   run mappers on last chunk
+	timer.StartPhase(metrics.PhaseReadMap)
+	cur, err := ingest()
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	if errors.Is(err, io.EOF) {
+		cur = nil
+	}
+	for cur != nil {
+		type ingestResult struct {
+			c   *chunk.Chunk
+			err error
+			dur time.Duration
+		}
+		nextCh := make(chan ingestResult, 1)
+		go func() {
+			start := wallClock()
+			c, err := ingest()
+			nextCh <- ingestResult{c, err, wallClock() - start}
+		}()
+		// Give the ingest goroutine a scheduling slot so it reaches the
+		// storage device (issuing its reservation and parking in the
+		// device wait) before the mappers monopolize the CPUs; on
+		// low-core machines it would otherwise start the read only
+		// after the map wave finishes, defeating the double-buffering.
+		runtime.Gosched()
+		mapDur := runMappers(cur)
+		r := <-nextCh
+		if r.err != nil && !errors.Is(r.err, io.EOF) {
+			timer.EndPhase(metrics.PhaseReadMap)
+			return nil, r.err
+		}
+		// Feedback loop: fold this round's observation into the tuner
+		// and resize subsequent chunks.
+		if opts.Tuner != nil && resizable != nil && r.c != nil {
+			if next := opts.Tuner.Next(r.c.Size(), r.dur, mapDur); next > 0 {
+				resizable.SetChunkSize(next)
+			}
+		}
+		cur = r.c
+	}
+	timer.EndPhase(metrics.PhaseReadMap)
+	stats.IntermediateN = cont.Len()
+
+	timer.StartPhase(metrics.PhaseReduce)
+	runs, reduceBusy := mapreduce.ReducePhaseTimed(app, cont, ro)
+	timer.EndPhase(metrics.PhaseReduce)
+	stats.Runs = len(runs)
+	stats.ReduceBusy = reduceBusy
+
+	timer.StartPhase(metrics.PhaseMerge)
+	merged, rounds := mapreduce.MergePhase(app, runs, ro)
+	timer.EndPhase(metrics.PhaseMerge)
+	stats.MergeRounds = rounds
+	stats.OutputPairs = len(merged)
+
+	return &Result[K, V]{Pairs: merged, Times: timer.Finish(), Stats: stats}, nil
+}
+
+// DefaultMerge is the merge algorithm SupMR ships with: the single-round
+// parallel p-way merge.
+const DefaultMerge = sortalgo.MergePWay
+
+func wallNow() func() time.Duration {
+	epoch := time.Now()
+	return func() time.Duration { return time.Since(epoch) }
+}
+
+var processEpoch = time.Now()
+
+// wallClock reads a process-wide monotonic clock for per-round tuner
+// observations (phase timers own the job timeline; the tuner only needs
+// durations).
+func wallClock() time.Duration { return time.Since(processEpoch) }

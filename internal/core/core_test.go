@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"supmr/internal/chunk"
+	"supmr/internal/container"
+	"supmr/internal/kv"
+	"supmr/internal/mapreduce"
+	"supmr/internal/metrics"
+	"supmr/internal/sortalgo"
+	"supmr/internal/storage"
+	"supmr/internal/workload"
+)
+
+// wcApp is a local word count application (the apps package imports
+// this package for its iterative driver, so tests define their own).
+type wcApp struct{}
+
+func (wcApp) Map(split []byte, emit kv.Emitter[string, int64]) {
+	workload.Tokenize(split, func(w []byte) { emit.Emit(string(w), 1) })
+}
+
+func (wcApp) Reduce(_ string, vs []int64) int64 {
+	var s int64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+func (wcApp) Combine(a, b int64) int64 { return a + b }
+func (wcApp) Less(a, b string) bool    { return a < b }
+
+func (w wcApp) NewContainer(shards int) container.Container[string, int64] {
+	return container.NewHash[string, int64](shards, container.StringHasher, w.Combine)
+}
+
+func textStream(t *testing.T, data []byte, chunkSize int64) chunk.Stream {
+	t.Helper()
+	f := storage.BytesFile("in", data, storage.NewNullDevice(storage.NewFakeClock()))
+	s, err := chunk.NewInterFile(f, chunkSize, chunk.NewlineBoundary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func genText(t *testing.T, n int64) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	workload.TextGen{Seed: 33}.Fill()(0, buf)
+	return buf
+}
+
+func refCounts(text []byte) map[string]int64 {
+	ref := make(map[string]int64)
+	for _, w := range strings.Fields(string(text)) {
+		ref[w]++
+	}
+	return ref
+}
+
+func TestPipelineMatchesReference(t *testing.T) {
+	text := genText(t, 64<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, textStream(t, text, 5<<10), wc.NewContainer(16),
+		Options{Options: mapreduce.Options{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refCounts(text)
+	if len(res.Pairs) != len(ref) {
+		t.Fatalf("got %d words, want %d", len(res.Pairs), len(ref))
+	}
+	for _, p := range res.Pairs {
+		if ref[p.Key] != p.Val {
+			t.Fatalf("count[%q] = %d, want %d", p.Key, p.Val, ref[p.Key])
+		}
+	}
+	if res.Stats.MapWaves < 10 {
+		t.Errorf("map waves = %d, want >= 10 for 5 KiB chunks over 64 KiB", res.Stats.MapWaves)
+	}
+}
+
+func TestPipelineRecordsFusedPhase(t *testing.T) {
+	text := genText(t, 16<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, textStream(t, text, 4<<10), wc.NewContainer(8),
+		Options{Options: mapreduce.Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Times.Get(metrics.PhaseReadMap) <= 0 {
+		t.Error("fused read+map phase not recorded")
+	}
+	if res.Times.Get(metrics.PhaseRead) != 0 || res.Times.Get(metrics.PhaseMap) != 0 {
+		t.Error("pipeline should not record separate read/map phases")
+	}
+}
+
+func TestPipelineEmptyInput(t *testing.T) {
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, textStream(t, []byte{}, 1024), wc.NewContainer(4),
+		Options{Options: mapreduce.Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 || res.Stats.MapWaves != 0 {
+		t.Errorf("empty input produced %d pairs, %d waves", len(res.Pairs), res.Stats.MapWaves)
+	}
+}
+
+func TestPipelineSingleChunk(t *testing.T) {
+	text := genText(t, 8<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, textStream(t, text, 1<<20), wc.NewContainer(8),
+		Options{Options: mapreduce.Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MapWaves != 1 {
+		t.Errorf("single-chunk input ran %d waves", res.Stats.MapWaves)
+	}
+	if len(res.Pairs) != len(refCounts(text)) {
+		t.Error("single-chunk results wrong")
+	}
+}
+
+func TestResetEachRoundLosesEarlierChunks(t *testing.T) {
+	text := genText(t, 64<<10)
+	wc := wcApp{}
+	good, err := Run[string, int64](wc, textStream(t, text, 5<<10), wc.NewContainer(16),
+		Options{Options: mapreduce.Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Run[string, int64](wc, textStream(t, text, 5<<10), wc.NewContainer(16),
+		Options{Options: mapreduce.Options{Workers: 2}, ResetEachRound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodTotal, badTotal int64
+	for _, p := range good.Pairs {
+		goodTotal += p.Val
+	}
+	for _, p := range bad.Pairs {
+		badTotal += p.Val
+	}
+	if badTotal >= goodTotal {
+		t.Errorf("reset-each-round kept %d occurrences, persistent kept %d — ablation should lose data",
+			badTotal, goodTotal)
+	}
+}
+
+// chunkSpy records set_data callbacks.
+type chunkSpy struct {
+	wcApp
+	chunks []int
+	sizes  []int64
+}
+
+func (s *chunkSpy) SetData(c *chunk.Chunk) {
+	s.chunks = append(s.chunks, c.Index)
+	s.sizes = append(s.sizes, c.Size())
+}
+
+func TestSetDataCallback(t *testing.T) {
+	text := genText(t, 32<<10)
+	spy := &chunkSpy{}
+	res, err := Run[string, int64](spy, textStream(t, text, 8<<10), spy.NewContainer(8),
+		Options{Options: mapreduce.Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spy.chunks) != res.Stats.MapWaves {
+		t.Errorf("SetData called %d times for %d waves", len(spy.chunks), res.Stats.MapWaves)
+	}
+	for i, idx := range spy.chunks {
+		if idx != i {
+			t.Errorf("SetData chunk order: got %v", spy.chunks)
+			break
+		}
+	}
+	var sum int64
+	for _, s := range spy.sizes {
+		sum += s
+	}
+	if sum != int64(len(text)) {
+		t.Errorf("chunk sizes sum to %d, want %d", sum, len(text))
+	}
+}
+
+// errStream fails on the k-th Next call.
+type errStream struct {
+	inner  chunk.Stream
+	failAt int
+	calls  int
+}
+
+func (e *errStream) TotalBytes() int64 { return e.inner.TotalBytes() }
+func (e *errStream) Next() (*chunk.Chunk, error) {
+	e.calls++
+	if e.calls == e.failAt {
+		return nil, errors.New("mid-stream ingest failure")
+	}
+	return e.inner.Next()
+}
+
+func TestPipelinePropagatesErrors(t *testing.T) {
+	text := genText(t, 32<<10)
+	wc := wcApp{}
+	for _, failAt := range []int{1, 2, 3} {
+		s := &errStream{inner: textStream(t, text, 4<<10), failAt: failAt}
+		_, err := Run[string, int64](wc, s, wc.NewContainer(8),
+			Options{Options: mapreduce.Options{Workers: 2}})
+		if err == nil || !strings.Contains(err.Error(), "mid-stream ingest failure") {
+			t.Errorf("failAt=%d: err = %v", failAt, err)
+		}
+	}
+}
+
+func TestPipelineOverlapsIngestWithMap(t *testing.T) {
+	// With a throttled device, the pipelined read+map should take about
+	// the raw read time — NOT read + map serialized. Use a slow "map"
+	// via a compute-heavy app to make the distinction visible.
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	clock := storage.NewRealClock()
+	const size = 512 << 10
+	data := genText(t, size)
+	d, err := storage.NewDisk(storage.DiskConfig{Name: "slow", Bandwidth: 2 << 20}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := storage.NewFile("in", size, 0, func(off int64, p []byte) { copy(p, data[off:]) }, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := chunk.NewInterFile(f, 32<<10, chunk.NewlineBoundary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wcApp{}
+	timer := metrics.NewTimer(clock.Now)
+	res, err := Run[string, int64](wc, s, wc.NewContainer(16),
+		Options{Options: mapreduce.Options{Workers: 2, Timer: timer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawRead := time.Duration(float64(size) / float64(2<<20) * float64(time.Second))
+	fused := res.Times.Get(metrics.PhaseReadMap)
+	// Allow 40% slack for scheduling noise; the point is it is not
+	// read+map serialized (which would be ~rawRead + mapTime).
+	if fused > rawRead*14/10 {
+		t.Errorf("fused read+map %v far exceeds raw read %v — pipeline not overlapping", fused, rawRead)
+	}
+}
+
+func TestDefaultMergeIsPWay(t *testing.T) {
+	if DefaultMerge != sortalgo.MergePWay {
+		t.Error("SupMR default merge should be p-way")
+	}
+}

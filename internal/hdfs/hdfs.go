@@ -1,0 +1,292 @@
+// Package hdfs simulates the distributed file system of the Fig. 7 case
+// study: files are striped in fixed-size blocks across the datanodes of a
+// 32-node scale-out cluster, and every byte a client ingests crosses the
+// single shared 1 Gbit link the cluster sits behind. The client plays the
+// role of libhdfs: it locates a file's blocks via the namenode metadata
+// and reads them from the owning datanodes directly into memory.
+//
+// Datanode disks can serve blocks in parallel (that is the point of
+// scale-out storage), but the shared link caps aggregate ingest at
+// ~125 MB/s — which is why the case study sees high utilization during
+// ingest yet only a 7-second total speedup: the map phase is a small
+// fraction of a long, link-bound ingest.
+package hdfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"supmr/internal/netsim"
+	"supmr/internal/storage"
+)
+
+// Config describes a simulated HDFS cluster.
+type Config struct {
+	Nodes     int     // number of datanodes (case study: 32)
+	BlockSize int64   // HDFS block size in bytes (classic: 64 MB)
+	DiskBW    float64 // per-datanode disk bandwidth, bytes/sec
+	Link      *netsim.Link
+	Clock     storage.Clock
+	// Topology, when set, replaces the flat shared Link with a star
+	// topology (per-datanode access ports behind one uplink). Link is
+	// ignored when Topology is non-nil.
+	Topology *netsim.StarTopology
+}
+
+// Cluster is the simulated HDFS: namenode metadata plus datanodes.
+type Cluster struct {
+	cfg   Config
+	nodes []*DataNode
+
+	mu    sync.Mutex
+	files map[string]*File
+}
+
+// DataNode owns a local disk serving block reads.
+type DataNode struct {
+	id   int
+	disk *storage.Disk
+}
+
+// NewCluster builds the cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("hdfs: cluster needs at least one datanode, got %d", cfg.Nodes)
+	}
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("hdfs: block size must be positive, got %d", cfg.BlockSize)
+	}
+	if cfg.Link == nil && cfg.Topology == nil {
+		return nil, fmt.Errorf("hdfs: cluster requires a link or a topology")
+	}
+	if cfg.Topology != nil && cfg.Topology.Nodes() < cfg.Nodes {
+		return nil, fmt.Errorf("hdfs: topology has %d access ports for %d datanodes",
+			cfg.Topology.Nodes(), cfg.Nodes)
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("hdfs: cluster requires a clock")
+	}
+	c := &Cluster{cfg: cfg, files: make(map[string]*File)}
+	for i := 0; i < cfg.Nodes; i++ {
+		disk, err := storage.NewDisk(storage.DiskConfig{
+			Name:      fmt.Sprintf("dn%d", i),
+			Bandwidth: cfg.DiskBW,
+		}, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &DataNode{id: i, disk: disk})
+	}
+	return c, nil
+}
+
+// Nodes returns the datanode count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// BlockSize returns the configured block size.
+func (c *Cluster) BlockSize() int64 { return c.cfg.BlockSize }
+
+// Link returns the shared ingest link (the uplink when a topology is
+// configured).
+func (c *Cluster) Link() *netsim.Link {
+	if c.cfg.Topology != nil {
+		return c.cfg.Topology.Uplink()
+	}
+	return c.cfg.Link
+}
+
+// transfer moves n bytes sourced from datanode `node` across the
+// network: the star topology when configured, else the flat link.
+func (c *Cluster) transfer(node int, n int64) {
+	if c.cfg.Topology != nil {
+		// Errors are impossible here: node is validated at placement.
+		_ = c.cfg.Topology.TransferFrom(node, n)
+		return
+	}
+	c.cfg.Link.Transfer(n)
+}
+
+// Create registers a file of the given size whose contents come from
+// fill. Blocks are assigned to datanodes round-robin (the namenode's
+// placement).
+func (c *Cluster) Create(name string, size int64, fill storage.Fill) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("hdfs: file %q size must be non-negative, got %d", name, size)
+	}
+	if fill == nil {
+		return nil, fmt.Errorf("hdfs: file %q requires a fill function", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.files[name]; exists {
+		return nil, fmt.Errorf("hdfs: file %q already exists", name)
+	}
+	f := &File{cluster: c, name: name, size: size, fill: fill}
+	c.files[name] = f
+	return f, nil
+}
+
+// Open looks up a file by name.
+func (c *Cluster) Open(name string) (*File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// List returns the names of all files, sorted.
+func (c *Cluster) List() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.files))
+	for n := range c.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// File is an HDFS file. It satisfies chunk.Input, so both runtimes can
+// ingest straight from the distributed file system the way the SupMR
+// case study does with libhdfs.
+type File struct {
+	cluster *Cluster
+	name    string
+	size    int64
+	fill    storage.Fill
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// BlockCount returns the number of blocks the file occupies.
+func (f *File) BlockCount() int64 {
+	bs := f.cluster.cfg.BlockSize
+	return (f.size + bs - 1) / bs
+}
+
+// NodeFor returns the datanode index owning block b (round-robin
+// placement).
+func (f *File) NodeFor(b int64) int { return int(b % int64(len(f.cluster.nodes))) }
+
+// ReadAt reads file bytes at off into p. Each covered block is served by
+// its owning datanode's disk (disks proceed in parallel: reservations on
+// distinct nodes overlap) and then crosses the shared link, which is
+// where the aggregate bandwidth cap comes from.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("hdfs: negative offset %d reading %q", off, f.name)
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > f.size {
+		n = f.size - off
+	}
+
+	bs := f.cluster.cfg.BlockSize
+	clock := f.cluster.cfg.Clock
+	// Reserve the block segments on their datanode disks. Distinct nodes
+	// queue independently, so these overlap; the latest deadline is when
+	// all block data is off the spindles.
+	var diskDeadline = clock.Now()
+	for cur := off; cur < off+n; {
+		b := cur / bs
+		inBlock := cur - b*bs
+		take := bs - inBlock
+		if rest := off + n - cur; take > rest {
+			take = rest
+		}
+		node := f.cluster.nodes[f.NodeFor(b)]
+		// The datanode reads from its local block file; model the block's
+		// bytes as a contiguous extent on that node's disk.
+		if d := node.disk.Reserve(b*bs+inBlock, take); d > diskDeadline {
+			diskDeadline = d
+		}
+		cur += take
+	}
+	// Datanodes stream blocks while bytes cross the shared link, so the
+	// call completes when BOTH the slowest disk and the wire are done —
+	// not their sum. Under a star topology each segment is attributed to
+	// its source datanode's access port.
+	f.transferSegments(off, n)
+	clock.SleepUntil(diskDeadline)
+
+	f.fill(off, p[:n])
+	if n < int64(len(p)) {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// transferSegments moves the byte range across the network, charging
+// each covered block's bytes to its source datanode.
+func (f *File) transferSegments(off, n int64) {
+	bs := f.cluster.cfg.BlockSize
+	if f.cluster.cfg.Topology == nil {
+		f.cluster.cfg.Link.Transfer(n)
+		return
+	}
+	for cur := off; cur < off+n; {
+		b := cur / bs
+		take := bs - (cur - b*bs)
+		if rest := off + n - cur; take > rest {
+			take = rest
+		}
+		f.cluster.transfer(f.NodeFor(b), take)
+		cur += take
+	}
+}
+
+// CopyToLocal models the baseline of the case study: before computing,
+// the original runtime copies the whole file from all the nodes onto the
+// compute node's local storage. Bytes cross the shared link and are
+// written to dst (a local device); the returned local file serves the
+// subsequent computation. progress, if non-nil, is called after each
+// copied extent with cumulative bytes.
+func (f *File) CopyToLocal(dst storage.Device, progress func(done int64)) (*storage.File, error) {
+	const extent = 8 << 20
+	clock := f.cluster.cfg.Clock
+	var done int64
+	for off := int64(0); off < f.size; off += extent {
+		n := int64(extent)
+		if rest := f.size - off; n > rest {
+			n = rest
+		}
+		// Read side: datanode disks + shared link.
+		bs := f.cluster.cfg.BlockSize
+		diskDeadline := clock.Now()
+		for cur := off; cur < off+n; {
+			b := cur / bs
+			inBlock := cur - b*bs
+			take := bs - inBlock
+			if rest := off + n - cur; take > rest {
+				take = rest
+			}
+			node := f.cluster.nodes[f.NodeFor(b)]
+			if d := node.disk.Reserve(b*bs+inBlock, take); d > diskDeadline {
+				diskDeadline = d
+			}
+			cur += take
+		}
+		// Disks stream while the wire moves bytes (see ReadAt).
+		f.transferSegments(off, n)
+		clock.SleepUntil(diskDeadline)
+		// Write side: local device absorbs the extent.
+		clock.SleepUntil(dst.Reserve(off, n))
+		done += n
+		if progress != nil {
+			progress(done)
+		}
+	}
+	return storage.NewFile(f.name+".local", f.size, 0, f.fill, dst)
+}

@@ -1,0 +1,255 @@
+package hdfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"supmr/internal/netsim"
+	"supmr/internal/storage"
+)
+
+func testCluster(t *testing.T, nodes int, linkBW float64) *Cluster {
+	t.Helper()
+	clock := storage.NewRealClock()
+	link, err := netsim.NewLink(linkBW, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{
+		Nodes: nodes, BlockSize: 1024, DiskBW: 1 << 30, Link: link, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func seqFill(off int64, p []byte) {
+	for i := range p {
+		p[i] = byte((off + int64(i)) % 251)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	clock := storage.NewFakeClock()
+	link, _ := netsim.NewLink(1e6, 0, clock)
+	bad := []Config{
+		{Nodes: 0, BlockSize: 1024, DiskBW: 1, Link: link, Clock: clock},
+		{Nodes: 1, BlockSize: 0, DiskBW: 1, Link: link, Clock: clock},
+		{Nodes: 1, BlockSize: 1024, DiskBW: 1, Link: nil, Clock: clock},
+		{Nodes: 1, BlockSize: 1024, DiskBW: 1, Link: link, Clock: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCluster(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCreateOpenList(t *testing.T) {
+	c := testCluster(t, 4, 1<<30)
+	if _, err := c.Create("a.txt", 5000, seqFill); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("a.txt", 10, seqFill); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if _, err := c.Create("bad", -1, seqFill); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := c.Create("bad2", 10, nil); err == nil {
+		t.Error("nil fill accepted")
+	}
+	if _, err := c.Open("a.txt"); err != nil {
+		t.Error("Open failed for existing file")
+	}
+	if _, err := c.Open("missing"); err == nil {
+		t.Error("Open succeeded for missing file")
+	}
+	if got := c.List(); len(got) != 1 || got[0] != "a.txt" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	c := testCluster(t, 4, 1<<30)
+	f, err := c.Create("f", 10*1024, seqFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.BlockCount() != 10 {
+		t.Errorf("BlockCount = %d, want 10", f.BlockCount())
+	}
+	// Round-robin placement across 4 nodes.
+	for b := int64(0); b < 10; b++ {
+		if got, want := f.NodeFor(b), int(b%4); got != want {
+			t.Errorf("NodeFor(%d) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestReadAtContent(t *testing.T) {
+	c := testCluster(t, 4, 1<<30)
+	f, err := c.Create("f", 5000, seqFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-block read.
+	got := make([]byte, 2500)
+	n, err := f.ReadAt(got, 700)
+	if err != nil || n != 2500 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	want := make([]byte, 2500)
+	seqFill(700, want)
+	if !bytes.Equal(got, want) {
+		t.Error("cross-block read content mismatch")
+	}
+	// EOF semantics.
+	n, err = f.ReadAt(make([]byte, 100), 4950)
+	if n != 50 || err != io.EOF {
+		t.Errorf("short read = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 5000); err != io.EOF {
+		t.Errorf("read at EOF = %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestLinkCapsIngest(t *testing.T) {
+	// 32 fast datanodes behind a slow link: read time must be set by the
+	// link, not the disks.
+	clock := storage.NewRealClock()
+	link, err := netsim.NewLink(10<<20, 0, clock) // 10 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{
+		Nodes: 32, BlockSize: 64 << 10, DiskBW: 1 << 30, Link: link, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Create("big", 1<<20, seqFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	buf := make([]byte, 1<<20)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	el := clock.Now() - start
+	if el < 90*time.Millisecond || el > 250*time.Millisecond {
+		t.Errorf("1MB over 10MB/s link took %v, want ~100ms", el)
+	}
+}
+
+func TestCopyToLocal(t *testing.T) {
+	c := testCluster(t, 8, 1<<30)
+	f, err := c.Create("f", 20_000, seqFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progressCalls int
+	var lastDone int64
+	local, err := f.CopyToLocal(storage.NewNullDevice(storage.NewFakeClock()), func(done int64) {
+		progressCalls++
+		if done <= lastDone {
+			t.Error("progress not monotone")
+		}
+		lastDone = done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != 20_000 {
+		t.Errorf("final progress = %d, want 20000", lastDone)
+	}
+	if progressCalls == 0 {
+		t.Error("no progress callbacks")
+	}
+	if local.Size() != 20_000 {
+		t.Errorf("local size = %d", local.Size())
+	}
+	// Local copy serves identical content.
+	a := make([]byte, 1000)
+	b := make([]byte, 1000)
+	if _, err := f.ReadAt(a, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.ReadAt(b, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("local copy content differs")
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := testCluster(t, 5, 1e6)
+	if c.Nodes() != 5 || c.BlockSize() != 1024 || c.Link() == nil {
+		t.Errorf("accessors wrong: nodes=%d bs=%d", c.Nodes(), c.BlockSize())
+	}
+}
+
+func TestTopologyCluster(t *testing.T) {
+	clock := storage.NewRealClock()
+	top, err := netsim.NewStarTopology(4, 100<<20, 10<<20, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{
+		Nodes: 4, BlockSize: 256 << 10, DiskBW: 1 << 30, Topology: top, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Create("f", 1<<20, seqFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	buf := make([]byte, 1<<20)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	el := clock.Now() - start
+	// 1 MB through the 10 MB/s uplink = ~100ms.
+	if el < 90*time.Millisecond || el > 300*time.Millisecond {
+		t.Errorf("topology read took %v, want ~100ms", el)
+	}
+	if c.Link() != top.Uplink() {
+		t.Error("Link() should return the uplink under a topology")
+	}
+	// Content still correct.
+	want := make([]byte, 1<<20)
+	seqFill(0, want)
+	if !bytes.Equal(buf, want) {
+		t.Error("topology read content mismatch")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	clock := storage.NewFakeClock()
+	top, err := netsim.NewStarTopology(2, 1e6, 1e6, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More datanodes than access ports is rejected.
+	if _, err := NewCluster(Config{
+		Nodes: 4, BlockSize: 1024, DiskBW: 1, Topology: top, Clock: clock,
+	}); err == nil {
+		t.Error("undersized topology accepted")
+	}
+	// Neither link nor topology is rejected.
+	if _, err := NewCluster(Config{
+		Nodes: 2, BlockSize: 1024, DiskBW: 1, Clock: clock,
+	}); err == nil {
+		t.Error("cluster without network accepted")
+	}
+}

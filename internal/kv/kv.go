@@ -1,0 +1,165 @@
+// Package kv defines the fundamental key-value types shared by the
+// MapReduce runtimes, the intermediate containers, and the merge
+// algorithms. It sits at the bottom of the dependency graph so that the
+// container and runtime packages can exchange values without importing
+// each other.
+package kv
+
+// Pair is a single key-value pair flowing through the system: emitted by
+// mappers, stored in intermediate containers, reduced, and finally merged
+// into sorted output.
+type Pair[K any, V any] struct {
+	Key K
+	Val V
+}
+
+// Emitter receives key-value pairs from a user Map function. Each map
+// worker is handed its own Emitter; implementations need not be
+// synchronized across workers.
+type Emitter[K any, V any] interface {
+	Emit(key K, val V)
+}
+
+// EmitFunc adapts a function to the Emitter interface.
+type EmitFunc[K any, V any] func(key K, val V)
+
+// Emit calls f(key, val).
+func (f EmitFunc[K, V]) Emit(key K, val V) { f(key, val) }
+
+// Less is a strict weak ordering over keys, used by the reduce and merge
+// phases to produce globally sorted output.
+type Less[K any] func(a, b K) bool
+
+// Combine merges two values associated with the same key. It must be
+// associative; the runtime applies it in arbitrary grouping order.
+type Combine[V any] func(a, b V) V
+
+// App is the user-supplied application: the analog of the map/reduce
+// callbacks a Phoenix++ application registers with the runtime.
+//
+// Map parses one input split (raw bytes) into key-value pairs.
+// Reduce coalesces all values observed for one key into the final value.
+type App[K comparable, V any] interface {
+	// Map transforms one input split into key-value pairs.
+	Map(split []byte, emit Emitter[K, V])
+	// Reduce folds the values collected for key into a single output
+	// value. For combiner-backed containers vals often has length 1.
+	Reduce(key K, vals []V) V
+	// Less orders keys for the merge phase.
+	Less(a, b K) bool
+}
+
+// Combiner is an optional extension of App. When an application
+// implements it, hash and array containers fold values eagerly at
+// insertion time (Phoenix++ "combiner objects"), shrinking the
+// intermediate set.
+type Combiner[V any] interface {
+	Combine(a, b V) V
+}
+
+// SortPairs sorts ps in place by key using less (pdq-free, simple
+// introsort-style quicksort with insertion sort for small ranges). The
+// standard library sort is interface-based; this generic version avoids
+// the boxing cost on the hot merge path.
+func SortPairs[K any, V any](ps []Pair[K, V], less Less[K]) {
+	sortRange(ps, less, maxDepth(len(ps)))
+}
+
+func maxDepth(n int) int {
+	d := 0
+	for i := n; i > 0; i >>= 1 {
+		d++
+	}
+	return d * 2
+}
+
+func sortRange[K any, V any](ps []Pair[K, V], less Less[K], depth int) {
+	for len(ps) > 12 {
+		if depth == 0 {
+			heapSort(ps, less)
+			return
+		}
+		depth--
+		p := medianOfThree(ps, less)
+		// Hoare partition around pivot value.
+		pivot := ps[p]
+		ps[p], ps[len(ps)-1] = ps[len(ps)-1], ps[p]
+		store := 0
+		for i := 0; i < len(ps)-1; i++ {
+			if less(ps[i].Key, pivot.Key) {
+				ps[i], ps[store] = ps[store], ps[i]
+				store++
+			}
+		}
+		ps[store], ps[len(ps)-1] = ps[len(ps)-1], ps[store]
+		// Recurse on smaller side, loop on larger to bound stack.
+		if store < len(ps)-store-1 {
+			sortRange(ps[:store], less, depth)
+			ps = ps[store+1:]
+		} else {
+			sortRange(ps[store+1:], less, depth)
+			ps = ps[:store]
+		}
+	}
+	insertionSort(ps, less)
+}
+
+func medianOfThree[K any, V any](ps []Pair[K, V], less Less[K]) int {
+	lo, mid, hi := 0, len(ps)/2, len(ps)-1
+	if less(ps[mid].Key, ps[lo].Key) {
+		lo, mid = mid, lo
+	}
+	if less(ps[hi].Key, ps[mid].Key) {
+		mid = hi
+		if less(ps[mid].Key, ps[lo].Key) {
+			mid = lo
+		}
+	}
+	return mid
+}
+
+func insertionSort[K any, V any](ps []Pair[K, V], less Less[K]) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j].Key, ps[j-1].Key); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func heapSort[K any, V any](ps []Pair[K, V], less Less[K]) {
+	n := len(ps)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(ps, i, n, less)
+	}
+	for i := n - 1; i > 0; i-- {
+		ps[0], ps[i] = ps[i], ps[0]
+		siftDown(ps, 0, i, less)
+	}
+}
+
+func siftDown[K any, V any](ps []Pair[K, V], root, n int, less Less[K]) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && less(ps[child].Key, ps[child+1].Key) {
+			child++
+		}
+		if !less(ps[root].Key, ps[child].Key) {
+			return
+		}
+		ps[root], ps[child] = ps[child], ps[root]
+		root = child
+	}
+}
+
+// IsSortedPairs reports whether ps is non-decreasing under less.
+func IsSortedPairs[K any, V any](ps []Pair[K, V], less Less[K]) bool {
+	for i := 1; i < len(ps); i++ {
+		if less(ps[i].Key, ps[i-1].Key) {
+			return false
+		}
+	}
+	return true
+}

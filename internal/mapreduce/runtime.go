@@ -1,0 +1,309 @@
+// Package mapreduce implements the traditional Phoenix++-style scale-up
+// MapReduce runtime the paper starts from (§II, top of Fig. 2): the
+// entire input is read into memory (the ingest phase), mapper threads
+// operate on input splits in parallel, reducer threads coalesce
+// intermediate pairs by key, and a final merge phase produces globally
+// sorted output. The intermediate container is re-initialized when
+// mappers start and the merge phase defaults to the iterative pairwise
+// merge — both behaviours SupMR (internal/core) modifies.
+//
+// The phase primitives (MapWave, ReducePhase, MergePhase) are exported
+// because SupMR's run_mappers()/run_reducers() are wrappers over exactly
+// these internals (Table I).
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"supmr/internal/chunk"
+	"supmr/internal/container"
+	"supmr/internal/kv"
+	"supmr/internal/metrics"
+	"supmr/internal/sortalgo"
+)
+
+// Options configure a runtime execution.
+type Options struct {
+	// Workers is the number of map/reduce/merge worker threads (the
+	// paper's machine exposes 32 hardware contexts). Defaults to
+	// runtime.NumCPU().
+	Workers int
+	// Splits is the number of input splits per map wave. Defaults to
+	// 4 * Workers.
+	Splits int
+	// Merge selects the merge-phase algorithm (pairwise = original
+	// Phoenix, p-way = SupMR's modification).
+	Merge sortalgo.MergeAlgo
+	// Boundary adjusts split points so no record straddles splits.
+	Boundary chunk.Boundary
+	// Timer records per-phase durations (optional).
+	Timer *metrics.Timer
+	// Recorder reconstructs CPU utilization traces (optional).
+	Recorder *metrics.UtilRecorder
+	// ResetContainer controls whether the container is re-initialized
+	// when mappers start — the traditional behaviour (§III-C). The
+	// traditional runtime has a single map wave, so this is safe; it
+	// exists so the persistent-container ablation can flip it.
+	ResetContainer bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Splits <= 0 {
+		o.Splits = 4 * o.Workers
+	}
+	if o.Boundary == nil {
+		o.Boundary = chunk.NewlineBoundary{}
+	}
+	return o
+}
+
+// Stats summarizes an execution.
+type Stats struct {
+	BytesIngested int64
+	MapWaves      int
+	Splits        int
+	IntermediateN int // container entries after map
+	Runs          int // sorted runs entering merge
+	MergeRounds   int // pairwise rounds the merge algorithm performed
+	OutputPairs   int
+	MapBusy       time.Duration // aggregate worker-busy time in map tasks
+	ReduceBusy    time.Duration // aggregate worker-busy time in reduce tasks
+}
+
+// Result is the job output: globally sorted pairs plus measurements.
+type Result[K comparable, V any] struct {
+	Pairs []kv.Pair[K, V]
+	Times metrics.PhaseTimes
+	Stats Stats
+}
+
+// tracker adapts a UtilRecorder to sortalgo.Tracker, classifying busy
+// merge workers as user-space compute.
+type tracker struct {
+	rec *metrics.UtilRecorder
+}
+
+func (t tracker) Register() int { return t.rec.Register() }
+func (t tracker) Busy(id int)   { t.rec.SetState(id, metrics.StateUser) }
+func (t tracker) Idle(id int)   { t.rec.SetState(id, metrics.StateIdle) }
+
+func trackerFor(rec *metrics.UtilRecorder) sortalgo.Tracker {
+	if rec == nil {
+		return nil
+	}
+	return tracker{rec}
+}
+
+// ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines,
+// marking each worker busy in rec (as state) while it runs an iteration.
+// It returns the aggregate worker-busy time (the sum of per-task
+// wall-clock durations) so callers can account per-phase CPU work.
+func ParallelFor(n, workers int, rec *metrics.UtilRecorder, state metrics.WorkerState, fn func(i int)) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int
+	var busy int64 // nanoseconds, accumulated under mu
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := -1
+			if rec != nil {
+				id = rec.Register()
+			}
+			var local time.Duration
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					break
+				}
+				if rec != nil {
+					rec.SetState(id, state)
+				}
+				start := time.Now()
+				fn(i)
+				local += time.Since(start)
+				if rec != nil {
+					rec.SetState(id, metrics.StateIdle)
+				}
+			}
+			mu.Lock()
+			busy += int64(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return time.Duration(busy)
+}
+
+// MapWave runs one wave of mappers over data: the chunk is cut into
+// boundary-adjusted input splits and Workers mappers emit into the
+// container through per-task locals. This is the body the SupMR
+// run_mappers() wrapper invokes once per ingest chunk.
+func MapWave[K comparable, V any](app kv.App[K, V], data []byte, cont container.Container[K, V], opts Options) int {
+	n, _ := MapWaveTimed(app, data, cont, opts)
+	return n
+}
+
+// MapWaveTimed is MapWave plus the wave's aggregate worker-busy time.
+func MapWaveTimed[K comparable, V any](app kv.App[K, V], data []byte, cont container.Container[K, V], opts Options) (int, time.Duration) {
+	opts = opts.withDefaults()
+	if opts.ResetContainer {
+		cont.Reset()
+	}
+	splits := chunk.SplitBuffer(data, opts.Splits, opts.Boundary)
+	busy := ParallelFor(len(splits), opts.Workers, opts.Recorder, metrics.StateUser, func(i int) {
+		local := cont.NewLocal()
+		app.Map(splits[i], local)
+		local.Flush()
+	})
+	return len(splits), busy
+}
+
+// ReducePhase runs reducers over every container partition, returning
+// one unsorted run per non-empty partition. This is the body the SupMR
+// run_reducers() wrapper invokes once at the end of the job.
+func ReducePhase[K comparable, V any](app kv.App[K, V], cont container.Container[K, V], opts Options) [][]kv.Pair[K, V] {
+	runs, _ := ReducePhaseTimed(app, cont, opts)
+	return runs
+}
+
+// ReducePhaseTimed is ReducePhase plus aggregate worker-busy time.
+func ReducePhaseTimed[K comparable, V any](app kv.App[K, V], cont container.Container[K, V], opts Options) ([][]kv.Pair[K, V], time.Duration) {
+	opts = opts.withDefaults()
+	parts := cont.Partitions()
+	runs := make([][]kv.Pair[K, V], parts)
+	busy := ParallelFor(parts, opts.Workers, opts.Recorder, metrics.StateUser, func(p int) {
+		runs[p] = cont.Reduce(p, app.Reduce, nil)
+	})
+	out := runs[:0]
+	for _, r := range runs {
+		if len(r) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out, busy
+}
+
+// MergePhase sorts each run in parallel and merges them with the
+// selected algorithm, returning the globally sorted output and the
+// number of pairwise rounds an iterative merge would perform.
+func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], opts Options) ([]kv.Pair[K, V], int) {
+	opts = opts.withDefaults()
+	tr := trackerFor(opts.Recorder)
+	sortalgo.SortRuns(runs, app.Less, opts.Workers, tr)
+	rounds := sortalgo.Rounds(len(runs))
+	if opts.Merge == sortalgo.MergePWay {
+		rounds = 1
+		if len(runs) <= 1 {
+			rounds = 0
+		}
+	}
+	merged := sortalgo.Merge(opts.Merge, runs, app.Less, opts.Workers, tr)
+	return merged, rounds
+}
+
+// Ingest reads the entire input stream into memory, marking the single
+// ingest worker as IO-waiting while the device serves data — the
+// sequential ingest phase of Fig. 1's first 180 seconds.
+func Ingest(input chunk.Stream, rec *metrics.UtilRecorder) ([]byte, error) {
+	var id int
+	if rec != nil {
+		id = rec.Register()
+		rec.SetState(id, metrics.StateIOWait)
+		defer rec.SetState(id, metrics.StateIdle)
+	}
+	var buf []byte
+	if total := input.TotalBytes(); total > 0 {
+		buf = make([]byte, 0, total)
+	}
+	for {
+		ch, err := input.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: ingest failed: %w", err)
+		}
+		buf = append(buf, ch.Data...)
+	}
+	return buf, nil
+}
+
+// Run executes a complete traditional MapReduce job: ingest everything,
+// one map wave, reduce, merge. This is the "none" configuration of
+// Table II.
+func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont container.Container[K, V], opts Options) (*Result[K, V], error) {
+	opts = opts.withDefaults()
+	// The traditional runtime initializes the intermediate container when
+	// mappers start (§III-C); with its single map wave this is equivalent
+	// to starting fresh.
+	opts.ResetContainer = true
+	timer := opts.Timer
+	if timer == nil {
+		timer = metrics.NewTimer(nowFunc())
+	}
+
+	timer.StartPhase(metrics.PhaseRead)
+	data, err := Ingest(input, opts.Recorder)
+	timer.EndPhase(metrics.PhaseRead)
+	if err != nil {
+		return nil, err
+	}
+
+	timer.StartPhase(metrics.PhaseMap)
+	nSplits, mapBusy := MapWaveTimed(app, data, cont, opts)
+	timer.EndPhase(metrics.PhaseMap)
+	interN := cont.Len()
+
+	timer.StartPhase(metrics.PhaseReduce)
+	runs, reduceBusy := ReducePhaseTimed(app, cont, opts)
+	timer.EndPhase(metrics.PhaseReduce)
+
+	timer.StartPhase(metrics.PhaseMerge)
+	merged, rounds := MergePhase(app, runs, opts)
+	timer.EndPhase(metrics.PhaseMerge)
+
+	res := &Result[K, V]{
+		Pairs: merged,
+		Times: timer.Finish(),
+		Stats: Stats{
+			BytesIngested: int64(len(data)),
+			MapWaves:      1,
+			Splits:        nSplits,
+			IntermediateN: interN,
+			Runs:          len(runs),
+			MergeRounds:   rounds,
+			OutputPairs:   len(merged),
+			MapBusy:       mapBusy,
+			ReduceBusy:    reduceBusy,
+		},
+	}
+	return res, nil
+}
+
+// nowFunc returns a monotonic clock reading function based on wall time.
+func nowFunc() func() time.Duration {
+	epoch := time.Now()
+	return func() time.Duration { return time.Since(epoch) }
+}

@@ -1,0 +1,243 @@
+package mapreduce
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"supmr/internal/chunk"
+	"supmr/internal/container"
+	"supmr/internal/kv"
+	"supmr/internal/metrics"
+	"supmr/internal/storage"
+	"supmr/internal/workload"
+)
+
+// wcApp is a local word count app (the apps package imports this
+// package, so tests define their own).
+type wcApp struct{}
+
+func (wcApp) Map(split []byte, emit kv.Emitter[string, int64]) {
+	workload.Tokenize(split, func(w []byte) { emit.Emit(string(w), 1) })
+}
+
+func (wcApp) Reduce(_ string, vs []int64) int64 {
+	var s int64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+func (wcApp) Combine(a, b int64) int64 { return a + b }
+func (wcApp) Less(a, b string) bool    { return a < b }
+
+func (w wcApp) NewContainer(shards int) container.Container[string, int64] {
+	return container.NewHash[string, int64](shards, container.StringHasher, w.Combine)
+}
+
+func memStream(t *testing.T, data []byte) chunk.Stream {
+	t.Helper()
+	f := storage.BytesFile("in", data, storage.NewNullDevice(storage.NewFakeClock()))
+	inter, err := chunk.NewInterFile(f, int64(len(data))+1, chunk.NewlineBoundary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunk.NewWholeInput(inter)
+}
+
+func genText(t *testing.T, n int64) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	workload.TextGen{Seed: 21}.Fill()(0, buf)
+	return buf
+}
+
+func TestRunWordCount(t *testing.T) {
+	text := genText(t, 32<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, memStream(t, text), wc.NewContainer(16), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[string]int64)
+	for _, w := range strings.Fields(string(text)) {
+		ref[w]++
+	}
+	if len(res.Pairs) != len(ref) {
+		t.Fatalf("got %d words, want %d", len(res.Pairs), len(ref))
+	}
+	for _, p := range res.Pairs {
+		if ref[p.Key] != p.Val {
+			t.Errorf("count[%q] = %d, want %d", p.Key, p.Val, ref[p.Key])
+		}
+	}
+	if !kv.IsSortedPairs(res.Pairs, wc.Less) {
+		t.Error("output not sorted")
+	}
+	if res.Stats.MapWaves != 1 || res.Stats.BytesIngested != int64(len(text)) {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestRunRecordsPhaseTimes(t *testing.T) {
+	text := genText(t, 16<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, memStream(t, text), wc.NewContainer(8), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Times.Total <= 0 {
+		t.Error("total time not recorded")
+	}
+	for _, p := range []metrics.Phase{metrics.PhaseMap, metrics.PhaseReduce, metrics.PhaseMerge} {
+		if res.Times.Get(p) <= 0 {
+			t.Errorf("phase %v not recorded", p)
+		}
+	}
+	if res.Times.Get(metrics.PhaseReadMap) != 0 {
+		t.Error("traditional runtime should not record a fused read+map phase")
+	}
+}
+
+func TestMapWaveSplitCount(t *testing.T) {
+	text := genText(t, 32<<10)
+	wc := wcApp{}
+	cont := wc.NewContainer(8)
+	n := MapWave[string, int64](wc, text, cont, Options{Workers: 2, Splits: 8})
+	if n < 2 || n > 8 {
+		t.Errorf("map wave produced %d splits, want 2..8", n)
+	}
+	if cont.Len() == 0 {
+		t.Error("container empty after map wave")
+	}
+}
+
+func TestMapWaveResetContainer(t *testing.T) {
+	text := []byte("a a a\n")
+	wc := wcApp{}
+	cont := wc.NewContainer(4)
+	MapWave[string, int64](wc, text, cont, Options{Workers: 1})
+	MapWave[string, int64](wc, text, cont, Options{Workers: 1, ResetContainer: true})
+	// After a reset wave, only one wave's worth of counts remain.
+	runs := ReducePhase[string, int64](wc, cont, Options{Workers: 1})
+	var total int64
+	for _, r := range runs {
+		for _, p := range r {
+			total += p.Val
+		}
+	}
+	if total != 3 {
+		t.Errorf("counts after reset wave = %d, want 3", total)
+	}
+}
+
+func TestReducePhaseDropsEmptyPartitions(t *testing.T) {
+	wc := wcApp{}
+	cont := wc.NewContainer(64) // 64 shards, but only 2 keys
+	l := cont.NewLocal()
+	l.Emit("a", 1)
+	l.Emit("b", 1)
+	l.Flush()
+	runs := ReducePhase[string, int64](wc, cont, Options{Workers: 2})
+	for i, r := range runs {
+		if len(r) == 0 {
+			t.Errorf("run %d empty — empty partitions should be dropped", i)
+		}
+	}
+}
+
+func TestMergePhaseRounds(t *testing.T) {
+	wc := wcApp{}
+	runs := [][]kv.Pair[string, int64]{
+		{{Key: "c", Val: 1}, {Key: "a", Val: 1}},
+		{{Key: "b", Val: 1}},
+		{{Key: "e", Val: 1}, {Key: "d", Val: 1}},
+		{{Key: "f", Val: 1}},
+	}
+	merged, rounds := MergePhase[string, int64](wc, runs, Options{Workers: 2, Merge: 0})
+	if rounds != 2 {
+		t.Errorf("pairwise rounds = %d, want 2 for 4 runs", rounds)
+	}
+	if len(merged) != 6 || !kv.IsSortedPairs(merged, wc.Less) {
+		t.Errorf("merged = %v", merged)
+	}
+}
+
+func TestIngestMarksIOWait(t *testing.T) {
+	clock := storage.NewFakeClock()
+	rec := metrics.NewUtilRecorder(2, clock.Now)
+	data := genText(t, 8<<10)
+	d, err := storage.NewDisk(storage.DiskConfig{Name: "d", Bandwidth: 8 << 10}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := storage.NewFile("in", int64(len(data)), 0, func(off int64, p []byte) { copy(p, data[off:]) }, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := chunk.NewInterFile(f2, int64(len(data))+1, chunk.NewlineBoundary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Ingest(chunk.NewWholeInput(inter), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("ingested %d bytes, want %d", len(got), len(data))
+	}
+	tr := rec.Build(100*time.Millisecond, clock.Now())
+	var iow float64
+	for _, s := range tr.Samples {
+		iow += s.IOWait
+	}
+	if iow <= 0 {
+		t.Error("ingest did not register IO wait")
+	}
+}
+
+// failStream errors after one chunk.
+type failStream struct{ served bool }
+
+func (f *failStream) TotalBytes() int64 { return 10 }
+func (f *failStream) Next() (*chunk.Chunk, error) {
+	if f.served {
+		return nil, errors.New("device exploded")
+	}
+	f.served = true
+	return &chunk.Chunk{Data: []byte("x y z\n")}, nil
+}
+
+func TestRunPropagatesIngestError(t *testing.T) {
+	wc := wcApp{}
+	_, err := Run[string, int64](wc, &failStream{}, wc.NewContainer(4), Options{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "device exploded") {
+		t.Errorf("err = %v, want ingest failure", err)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	var hits [100]int32
+	ParallelFor(100, 8, nil, metrics.StateUser, func(i int) {
+		hits[i]++
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+	// Degenerate cases must not hang or panic.
+	ParallelFor(0, 4, nil, metrics.StateUser, func(int) { t.Error("called for n=0") })
+	ParallelFor(3, 0, nil, metrics.StateUser, func(int) {})
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers <= 0 || o.Splits != 4*o.Workers || o.Boundary == nil {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+var _ container.Container[string, int64] = (*container.Hash[string, int64])(nil)

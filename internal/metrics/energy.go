@@ -1,0 +1,73 @@
+package metrics
+
+import "time"
+
+// PowerModel estimates energy from a utilization trace. §VI-C observes
+// that small ingest chunks buy performance at the cost of long periods
+// of very high CPU utilization (the testbed occasionally hit thermal
+// throttling); this model makes that trade-off quantifiable: given a
+// trace, it integrates per-context power over time.
+//
+// Power per hardware context is linear in utilization — the standard
+// first-order CPU power model: an idle context draws IdleWatts, a fully
+// busy one draws BusyWatts, and a context blocked on IO draws IOWatts
+// (clock-gated but not asleep).
+type PowerModel struct {
+	IdleWatts float64 // per context, 0% utilization
+	BusyWatts float64 // per context, 100% user/sys
+	IOWatts   float64 // per context, blocked on IO
+}
+
+// DefaultPowerModel approximates the testbed's 2x8-core Xeons with
+// hyperthreading: ~65 W idle and ~210 W loaded per package across 32
+// hardware contexts.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		IdleWatts: 4.0,
+		BusyWatts: 13.0,
+		IOWatts:   4.5,
+	}
+}
+
+// EnergyReport summarizes the integration.
+type EnergyReport struct {
+	Joules    float64       // total energy over the trace
+	AvgWatts  float64       // mean machine power
+	PeakWatts float64       // max bucket power
+	Duration  time.Duration // trace span
+}
+
+// Energy integrates the power model over tr, which must have been built
+// with the given context count (the model is per-context).
+func (m PowerModel) Energy(tr *Trace, contexts int) EnergyReport {
+	if contexts <= 0 {
+		contexts = 1
+	}
+	var rep EnergyReport
+	rep.Duration = tr.Duration()
+	dt := tr.Bucket.Seconds()
+	for _, s := range tr.Samples {
+		busyFrac := (s.User + s.Sys) / 100
+		ioFrac := s.IOWait / 100
+		idleFrac := 1 - busyFrac - ioFrac
+		if idleFrac < 0 {
+			idleFrac = 0
+		}
+		watts := float64(contexts) * (busyFrac*m.BusyWatts + ioFrac*m.IOWatts + idleFrac*m.IdleWatts)
+		rep.Joules += watts * dt
+		if watts > rep.PeakWatts {
+			rep.PeakWatts = watts
+		}
+	}
+	if sec := rep.Duration.Seconds(); sec > 0 {
+		rep.AvgWatts = rep.Joules / sec
+	}
+	return rep
+}
+
+// EnergyDelay returns the energy-delay product (J·s), the usual metric
+// for comparing a faster-but-hotter configuration (small chunks) with a
+// slower-but-cooler one (large chunks).
+func (r EnergyReport) EnergyDelay() float64 {
+	return r.Joules * r.Duration.Seconds()
+}

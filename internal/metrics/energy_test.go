@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func flatTrace(user, sys, iowait float64, buckets int) *Trace {
+	tr := &Trace{Bucket: time.Second, Samples: make([]Sample, buckets)}
+	for i := range tr.Samples {
+		tr.Samples[i] = Sample{T: time.Duration(i) * time.Second, User: user, Sys: sys, IOWait: iowait}
+	}
+	return tr
+}
+
+func TestEnergyIdleMachine(t *testing.T) {
+	m := PowerModel{IdleWatts: 4, BusyWatts: 13, IOWatts: 4.5}
+	rep := m.Energy(flatTrace(0, 0, 0, 10), 32)
+	// 32 contexts * 4 W * 10 s = 1280 J.
+	if rep.Joules < 1279 || rep.Joules > 1281 {
+		t.Errorf("idle energy = %.1f J, want 1280", rep.Joules)
+	}
+	if rep.AvgWatts < 127 || rep.AvgWatts > 129 {
+		t.Errorf("idle power = %.1f W, want 128", rep.AvgWatts)
+	}
+}
+
+func TestEnergyBusyMachine(t *testing.T) {
+	m := PowerModel{IdleWatts: 4, BusyWatts: 13, IOWatts: 4.5}
+	rep := m.Energy(flatTrace(100, 0, 0, 10), 32)
+	// 32 * 13 * 10 = 4160 J.
+	if rep.Joules < 4159 || rep.Joules > 4161 {
+		t.Errorf("busy energy = %.1f J, want 4160", rep.Joules)
+	}
+	if rep.PeakWatts < 415 || rep.PeakWatts > 417 {
+		t.Errorf("peak = %.1f W, want 416", rep.PeakWatts)
+	}
+}
+
+func TestEnergyMixedStates(t *testing.T) {
+	m := PowerModel{IdleWatts: 2, BusyWatts: 10, IOWatts: 4}
+	// 50% user, 25% iowait, 25% idle on 4 contexts for 1 s:
+	// 4 * (0.5*10 + 0.25*4 + 0.25*2) = 4 * 6.5 = 26 J.
+	rep := m.Energy(flatTrace(50, 0, 25, 1), 4)
+	if rep.Joules < 25.9 || rep.Joules > 26.1 {
+		t.Errorf("mixed energy = %.2f J, want 26", rep.Joules)
+	}
+}
+
+func TestEnergyHighUtilizationCostsMore(t *testing.T) {
+	// The §VI-C trade-off: a faster, hotter run can still lose on
+	// average power even if it wins on energy-delay.
+	m := DefaultPowerModel()
+	hot := m.Energy(flatTrace(95, 5, 0, 8), 32)    // dense-spike regime, 8 s
+	cool := m.Energy(flatTrace(20, 5, 10, 10), 32) // sparse-spike regime, 10 s
+	if hot.AvgWatts <= cool.AvgWatts {
+		t.Errorf("hot run %f W should exceed cool run %f W", hot.AvgWatts, cool.AvgWatts)
+	}
+	if hot.EnergyDelay() <= 0 || cool.EnergyDelay() <= 0 {
+		t.Error("energy-delay must be positive")
+	}
+}
+
+func TestEnergyZeroContexts(t *testing.T) {
+	rep := DefaultPowerModel().Energy(flatTrace(50, 0, 0, 1), 0)
+	if rep.Joules <= 0 {
+		t.Error("zero contexts should normalize to 1, not produce 0 energy")
+	}
+}
+
+func TestEnergyOvercommittedClamped(t *testing.T) {
+	// user+iowait > 100% (possible with fractional accounting): idle
+	// fraction clamps at 0 rather than going negative.
+	m := PowerModel{IdleWatts: 100, BusyWatts: 1, IOWatts: 1}
+	rep := m.Energy(flatTrace(80, 0, 40, 1), 1)
+	// If idle went negative, the huge IdleWatts would make energy
+	// negative or wild; clamped it stays ~1.2 J.
+	if rep.Joules < 0 || rep.Joules > 2 {
+		t.Errorf("overcommitted energy = %.2f J", rep.Joules)
+	}
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Marker annotates an instant of a run with a phase-boundary label so
+// traces can be read the way the paper's figures are ("the merge phase
+// is the 280-400s interval"). The Timer emits markers automatically
+// when wired with WithMarkers.
+type Marker struct {
+	At    time.Duration
+	Label string
+}
+
+// MarkerLog collects markers concurrently.
+type MarkerLog struct {
+	mu      sync.Mutex
+	markers []Marker
+}
+
+// Add records a marker.
+func (l *MarkerLog) Add(at time.Duration, label string) {
+	l.mu.Lock()
+	l.markers = append(l.markers, Marker{At: at, Label: label})
+	l.mu.Unlock()
+}
+
+// Markers returns a time-sorted snapshot.
+func (l *MarkerLog) Markers() []Marker {
+	l.mu.Lock()
+	out := make([]Marker, len(l.markers))
+	copy(out, l.markers)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// WithMarkers makes the timer log "phase start/end" markers into log.
+func (t *Timer) WithMarkers(log *MarkerLog) *Timer {
+	t.mu.Lock()
+	t.markers = log
+	t.mu.Unlock()
+	return t
+}
+
+// AnnotatedASCII renders the trace with a marker ruler underneath:
+// each phase-start marker appears as a caret column labelled in a
+// legend, so phase intervals can be read off the chart.
+func (tr *Trace) AnnotatedASCII(height int, markers []Marker) string {
+	base := tr.ASCII(height)
+	if len(markers) == 0 || len(tr.Samples) == 0 {
+		return base
+	}
+	cols := len(tr.Samples)
+	ruler := []byte(strings.Repeat(" ", cols))
+	var legend []string
+	n := 0
+	for _, m := range markers {
+		col := int(m.At / tr.Bucket)
+		if col < 0 || col >= cols {
+			continue
+		}
+		n++
+		tag := byte('0' + n%10)
+		ruler[col] = tag
+		legend = append(legend, fmt.Sprintf("%c=%s@%.1fs", tag, m.Label, m.At.Seconds()))
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	fmt.Fprintf(&b, "      |%s|\n", ruler)
+	fmt.Fprintf(&b, "      markers: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// markerLabel builds a phase-boundary label.
+func markerLabel(p Phase, boundary string) string {
+	return p.String() + ":" + boundary
+}

@@ -1,0 +1,199 @@
+// Package metrics provides the measurement substrate for the
+// reproduction: per-phase timers matching the Phoenix++ internal timing
+// functions the paper uses for Table II, and a collectl-style CPU
+// utilization recorder that reconstructs the user/sys/IO-wait traces of
+// Figures 1, 3, 5, 6 and 7 from instrumented worker state changes.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase identifies one MapReduce job phase. The paper's Table II reports
+// read (ingest), map, reduce and merge; SupMR runs report the fused
+// read+map pipeline under PhaseReadMap.
+type Phase int
+
+// Job phases in execution order.
+const (
+	PhaseSetup Phase = iota
+	PhaseRead
+	PhaseMap
+	PhaseReadMap // fused ingest/map rounds of the SupMR pipeline
+	PhaseReduce
+	PhaseMerge
+	PhaseCleanup
+	numPhases
+)
+
+// String returns the lowercase phase name used in reports.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSetup:
+		return "setup"
+	case PhaseRead:
+		return "read"
+	case PhaseMap:
+		return "map"
+	case PhaseReadMap:
+		return "read+map"
+	case PhaseReduce:
+		return "reduce"
+	case PhaseMerge:
+		return "merge"
+	case PhaseCleanup:
+		return "cleanup"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// PhaseTimes records wall-clock duration per phase plus the job total,
+// the row format of Table II.
+type PhaseTimes struct {
+	durs  [numPhases]time.Duration
+	Total time.Duration
+}
+
+// Set stores the duration for phase p.
+func (t *PhaseTimes) Set(p Phase, d time.Duration) { t.durs[p] = d }
+
+// Add accumulates d into phase p (SupMR rounds add into read+map).
+func (t *PhaseTimes) Add(p Phase, d time.Duration) { t.durs[p] += d }
+
+// Get returns the duration recorded for phase p.
+func (t PhaseTimes) Get(p Phase) time.Duration { return t.durs[p] }
+
+// String formats the row like the paper's table: total then phases.
+func (t PhaseTimes) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%v", t.Total.Round(time.Millisecond))
+	for p := PhaseRead; p < numPhases; p++ {
+		if d := t.durs[p]; d > 0 {
+			fmt.Fprintf(&b, " %s=%v", p, d.Round(time.Millisecond))
+		}
+	}
+	return b.String()
+}
+
+// Timer measures phases against a monotonic now() function so both real
+// and simulated runs share one code path.
+type Timer struct {
+	now     func() time.Duration
+	mu      sync.Mutex
+	marks   map[Phase]time.Duration
+	times   PhaseTimes
+	start   time.Duration
+	markers *MarkerLog // optional phase-boundary annotations
+}
+
+// NewTimer creates a Timer reading time from now.
+func NewTimer(now func() time.Duration) *Timer {
+	t := &Timer{now: now, marks: make(map[Phase]time.Duration)}
+	t.start = now()
+	return t
+}
+
+// StartPhase marks the beginning of phase p.
+func (t *Timer) StartPhase(p Phase) {
+	at := t.now()
+	t.mu.Lock()
+	t.marks[p] = at
+	if t.markers != nil {
+		t.markers.Add(at, markerLabel(p, "start"))
+	}
+	t.mu.Unlock()
+}
+
+// EndPhase accumulates the elapsed time since the matching StartPhase.
+// Phases may start and end repeatedly (SupMR's pipelined rounds); the
+// durations add up.
+func (t *Timer) EndPhase(p Phase) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start, ok := t.marks[p]
+	if !ok {
+		return
+	}
+	delete(t.marks, p)
+	at := t.now()
+	if t.markers != nil {
+		t.markers.Add(at, markerLabel(p, "end"))
+	}
+	t.times.Add(p, at-start)
+}
+
+// Finish stamps the job total and returns the accumulated times.
+func (t *Timer) Finish() PhaseTimes {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.times.Total = t.now() - t.start
+	return t.times
+}
+
+// Table2Row holds one labelled row of a Table II style report.
+type Table2Row struct {
+	Label  string // chunk size: "none", "1GB", "50GB", ...
+	Times  PhaseTimes
+	Fused  bool // read+map fused (SupMR) vs separate (baseline)
+	Merged bool // p-way merge used
+}
+
+// FormatTable2 renders rows in the layout of the paper's Table II.
+func FormatTable2(title string, rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s %12s\n", "chunk", "total", "read", "map", "reduce", "merge")
+	for _, r := range rows {
+		read := r.Times.Get(PhaseRead)
+		mp := r.Times.Get(PhaseMap)
+		if r.Fused {
+			// The paper prints the fused read+map duration spanning the
+			// read and map columns; render it in read with map marked.
+			read = r.Times.Get(PhaseReadMap)
+		}
+		mapCell := fmtDur(mp)
+		if r.Fused {
+			mapCell = "(fused)"
+		}
+		fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s %12s\n",
+			r.Label,
+			fmtDur(r.Times.Total),
+			fmtDur(read),
+			mapCell,
+			fmtDur(r.Times.Get(PhaseReduce)),
+			fmtDur(r.Times.Get(PhaseMerge)),
+		)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// Speedup returns a/b as a speedup factor (how many times faster b is
+// than a), guarding against division by zero.
+func Speedup(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// SortedPhases lists the phases that have non-zero time in t, in
+// execution order — convenient for report generation.
+func SortedPhases(t PhaseTimes) []Phase {
+	var ps []Phase
+	for p := PhaseSetup; p < numPhases; p++ {
+		if t.Get(p) > 0 {
+			ps = append(ps, p)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}

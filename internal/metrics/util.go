@@ -1,0 +1,310 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WorkerState classifies what a worker (thread analog) is doing, the three
+// collectl categories the paper's utilization figures stack: user-space
+// compute, kernel-space work (data copies during ingest), and IO wait.
+type WorkerState int
+
+// Worker states.
+const (
+	StateIdle   WorkerState = iota
+	StateUser               // user-space compute: map/reduce/merge/sort
+	StateSys                // kernel-space: memcpy of ingested data, allocation
+	StateIOWait             // blocked on storage or network
+)
+
+// String names the state.
+func (s WorkerState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateUser:
+		return "user"
+	case StateSys:
+		return "sys"
+	case StateIOWait:
+		return "iowait"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// event is one worker state transition.
+type event struct {
+	at     time.Duration
+	worker int
+	state  WorkerState
+}
+
+// UtilRecorder collects worker state transitions during a run and
+// reconstructs a CPU-utilization time series afterwards, playing the role
+// of the collectl daemon on the testbed. Contexts is the number of
+// hardware contexts utilization is normalized to (32 on the testbed).
+type UtilRecorder struct {
+	now      func() time.Duration
+	contexts int
+
+	mu     sync.Mutex
+	events []event
+	nextID int
+}
+
+// NewUtilRecorder creates a recorder normalizing to contexts hardware
+// contexts, reading time from now.
+func NewUtilRecorder(contexts int, now func() time.Duration) *UtilRecorder {
+	if contexts <= 0 {
+		contexts = 1
+	}
+	return &UtilRecorder{now: now, contexts: contexts}
+}
+
+// Contexts returns the normalization width.
+func (r *UtilRecorder) Contexts() int { return r.contexts }
+
+// Register allocates a worker id. Workers begin Idle.
+func (r *UtilRecorder) Register() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextID
+	r.nextID++
+	return id
+}
+
+// SetState records that worker id entered state now.
+func (r *UtilRecorder) SetState(id int, s WorkerState) {
+	at := r.now()
+	r.mu.Lock()
+	r.events = append(r.events, event{at: at, worker: id, state: s})
+	r.mu.Unlock()
+}
+
+// SetStateAt records a transition with an explicit timestamp; the
+// perfmodel uses this to emit synthetic traces on its virtual clock.
+func (r *UtilRecorder) SetStateAt(id int, s WorkerState, at time.Duration) {
+	r.mu.Lock()
+	r.events = append(r.events, event{at: at, worker: id, state: s})
+	r.mu.Unlock()
+}
+
+// Sample is one bucket of the reconstructed utilization trace. The
+// percentages are of total machine capacity (contexts * bucket), matching
+// the y axis of the paper's figures.
+type Sample struct {
+	T      time.Duration // bucket start
+	User   float64       // % of capacity in user state
+	Sys    float64       // % of capacity in sys state
+	IOWait float64       // % of capacity in IO wait
+}
+
+// Total returns the stacked height user+sys+iowait.
+func (s Sample) Total() float64 { return s.User + s.Sys + s.IOWait }
+
+// Trace is a utilization time series.
+type Trace struct {
+	Bucket  time.Duration
+	Samples []Sample
+}
+
+// Duration returns the covered time span.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(len(t.Samples)) * t.Bucket
+}
+
+// MeanUser returns the average user% across the trace.
+func (t *Trace) MeanUser() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range t.Samples {
+		sum += s.User
+	}
+	return sum / float64(len(t.Samples))
+}
+
+// MeanTotal returns the average stacked utilization across the trace.
+func (t *Trace) MeanTotal() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range t.Samples {
+		sum += s.Total()
+	}
+	return sum / float64(len(t.Samples))
+}
+
+// Build reconstructs the utilization trace with the given bucket width.
+// Worker time in each state is integrated per bucket and normalized to
+// contexts * bucket. end caps the trace (use the job's total duration).
+func (r *UtilRecorder) Build(bucket, end time.Duration) *Trace {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	r.mu.Lock()
+	evs := make([]event, len(r.events))
+	copy(evs, r.events)
+	workers := r.nextID
+	r.mu.Unlock()
+
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	if end <= 0 {
+		if len(evs) > 0 {
+			end = evs[len(evs)-1].at
+		}
+		if end <= 0 {
+			end = bucket
+		}
+	}
+	n := int((end + bucket - 1) / bucket)
+	if n == 0 {
+		n = 1
+	}
+	type acc struct{ user, sys, iowait time.Duration }
+	buckets := make([]acc, n)
+
+	// Replay per worker: intervals between consecutive transitions
+	// contribute to buckets they overlap.
+	last := make([]event, workers)
+	for i := range last {
+		last[i] = event{at: 0, worker: i, state: StateIdle}
+	}
+	addInterval := func(from, to time.Duration, st WorkerState) {
+		if st == StateIdle || to <= from {
+			return
+		}
+		if to > end {
+			to = end
+		}
+		for t := from; t < to; {
+			bi := int(t / bucket)
+			if bi >= n {
+				break
+			}
+			bEnd := time.Duration(bi+1) * bucket
+			seg := bEnd - t
+			if to-t < seg {
+				seg = to - t
+			}
+			switch st {
+			case StateUser:
+				buckets[bi].user += seg
+			case StateSys:
+				buckets[bi].sys += seg
+			case StateIOWait:
+				buckets[bi].iowait += seg
+			}
+			t += seg
+		}
+	}
+	for _, e := range evs {
+		if e.worker < 0 || e.worker >= workers {
+			continue
+		}
+		prev := last[e.worker]
+		addInterval(prev.at, e.at, prev.state)
+		last[e.worker] = e
+	}
+	for _, prev := range last {
+		addInterval(prev.at, end, prev.state)
+	}
+
+	capacity := float64(r.contexts) * bucket.Seconds()
+	tr := &Trace{Bucket: bucket, Samples: make([]Sample, n)}
+	for i := range buckets {
+		tr.Samples[i] = Sample{
+			T:      time.Duration(i) * bucket,
+			User:   100 * buckets[i].user.Seconds() / capacity,
+			Sys:    100 * buckets[i].sys.Seconds() / capacity,
+			IOWait: 100 * buckets[i].iowait.Seconds() / capacity,
+		}
+	}
+	return tr
+}
+
+// ASCII renders the trace as a stacked text chart: rows are utilization
+// bands from 100% down to 0%, columns are buckets. 'u' marks user, 's'
+// sys, 'w' IO wait, matching the figure legends.
+func (t *Trace) ASCII(height int) string {
+	if height <= 0 {
+		height = 20
+	}
+	cols := len(t.Samples)
+	if cols == 0 {
+		return "(empty trace)\n"
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	round := func(pct float64) int {
+		h := int(pct/100*float64(height) + 0.5)
+		if h == 0 && pct > 0.5 {
+			h = 1 // keep low-but-real activity visible (e.g. 1 IO thread of 32)
+		}
+		return h
+	}
+	for c, s := range t.Samples {
+		// Stack from the bottom: user, then sys, then iowait.
+		uh := round(s.User)
+		sh := round(s.Sys)
+		wh := round(s.IOWait)
+		if uh+sh+wh > height {
+			over := uh + sh + wh - height
+			if wh >= over {
+				wh -= over
+			} else if sh >= over {
+				sh -= over
+			} else {
+				uh -= over
+			}
+		}
+		row := height - 1
+		for i := 0; i < uh && row >= 0; i++ {
+			grid[row][c] = 'u'
+			row--
+		}
+		for i := 0; i < sh && row >= 0; i++ {
+			grid[row][c] = 's'
+			row--
+		}
+		for i := 0; i < wh && row >= 0; i++ {
+			grid[row][c] = 'w'
+			row--
+		}
+	}
+	var b strings.Builder
+	for i, line := range grid {
+		pct := 100 * (height - i) / height
+		fmt.Fprintf(&b, "%3d%% |%s|\n", pct, line)
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "      0%stime%s%v\n", strings.Repeat(" ", max(0, cols/2-4)), strings.Repeat(" ", max(0, cols-cols/2-8)), t.Duration().Round(time.Millisecond))
+	fmt.Fprintf(&b, "      legend: u=user s=sys w=iowait  bucket=%v\n", t.Bucket)
+	return b.String()
+}
+
+// CSV exports the trace as "t_seconds,user,sys,iowait" rows for plotting.
+func (t *Trace) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_seconds,user_pct,sys_pct,iowait_pct\n")
+	for _, s := range t.Samples {
+		fmt.Fprintf(&b, "%.3f,%.2f,%.2f,%.2f\n", s.T.Seconds(), s.User, s.Sys, s.IOWait)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

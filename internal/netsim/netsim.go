@@ -1,0 +1,187 @@
+// Package netsim models the network substrate of the Fig. 7 case study:
+// a 32-node scale-out storage system "connected with 1 Gbit ethernet
+// behind one link". The essential behaviour is that every byte ingested
+// from the distributed file system crosses ONE shared link, so aggregate
+// ingest bandwidth is capped at link capacity (~125 MB/s) no matter how
+// many datanodes serve blocks in parallel.
+//
+// The link implements processor sharing: concurrent transfers split
+// capacity fairly, converging to the same aggregate as FIFO but with
+// realistic per-flow progress, which matters when the ingest pipeline
+// overlaps multiple block fetches.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"supmr/internal/storage"
+)
+
+// Link is a shared, capacity-limited network link.
+type Link struct {
+	capacity float64 // bytes/sec
+	latency  time.Duration
+	clock    storage.Clock
+
+	mu    sync.Mutex
+	flows int
+	stats LinkStats
+}
+
+// LinkStats are cumulative transfer counters.
+type LinkStats struct {
+	BytesMoved int64
+	Transfers  int64
+	MaxFlows   int
+}
+
+// NewLink builds a link with the given capacity (bytes/sec) and one-way
+// latency, scheduling against clock.
+func NewLink(capacity float64, latency time.Duration, clock storage.Clock) (*Link, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("netsim: link capacity must be positive, got %v", capacity)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("netsim: link latency must be non-negative, got %v", latency)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("netsim: link requires a clock")
+	}
+	return &Link{capacity: capacity, latency: latency, clock: clock}, nil
+}
+
+// Capacity returns the link capacity in bytes/sec.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Clock returns the link's clock.
+func (l *Link) Clock() storage.Clock { return l.clock }
+
+// Stats returns a snapshot of the counters.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// quantum is the processor-sharing integration step: within each quantum
+// a flow receives capacity/flows bandwidth.
+const quantum = 2 * time.Millisecond
+
+// Transfer moves n bytes across the link, blocking the caller for the
+// flow's fair share of capacity until all bytes are delivered. Latency is
+// charged once per transfer.
+func (l *Link) Transfer(n int64) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.flows++
+	if l.flows > l.stats.MaxFlows {
+		l.stats.MaxFlows = l.flows
+	}
+	l.stats.Transfers++
+	l.stats.BytesMoved += n
+	l.mu.Unlock()
+
+	defer func() {
+		l.mu.Lock()
+		l.flows--
+		l.mu.Unlock()
+	}()
+
+	if l.latency > 0 {
+		l.clock.SleepUntil(l.clock.Now() + l.latency)
+	}
+	remaining := float64(n)
+	for remaining > 0 {
+		l.mu.Lock()
+		share := l.capacity / float64(l.flows)
+		l.mu.Unlock()
+		// Sleep one quantum (or just long enough to finish) and credit
+		// the bytes for the time that ACTUALLY elapsed: wakeups can be
+		// late when the CPUs are busy, and the wire kept moving bits in
+		// the meantime.
+		step := quantum
+		if need := time.Duration(remaining / share * float64(time.Second)); need < step {
+			step = need
+		}
+		start := l.clock.Now()
+		l.clock.SleepUntil(start + step)
+		elapsed := l.clock.Now() - start
+		if elapsed < step {
+			elapsed = step
+		}
+		remaining -= share * elapsed.Seconds()
+	}
+}
+
+// GigabitEthernet is the capacity of the case study's 1 Gbit link in
+// bytes per second.
+const GigabitEthernet = 125e6
+
+// StarTopology models the case study's network at one level more
+// detail: every datanode owns a dedicated access link into a switch,
+// and the compute node ingests through the switch's single uplink (the
+// "behind one link" of §VI-C3). The uplink is the shared bottleneck;
+// access links only matter when a single node must source data faster
+// than its own port.
+type StarTopology struct {
+	access []*Link
+	uplink *Link
+	clock  storage.Clock
+}
+
+// NewStarTopology builds the topology: nodes access links of accessBW
+// each and one shared uplink of uplinkBW (bytes/sec).
+func NewStarTopology(nodes int, accessBW, uplinkBW float64, latency time.Duration, clock storage.Clock) (*StarTopology, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("netsim: star topology needs at least one node, got %d", nodes)
+	}
+	uplink, err := NewLink(uplinkBW, latency, clock)
+	if err != nil {
+		return nil, err
+	}
+	t := &StarTopology{uplink: uplink, clock: clock}
+	for i := 0; i < nodes; i++ {
+		l, err := NewLink(accessBW, 0, clock)
+		if err != nil {
+			return nil, err
+		}
+		t.access = append(t.access, l)
+	}
+	return t, nil
+}
+
+// Uplink returns the shared bottleneck link.
+func (t *StarTopology) Uplink() *Link { return t.uplink }
+
+// Nodes returns the number of access links.
+func (t *StarTopology) Nodes() int { return len(t.access) }
+
+// TransferFrom moves n bytes from node's access link through the
+// uplink. Data streams through both links simultaneously, so the
+// elapsed time is governed by the slower of the two paths (the node's
+// dedicated port vs this flow's fair share of the uplink).
+func (t *StarTopology) TransferFrom(node int, n int64) error {
+	if node < 0 || node >= len(t.access) {
+		return fmt.Errorf("netsim: node %d out of range [0,%d)", node, len(t.access))
+	}
+	if n <= 0 {
+		return nil
+	}
+	start := t.clock.Now()
+	// The uplink transfer sleeps for the shared-bottleneck time.
+	t.uplink.Transfer(n)
+	// If the dedicated access port is the slower hop, stretch to it.
+	accessTime := time.Duration(float64(n) / t.access[node].capacity * float64(time.Second))
+	t.access[node].mu.Lock()
+	t.access[node].stats.BytesMoved += n
+	t.access[node].stats.Transfers++
+	t.access[node].mu.Unlock()
+	if deadline := start + accessTime; t.clock.Now() < deadline {
+		t.clock.SleepUntil(deadline)
+	}
+	return nil
+}

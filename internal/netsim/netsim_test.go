@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"supmr/internal/storage"
+)
+
+func TestLinkValidation(t *testing.T) {
+	clock := storage.NewFakeClock()
+	if _, err := NewLink(0, 0, clock); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewLink(1e6, -time.Second, clock); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := NewLink(1e6, 0, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestLinkSingleFlowRate(t *testing.T) {
+	clock := storage.NewRealClock()
+	l, err := NewLink(10<<20, 0, clock) // 10 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	l.Transfer(1 << 20) // 1 MB -> ~100ms
+	el := clock.Now() - start
+	if el < 90*time.Millisecond || el > 200*time.Millisecond {
+		t.Errorf("1MB over 10MB/s took %v, want ~100ms", el)
+	}
+	s := l.Stats()
+	if s.BytesMoved != 1<<20 || s.Transfers != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLinkFairSharing(t *testing.T) {
+	// Two concurrent transfers of equal size should finish in about the
+	// time one transfer of double size would take — aggregate capacity
+	// is conserved.
+	clock := storage.NewRealClock()
+	l, err := NewLink(20<<20, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Transfer(1 << 20)
+		}()
+	}
+	wg.Wait()
+	el := clock.Now() - start
+	// 2 MB total over 20 MB/s = ~100ms.
+	if el < 90*time.Millisecond || el > 250*time.Millisecond {
+		t.Errorf("2x1MB concurrent over 20MB/s took %v, want ~100ms", el)
+	}
+	if got := l.Stats().MaxFlows; got != 2 {
+		t.Errorf("max concurrent flows = %d, want 2", got)
+	}
+}
+
+func TestLinkLatency(t *testing.T) {
+	clock := storage.NewRealClock()
+	l, err := NewLink(1<<30, 30*time.Millisecond, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	l.Transfer(1024)
+	el := clock.Now() - start
+	if el < 30*time.Millisecond {
+		t.Errorf("transfer returned before latency elapsed: %v", el)
+	}
+}
+
+func TestLinkZeroBytes(t *testing.T) {
+	clock := storage.NewRealClock()
+	l, err := NewLink(1e6, time.Hour, clock) // huge latency must NOT be paid
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		l.Transfer(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Transfer(0) blocked")
+	}
+	if l.Stats().Transfers != 0 {
+		t.Error("zero transfer counted")
+	}
+}
+
+func TestGigabitConstant(t *testing.T) {
+	if GigabitEthernet != 125e6 {
+		t.Errorf("1 Gbit = %v B/s, want 125e6", GigabitEthernet)
+	}
+}
+
+func TestStarTopologyUplinkBottleneck(t *testing.T) {
+	clock := storage.NewRealClock()
+	top, err := NewStarTopology(4, 100<<20, 10<<20, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	if err := top.TransferFrom(0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	el := clock.Now() - start
+	// 1 MB at the 10 MB/s uplink = ~100ms (access port is 10x faster).
+	if el < 90*time.Millisecond || el > 200*time.Millisecond {
+		t.Errorf("uplink-bound transfer took %v, want ~100ms", el)
+	}
+}
+
+func TestStarTopologyAccessBottleneck(t *testing.T) {
+	clock := storage.NewRealClock()
+	top, err := NewStarTopology(2, 5<<20, 1<<30, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	if err := top.TransferFrom(1, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	el := clock.Now() - start
+	// 1 MB at the 5 MB/s access port = ~200ms (uplink is near-infinite).
+	if el < 180*time.Millisecond || el > 400*time.Millisecond {
+		t.Errorf("access-bound transfer took %v, want ~200ms", el)
+	}
+	if top.access[1].Stats().BytesMoved != 1<<20 {
+		t.Error("access link not accounted")
+	}
+}
+
+func TestStarTopologyValidation(t *testing.T) {
+	clock := storage.NewFakeClock()
+	if _, err := NewStarTopology(0, 1, 1, 0, clock); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	top, err := NewStarTopology(2, 1e6, 1e6, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.TransferFrom(5, 10); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := top.TransferFrom(0, 0); err != nil {
+		t.Error("zero bytes should be a no-op")
+	}
+	if top.Nodes() != 2 || top.Uplink() == nil {
+		t.Error("accessors wrong")
+	}
+}

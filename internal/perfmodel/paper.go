@@ -1,0 +1,161 @@
+package perfmodel
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"supmr/internal/metrics"
+)
+
+// PaperRow is one row of the paper's Table II, in seconds.
+type PaperRow struct {
+	App     string
+	Label   string // chunk size label
+	Total   float64
+	Read    float64 // read, or fused read+map for SupMR rows
+	Map     float64 // 0 when fused
+	Reduce  float64
+	Merge   float64
+	Fused   bool
+	ChunkGB int64 // 0 = none
+}
+
+// PaperTable2 is the paper's Table II verbatim.
+var PaperTable2 = []PaperRow{
+	{App: "wordcount", Label: "none", Total: 471.75, Read: 403.90, Map: 67.41, Reduce: 0.03, Merge: 0.01},
+	{App: "wordcount", Label: "1GB", Total: 407.58, Read: 406.14, Reduce: 1.08, Merge: 0.01, Fused: true, ChunkGB: 1},
+	{App: "wordcount", Label: "50GB", Total: 429.76, Read: 423.51, Reduce: 0.08, Merge: 0.01, Fused: true, ChunkGB: 50},
+	{App: "sort", Label: "none", Total: 397.31, Read: 182.78, Map: 6.33, Reduce: 7.72, Merge: 191.23},
+	{App: "sort", Label: "1GB", Total: 272.58, Read: 196.86, Reduce: 9.04, Merge: 61.14, Fused: true, ChunkGB: 1},
+}
+
+// ModelRow pairs a paper row with the model's prediction for the same
+// configuration.
+type ModelRow struct {
+	Paper PaperRow
+	Model *JobModel
+}
+
+// ModelTable2 runs the model for every Table II configuration.
+func ModelTable2() []ModelRow {
+	m := Testbed()
+	var rows []ModelRow
+	for _, pr := range PaperTable2 {
+		var p Profile
+		var size int64
+		switch pr.App {
+		case "wordcount":
+			p, size = WordCount(), int64(WordCountInputBytes)
+		case "sort":
+			p, size = Sort(), int64(SortInputBytes)
+		}
+		var j *JobModel
+		if pr.ChunkGB == 0 && !pr.Fused {
+			j = Baseline(p, m, size)
+		} else {
+			j = SupMR(p, m, size, pr.ChunkGB*GB)
+		}
+		rows = append(rows, ModelRow{Paper: pr, Model: j})
+	}
+	return rows
+}
+
+// modelPhase extracts the model's value for a paper column.
+func modelPhase(j *JobModel, fused bool) (read, mp, reduce, merge float64) {
+	if fused {
+		read = j.Times.Get(metrics.PhaseReadMap).Seconds()
+	} else {
+		read = j.Times.Get(metrics.PhaseRead).Seconds()
+		mp = j.Times.Get(metrics.PhaseMap).Seconds()
+	}
+	reduce = j.Times.Get(metrics.PhaseReduce).Seconds()
+	merge = j.Times.Get(metrics.PhaseMerge).Seconds()
+	return
+}
+
+// FormatComparison renders a paper-vs-model table for EXPERIMENTS.md.
+func FormatComparison(rows []ModelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s | %9s %9s | %9s %9s | %8s %8s | %8s %8s | %8s %8s\n",
+		"app", "chunk", "total(P)", "total(M)", "read(P)", "read(M)", "map(P)", "map(M)", "red(P)", "red(M)", "mrg(P)", "mrg(M)")
+	for _, r := range rows {
+		read, mp, red, mrg := modelPhase(r.Model, r.Paper.Fused)
+		mapP, mapM := fmtCell(r.Paper.Map), fmtCell(mp)
+		if r.Paper.Fused {
+			mapP, mapM = "(fused)", "(fused)"
+		}
+		fmt.Fprintf(&b, "%-10s %-6s | %8.2fs %8.2fs | %8.2fs %8.2fs | %8s %8s | %7.2fs %7.2fs | %7.2fs %7.2fs\n",
+			r.Paper.App, r.Paper.Label,
+			r.Paper.Total, r.Model.Times.Total.Seconds(),
+			r.Paper.Read, read,
+			mapP, mapM,
+			r.Paper.Reduce, red,
+			r.Paper.Merge, mrg)
+	}
+	return b.String()
+}
+
+func fmtCell(v float64) string { return fmt.Sprintf("%.2fs", v) }
+
+// RelErr returns |model-paper|/paper, guarding small denominators.
+func RelErr(paper, model float64) float64 {
+	if paper < 0.5 {
+		// Sub-half-second cells carry one significant digit in the paper;
+		// compare absolutely instead.
+		d := model - paper
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	d := model - paper
+	if d < 0 {
+		d = -d
+	}
+	return d / paper
+}
+
+// PaperSpeedups are the headline claims (§VI) the reproduction must
+// preserve in shape.
+type PaperSpeedups struct {
+	WCTotalMin, WCTotalMax     float64 // 1.10x - 1.16x total
+	SortTotal                  float64 // 1.46x total
+	SortMerge                  float64 // ~3.13x merge
+	WCReadMapMin, WCReadMapMax float64 // 1.12x - 1.16x ingest/map
+}
+
+// Claims returns the paper's reported speedup band.
+func Claims() PaperSpeedups {
+	return PaperSpeedups{
+		WCTotalMin: 1.10, WCTotalMax: 1.16,
+		SortTotal: 1.46, SortMerge: 3.13,
+		WCReadMapMin: 1.12, WCReadMapMax: 1.16,
+	}
+}
+
+// Fig7LinkBW is the case study's shared 1 Gbit link in bytes/sec.
+const Fig7LinkBW = 125e6
+
+// Fig7Chunk is the chunk size used for the modeled Fig. 7 pipeline run.
+const Fig7Chunk = 1 * GB
+
+// ModelFig7 returns the modeled baseline and SupMR runs of the case
+// study and the resulting speedup in seconds.
+func ModelFig7() (baseline, supmr *JobModel, savedSeconds float64) {
+	b, s := HDFSCase(WordCount(), Testbed(), int64(HDFSInputBytes), Fig7Chunk, Fig7LinkBW)
+	return b, s, b.Times.Total.Seconds() - s.Times.Total.Seconds()
+}
+
+// Fig3Durations returns the modeled OpenMP-vs-MapReduce sort comparison:
+// the MapReduce baseline total, the OpenMP total, and the compute-phase
+// difference (the paper reports the MapReduce compute phase 214 s longer
+// yet total time-to-result 192 s shorter... for OpenMP 192 s slower).
+func Fig3Durations() (mrTotal, ompTotal time.Duration, computeDelta, totalDelta time.Duration) {
+	p, m := Sort(), Testbed()
+	mr := Baseline(p, m, int64(SortInputBytes))
+	omp := OpenMP(p, m, int64(SortInputBytes))
+	mrCompute := mr.Times.Total - mr.Times.Get(metrics.PhaseRead)
+	ompCompute := omp.Times.Get(metrics.PhaseMerge)
+	return mr.Times.Total, omp.Times.Total, mrCompute - ompCompute, omp.Times.Total - mr.Times.Total
+}

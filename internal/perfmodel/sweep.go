@@ -1,0 +1,124 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"supmr/internal/metrics"
+)
+
+// SweepPoint is one configuration of a parameter sweep.
+type SweepPoint struct {
+	ChunkBytes int64
+	Total      time.Duration
+	ReadMap    time.Duration
+	Waves      int
+	MeanUtil   float64 // mean stacked utilization, %
+	Speedup    float64 // baseline total / this total
+}
+
+// ChunkSweep evaluates SupMR across chunk sizes for profile p at the
+// given input size, returning one point per chunk size plus the
+// baseline ("none") total it is compared against. This is the curve
+// behind Conclusion 2: totals fall as chunks shrink until per-round
+// overhead turns them back up.
+func ChunkSweep(p Profile, m Machine, inputBytes int64, chunks []int64) (points []SweepPoint, baseline time.Duration) {
+	base := Baseline(p, m, inputBytes)
+	baseline = base.Times.Total
+	for _, c := range chunks {
+		j := SupMR(p, m, inputBytes, c)
+		tr := j.Trace(m, 2*time.Second)
+		points = append(points, SweepPoint{
+			ChunkBytes: c,
+			Total:      j.Times.Total,
+			ReadMap:    j.Times.Get(metrics.PhaseReadMap),
+			Waves:      j.Waves,
+			MeanUtil:   tr.MeanTotal(),
+			Speedup:    baseline.Seconds() / j.Times.Total.Seconds(),
+		})
+	}
+	return points, baseline
+}
+
+// DefaultChunkGrid returns a geometric grid of chunk sizes from min to
+// max (inclusive-ish), n points.
+func DefaultChunkGrid(min, max int64, n int) []int64 {
+	if n < 2 || min <= 0 || max <= min {
+		return []int64{min}
+	}
+	ratio := float64(max) / float64(min)
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		f := float64(min) * math.Pow(ratio, float64(i)/float64(n-1))
+		out = append(out, int64(f))
+	}
+	return out
+}
+
+// FormatChunkSweep renders the sweep as an aligned table.
+func FormatChunkSweep(points []SweepPoint, baseline time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline (no chunks): %.2fs\n", baseline.Seconds())
+	fmt.Fprintf(&b, "%14s %8s %10s %10s %10s %9s\n", "chunk", "waves", "read+map", "total", "speedup", "util")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%14s %8d %9.2fs %9.2fs %9.3fx %8.1f%%\n",
+			fmtBytes(pt.ChunkBytes), pt.Waves, pt.ReadMap.Seconds(), pt.Total.Seconds(), pt.Speedup, pt.MeanUtil)
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fGB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fMB", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fKB", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// MergeCrossoverPoint is one run-count of the merge comparison.
+type MergeCrossoverPoint struct {
+	Runs     int
+	Pairwise time.Duration
+	PWay     time.Duration
+	Speedup  float64
+}
+
+// MergeCrossover models both merge algorithms across sorted-run counts
+// at fixed intermediate volume — Conclusion 3 quantified: the p-way
+// advantage grows with the number of pairwise rounds avoided.
+func MergeCrossover(p Profile, m Machine, records int64, runCounts []int) []MergeCrossoverPoint {
+	var out []MergeCrossoverPoint
+	for _, r := range runCounts {
+		pw, _, _ := pairwiseMergeTimeForRuns(records, r, m.Contexts, p.MergeElem)
+		pway := pwayMergeTime(records, p)
+		out = append(out, MergeCrossoverPoint{
+			Runs:     r,
+			Pairwise: pw,
+			PWay:     pway,
+			Speedup:  pw.Seconds() / pway.Seconds(),
+		})
+	}
+	return out
+}
+
+func pairwiseMergeTimeForRuns(n int64, runs, contexts int, elem time.Duration) (time.Duration, []time.Duration, []int) {
+	return pairwiseMergeTime(n, runs, contexts, elem)
+}
+
+// FormatMergeCrossover renders the crossover table.
+func FormatMergeCrossover(points []MergeCrossoverPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %12s %12s %10s\n", "runs", "pairwise", "p-way", "speedup")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%8d %11.2fs %11.2fs %9.2fx\n",
+			pt.Runs, pt.Pairwise.Seconds(), pt.PWay.Seconds(), pt.Speedup)
+	}
+	return b.String()
+}

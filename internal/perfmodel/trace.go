@@ -1,0 +1,99 @@
+package perfmodel
+
+import (
+	"time"
+
+	"supmr/internal/metrics"
+)
+
+// Segment is one interval of modeled machine activity: how many worker
+// contexts are in each state between Start and End. Fractional counts are
+// allowed (e.g. the ingest thread charges 0.3 contexts of sys time for
+// the kernel-side copy of incoming data).
+type Segment struct {
+	Start, End time.Duration
+	User       float64
+	Sys        float64
+	IOWait     float64
+}
+
+// BuildTrace integrates segments into a collectl-style utilization trace
+// normalized to contexts, with the given bucket width, covering [0, end).
+func BuildTrace(segs []Segment, contexts int, bucket, end time.Duration) *metrics.Trace {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	if contexts <= 0 {
+		contexts = 1
+	}
+	if end <= 0 {
+		for _, s := range segs {
+			if s.End > end {
+				end = s.End
+			}
+		}
+		if end <= 0 {
+			end = bucket
+		}
+	}
+	n := int((end + bucket - 1) / bucket)
+	if n == 0 {
+		n = 1
+	}
+	type acc struct{ user, sys, iowait float64 } // context-seconds
+	buckets := make([]acc, n)
+
+	add := func(from, to time.Duration, user, sys, iowait float64) {
+		if to > end {
+			to = end
+		}
+		for t := from; t < to; {
+			bi := int(t / bucket)
+			if bi < 0 {
+				t = 0
+				continue
+			}
+			if bi >= n {
+				break
+			}
+			bEnd := time.Duration(bi+1) * bucket
+			seg := bEnd - t
+			if to-t < seg {
+				seg = to - t
+			}
+			s := seg.Seconds()
+			buckets[bi].user += user * s
+			buckets[bi].sys += sys * s
+			buckets[bi].iowait += iowait * s
+			t += seg
+		}
+	}
+	for _, s := range segs {
+		if s.End <= s.Start {
+			continue
+		}
+		add(s.Start, s.End, s.User, s.Sys, s.IOWait)
+	}
+
+	capacity := float64(contexts) * bucket.Seconds()
+	tr := &metrics.Trace{Bucket: bucket, Samples: make([]metrics.Sample, n)}
+	for i := range buckets {
+		tr.Samples[i] = metrics.Sample{
+			T:      time.Duration(i) * bucket,
+			User:   clampPct(100 * buckets[i].user / capacity),
+			Sys:    clampPct(100 * buckets[i].sys / capacity),
+			IOWait: clampPct(100 * buckets[i].iowait / capacity),
+		}
+	}
+	return tr
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package sortalgo
+
+import (
+	"fmt"
+	"testing"
+
+	"supmr/internal/kv"
+)
+
+// Micro-benchmarks of the two merge algorithms across run counts — the
+// in-memory heart of the Conclusion 3 ablation, without runtime or
+// device overheads.
+
+func benchRuns(total, runs int) [][]kv.Pair[uint64, uint64] {
+	per := total / runs
+	out := make([][]kv.Pair[uint64, uint64], runs)
+	x := uint64(99)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for r := range out {
+		n := per
+		if r == runs-1 {
+			n = total - per*(runs-1)
+		}
+		run := make([]kv.Pair[uint64, uint64], n)
+		for i := range run {
+			run[i] = kv.Pair[uint64, uint64]{Key: next(), Val: uint64(i)}
+		}
+		kv.SortPairs(run, func(a, b uint64) bool { return a < b })
+		out[r] = run
+	}
+	return out
+}
+
+func BenchmarkMerge(b *testing.B) {
+	const total = 1 << 18
+	less := kv.Less[uint64](func(a, c uint64) bool { return a < c })
+	for _, runs := range []int{8, 64, 512} {
+		base := benchRuns(total, runs)
+		for _, algo := range []MergeAlgo{MergePairwise, MergePWay} {
+			b.Run(fmt.Sprintf("%s/runs=%d", algo, runs), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(total * 16))
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					rs := make([][]kv.Pair[uint64, uint64], len(base))
+					for j := range base {
+						rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
+					}
+					b.StartTimer()
+					out := Merge(algo, rs, less, 4, nil)
+					if len(out) != total {
+						b.Fatal("bad merge")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSortRuns(b *testing.B) {
+	const total = 1 << 17
+	base := benchRuns(total, 32)
+	less := kv.Less[uint64](func(a, c uint64) bool { return a < c })
+	b.ReportAllocs()
+	b.SetBytes(int64(total * 16))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rs := make([][]kv.Pair[uint64, uint64], len(base))
+		for j := range base {
+			rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
+		}
+		b.StartTimer()
+		SortRuns(rs, less, 4, nil)
+	}
+}
+
+func BenchmarkLoserTreeWidth(b *testing.B) {
+	// One worker merging k columns: the loser tree's log2(k) scaling.
+	const total = 1 << 17
+	less := kv.Less[uint64](func(a, c uint64) bool { return a < c })
+	for _, k := range []int{4, 16, 64, 256} {
+		base := benchRuns(total, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(total * 16))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rs := make([][]kv.Pair[uint64, uint64], len(base))
+				for j := range base {
+					rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
+				}
+				b.StartTimer()
+				out := PWayMerge(rs, less, 1, nil)
+				if len(out) != total {
+					b.Fatal("bad merge")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,394 @@
+// Package sortalgo implements the two merge-phase algorithms the paper
+// contrasts, plus the parallel run-sorting step both share.
+//
+// The baseline is Phoenix's iterative pairwise merge sort: each round
+// merges pairs of sorted runs, so round r uses half the workers of round
+// r-1 and rescans every key — the "step" utilization decay of Fig. 1 and
+// the O(N log R) key comparisons that dominate sort's merge phase.
+//
+// SupMR's replacement is OpenMP-style p-way merging (Salzberg): N ordered
+// runs are merged into a single ordered array in ONE round by p
+// processors. Sampled splitters cut every run at consistent keys, giving
+// each processor an independent output range to fill with a loser-tree
+// k-way merge — one scan of the data, full parallelism throughout.
+package sortalgo
+
+import (
+	"sort"
+	"sync"
+
+	"supmr/internal/kv"
+)
+
+// Tracker observes worker activity so the runtimes can reconstruct
+// collectl-style utilization traces of the merge phase. A nil Tracker is
+// valid and records nothing.
+type Tracker interface {
+	// Register allocates a worker id.
+	Register() int
+	// Busy marks worker id as computing.
+	Busy(id int)
+	// Idle marks worker id as idle.
+	Idle(id int)
+}
+
+type nopTracker struct{}
+
+func (nopTracker) Register() int { return 0 }
+func (nopTracker) Busy(int)      {}
+func (nopTracker) Idle(int)      {}
+
+func orNop(t Tracker) Tracker {
+	if t == nil {
+		return nopTracker{}
+	}
+	return t
+}
+
+// SortRuns sorts each run in place, in parallel across workers. This is
+// the high-utilization prefix both merge algorithms share ("all cores
+// sorting small lists in parallel").
+func SortRuns[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], workers int, tr Tracker) {
+	tr = orNop(tr)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers == 0 {
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := tr.Register()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(runs) {
+					return
+				}
+				tr.Busy(id)
+				kv.SortPairs(runs[i], less)
+				tr.Idle(id)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeTwo merges sorted a and b into dst (which must have capacity
+// len(a)+len(b)) and returns dst.
+func mergeTwo[K any, V any](a, b []kv.Pair[K, V], less kv.Less[K], dst []kv.Pair[K, V]) []kv.Pair[K, V] {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j].Key, a[i].Key) {
+			dst = append(dst, b[j])
+			j++
+		} else {
+			dst = append(dst, a[i])
+			i++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// PairwiseMerge is the baseline Phoenix merge: repeatedly merge runs in
+// pairs until one remains. Each round processes every key again, and the
+// number of concurrently mergeable pairs (and hence busy workers) halves
+// every round. Runs must already be sorted.
+func PairwiseMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], workers int, tr Tracker) []kv.Pair[K, V] {
+	tr = orNop(tr)
+	if len(runs) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cur := runs
+	for len(cur) > 1 {
+		pairs := len(cur) / 2
+		nextRuns := make([][]kv.Pair[K, V], pairs+len(cur)%2)
+		par := workers
+		if par > pairs {
+			par = pairs
+		}
+		var idx int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				id := tr.Register()
+				for {
+					mu.Lock()
+					p := idx
+					idx++
+					mu.Unlock()
+					if p >= pairs {
+						return
+					}
+					a, b := cur[2*p], cur[2*p+1]
+					tr.Busy(id)
+					dst := make([]kv.Pair[K, V], 0, len(a)+len(b))
+					nextRuns[p] = mergeTwo(a, b, less, dst)
+					tr.Idle(id)
+				}
+			}()
+		}
+		wg.Wait()
+		if len(cur)%2 == 1 {
+			nextRuns[pairs] = cur[len(cur)-1]
+		}
+		cur = nextRuns
+	}
+	return cur[0]
+}
+
+// Rounds returns the number of pairwise merge rounds needed for n runs —
+// the quantity SupMR's p-way merge avoids (Conclusion 3: the benefit
+// depends on the number of merge rounds avoided).
+func Rounds(n int) int {
+	r := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		r++
+	}
+	return r
+}
+
+// samplesPerRun controls splitter quality for the p-way merge.
+const samplesPerRun = 32
+
+// PWayMerge merges sorted runs into one sorted array in a single round
+// using p workers. Sampled splitters partition the key space into p
+// consistent ranges; every worker loser-tree-merges its column of run
+// slices into a disjoint region of the output.
+func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], p int, tr Tracker) []kv.Pair[K, V] {
+	tr = orNop(tr)
+	// Drop empty runs.
+	var rs [][]kv.Pair[K, V]
+	total := 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			rs = append(rs, r)
+			total += len(r)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > total {
+		p = total
+	}
+
+	// Sample keys across runs and choose p-1 splitters.
+	var samples []K
+	for _, r := range rs {
+		step := len(r) / samplesPerRun
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(r); i += step {
+			samples = append(samples, r[i].Key)
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return less(samples[i], samples[j]) })
+	splitters := make([]K, 0, p-1)
+	for i := 1; i < p; i++ {
+		splitters = append(splitters, samples[i*len(samples)/p])
+	}
+
+	// cut[r][s] = index in run r of the first key >= splitters[s]
+	// (lower bound, applied uniformly, so ranges are consistent).
+	cuts := make([][]int, len(rs))
+	for ri, r := range rs {
+		c := make([]int, len(splitters)+2)
+		c[0] = 0
+		for si, sp := range splitters {
+			c[si+1] = lowerBound(r, sp, less)
+		}
+		c[len(splitters)+1] = len(r)
+		// Lower bounds are monotone because splitters are sorted; enforce
+		// monotonicity defensively for duplicate-heavy samples.
+		for i := 1; i < len(c); i++ {
+			if c[i] < c[i-1] {
+				c[i] = c[i-1]
+			}
+		}
+		cuts[ri] = c
+	}
+
+	// Output offsets per range.
+	rangeLen := make([]int, p)
+	for s := 0; s < p; s++ {
+		for ri := range rs {
+			rangeLen[s] += cuts[ri][s+1] - cuts[ri][s]
+		}
+	}
+	offsets := make([]int, p+1)
+	for s := 0; s < p; s++ {
+		offsets[s+1] = offsets[s] + rangeLen[s]
+	}
+
+	out := make([]kv.Pair[K, V], total)
+	var wg sync.WaitGroup
+	for s := 0; s < p; s++ {
+		if rangeLen[s] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			id := tr.Register()
+			tr.Busy(id)
+			defer tr.Idle(id)
+			var cols [][]kv.Pair[K, V]
+			for ri, r := range rs {
+				if seg := r[cuts[ri][s]:cuts[ri][s+1]]; len(seg) > 0 {
+					cols = append(cols, seg)
+				}
+			}
+			loserTreeMerge(cols, less, out[offsets[s]:offsets[s]:offsets[s+1]])
+		}(s)
+	}
+	wg.Wait()
+	return out
+}
+
+// lowerBound returns the index of the first element of r whose key is not
+// less than key.
+func lowerBound[K any, V any](r []kv.Pair[K, V], key K, less kv.Less[K]) int {
+	lo, hi := 0, len(r)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(r[mid].Key, key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// loserTreeMerge merges the sorted lists in cols into dst (an empty slice
+// with sufficient capacity) using a tournament tree of losers, the
+// classic structure for merging N ordered runs with ~log2(N) comparisons
+// per output element (Salzberg 1989).
+func loserTreeMerge[K any, V any](cols [][]kv.Pair[K, V], less kv.Less[K], dst []kv.Pair[K, V]) []kv.Pair[K, V] {
+	k := len(cols)
+	switch k {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, cols[0]...)
+	case 2:
+		return mergeTwo(cols[0], cols[1], less, dst)
+	}
+	// heads[i] is the next unconsumed index of cols[i]; exhausted columns
+	// are treated as +infinity in the tree.
+	heads := make([]int, k)
+	// tree[1..k-1] hold loser column ids; tree[0] holds the winner.
+	tree := make([]int, k)
+	exhausted := func(c int) bool { return heads[c] >= len(cols[c]) }
+	// beats reports whether column a's head wins (is less than) column
+	// b's head; exhausted columns always lose.
+	beats := func(a, b int) bool {
+		if exhausted(a) {
+			return false
+		}
+		if exhausted(b) {
+			return true
+		}
+		return less(cols[a][heads[a]].Key, cols[b][heads[b]].Key)
+	}
+
+	// Build the tree by playing each column up from its leaf.
+	for i := range tree {
+		tree[i] = -1
+	}
+	for c := 0; c < k; c++ {
+		winner := c
+		// Leaf position for column c in the implicit tournament.
+		for node := (k + c) / 2; node >= 1; node /= 2 {
+			if tree[node] == -1 {
+				tree[node] = winner
+				winner = -1
+				break
+			}
+			if beats(tree[node], winner) {
+				winner, tree[node] = tree[node], winner
+			}
+		}
+		if winner != -1 {
+			tree[0] = winner
+		}
+	}
+
+	for {
+		w := tree[0]
+		if exhausted(w) {
+			break
+		}
+		dst = append(dst, cols[w][heads[w]])
+		heads[w]++
+		// Replay w from its leaf to the root.
+		winner := w
+		for node := (k + w) / 2; node >= 1; node /= 2 {
+			if beats(tree[node], winner) {
+				winner, tree[node] = tree[node], winner
+			}
+		}
+		tree[0] = winner
+	}
+	return dst
+}
+
+// MergeAlgo selects the merge-phase implementation.
+type MergeAlgo int
+
+// Merge algorithm choices.
+const (
+	// MergePairwise is the original Phoenix iterative merge sort.
+	MergePairwise MergeAlgo = iota
+	// MergePWay is SupMR's single-round p-way merge.
+	MergePWay
+)
+
+// String names the algorithm.
+func (m MergeAlgo) String() string {
+	switch m {
+	case MergePairwise:
+		return "pairwise"
+	case MergePWay:
+		return "p-way"
+	default:
+		return "unknown"
+	}
+}
+
+// Merge dispatches to the selected algorithm. Runs must be sorted.
+func Merge[K any, V any](algo MergeAlgo, runs [][]kv.Pair[K, V], less kv.Less[K], workers int, tr Tracker) []kv.Pair[K, V] {
+	switch algo {
+	case MergePWay:
+		return PWayMerge(runs, less, workers, tr)
+	default:
+		return PairwiseMerge(runs, less, workers, tr)
+	}
+}

@@ -1,0 +1,241 @@
+package sortalgo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"supmr/internal/kv"
+)
+
+var u64Less = kv.Less[uint64](func(a, b uint64) bool { return a < b })
+
+// randomRuns builds `runs` sorted runs totalling `total` pairs, plus the
+// reference sorted key slice.
+func randomRuns(t testing.TB, total, runs int, seed int64) ([][]kv.Pair[uint64, int], []uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	all := make([]uint64, 0, total)
+	out := make([][]kv.Pair[uint64, int], runs)
+	per := total / runs
+	idx := 0
+	for r := 0; r < runs; r++ {
+		n := per
+		if r == runs-1 {
+			n = total - per*(runs-1)
+		}
+		run := make([]kv.Pair[uint64, int], n)
+		for i := range run {
+			k := uint64(rng.Intn(total * 2)) // deliberate duplicates
+			run[i] = kv.Pair[uint64, int]{Key: k, Val: idx}
+			all = append(all, k)
+			idx++
+		}
+		kv.SortPairs(run, u64Less)
+		out[r] = run
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return out, all
+}
+
+func checkMerged(t *testing.T, got []kv.Pair[uint64, int], want []uint64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: merged %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i] {
+			t.Fatalf("%s: key %d = %d, want %d", label, i, got[i].Key, want[i])
+		}
+	}
+	// Every original element appears exactly once.
+	seen := make(map[int]bool, len(got))
+	for _, p := range got {
+		if seen[p.Val] {
+			t.Fatalf("%s: element %d duplicated", label, p.Val)
+		}
+		seen[p.Val] = true
+	}
+}
+
+func TestPairwiseMergeCorrect(t *testing.T) {
+	for _, runs := range []int{1, 2, 3, 7, 16, 33} {
+		rs, want := randomRuns(t, 5000, runs, int64(runs))
+		got := PairwiseMerge(rs, u64Less, 4, nil)
+		checkMerged(t, got, want, fmt.Sprintf("pairwise runs=%d", runs))
+	}
+}
+
+func TestPWayMergeCorrect(t *testing.T) {
+	for _, runs := range []int{1, 2, 3, 7, 16, 33, 200} {
+		for _, p := range []int{1, 2, 4, 16} {
+			rs, want := randomRuns(t, 5000, runs, int64(runs*31+p))
+			got := PWayMerge(rs, u64Less, p, nil)
+			checkMerged(t, got, want, fmt.Sprintf("pway runs=%d p=%d", runs, p))
+		}
+	}
+}
+
+func TestMergeEmptyAndSingleton(t *testing.T) {
+	if got := PairwiseMerge[uint64, int](nil, u64Less, 4, nil); got != nil {
+		t.Errorf("pairwise(nil) = %v", got)
+	}
+	if got := PWayMerge[uint64, int](nil, u64Less, 4, nil); got != nil {
+		t.Errorf("pway(nil) = %v", got)
+	}
+	one := [][]kv.Pair[uint64, int]{{{Key: 1}, {Key: 2}}}
+	if got := PWayMerge(one, u64Less, 4, nil); len(got) != 2 {
+		t.Errorf("pway(single run) = %v", got)
+	}
+	// All-empty runs.
+	empty := [][]kv.Pair[uint64, int]{{}, {}, {}}
+	if got := PWayMerge(empty, u64Less, 4, nil); got != nil {
+		t.Errorf("pway(empty runs) = %v", got)
+	}
+}
+
+func TestPWayMergeSkewedRuns(t *testing.T) {
+	// Highly uneven run sizes and disjoint key ranges stress the
+	// splitter logic.
+	runs := [][]kv.Pair[uint64, int]{
+		make([]kv.Pair[uint64, int], 10000),
+		make([]kv.Pair[uint64, int], 3),
+		make([]kv.Pair[uint64, int], 500),
+	}
+	idx := 0
+	for r := range runs {
+		for i := range runs[r] {
+			runs[r][i] = kv.Pair[uint64, int]{Key: uint64(r*1_000_000 + i), Val: idx}
+			idx++
+		}
+	}
+	got := PWayMerge(runs, u64Less, 8, nil)
+	if len(got) != idx {
+		t.Fatalf("merged %d, want %d", len(got), idx)
+	}
+	if !kv.IsSortedPairs(got, u64Less) {
+		t.Error("skewed merge output unsorted")
+	}
+}
+
+func TestPWayMergeAllEqualKeys(t *testing.T) {
+	runs := make([][]kv.Pair[uint64, int], 8)
+	idx := 0
+	for r := range runs {
+		runs[r] = make([]kv.Pair[uint64, int], 100)
+		for i := range runs[r] {
+			runs[r][i] = kv.Pair[uint64, int]{Key: 42, Val: idx}
+			idx++
+		}
+	}
+	got := PWayMerge(runs, u64Less, 4, nil)
+	if len(got) != idx {
+		t.Fatalf("merged %d of %d equal-key pairs", len(got), idx)
+	}
+}
+
+// Property: both merges agree with each other and with a flat sort.
+func TestMergesAgree(t *testing.T) {
+	f := func(seed int64, runsRaw, pRaw uint8) bool {
+		runs := int(runsRaw%20) + 1
+		p := int(pRaw%8) + 1
+		rs, want := randomRuns(t, 800, runs, seed)
+		rs2 := make([][]kv.Pair[uint64, int], len(rs))
+		for i := range rs {
+			rs2[i] = append([]kv.Pair[uint64, int](nil), rs[i]...)
+		}
+		a := PairwiseMerge(rs, u64Less, p, nil)
+		b := PWayMerge(rs2, u64Less, p, nil)
+		if len(a) != len(want) || len(b) != len(want) {
+			return false
+		}
+		for i := range want {
+			if a[i].Key != want[i] || b[i].Key != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortRuns(t *testing.T) {
+	rs, _ := randomRuns(t, 2000, 8, 1)
+	// Shuffle each run, then re-sort through SortRuns.
+	rng := rand.New(rand.NewSource(2))
+	for _, r := range rs {
+		rng.Shuffle(len(r), func(i, j int) { r[i], r[j] = r[j], r[i] })
+	}
+	SortRuns(rs, u64Less, 4, nil)
+	for i, r := range rs {
+		if !kv.IsSortedPairs(r, u64Less) {
+			t.Errorf("run %d unsorted after SortRuns", i)
+		}
+	}
+}
+
+func TestRounds(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 256: 8}
+	for n, want := range cases {
+		if got := Rounds(n); got != want {
+			t.Errorf("Rounds(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMergeDispatchAndString(t *testing.T) {
+	if MergePairwise.String() != "pairwise" || MergePWay.String() != "p-way" {
+		t.Error("MergeAlgo String wrong")
+	}
+	if MergeAlgo(9).String() != "unknown" {
+		t.Error("unknown algo string wrong")
+	}
+	rs, want := randomRuns(t, 500, 4, 3)
+	got := Merge(MergePWay, rs, u64Less, 2, nil)
+	checkMerged(t, got, want, "dispatch")
+}
+
+// countTracker counts busy transitions to verify instrumentation fires.
+type countTracker struct {
+	registered atomic.Int64
+	busy       atomic.Int64
+}
+
+func (c *countTracker) Register() int { c.registered.Add(1); return int(c.registered.Load()) }
+func (c *countTracker) Busy(int)      { c.busy.Add(1) }
+func (c *countTracker) Idle(int)      {}
+
+func TestTrackerInstrumentation(t *testing.T) {
+	rs, _ := randomRuns(t, 1000, 8, 4)
+	tr := &countTracker{}
+	SortRuns(rs, u64Less, 4, tr)
+	if tr.busy.Load() != 8 {
+		t.Errorf("SortRuns marked busy %d times, want 8 (one per run)", tr.busy.Load())
+	}
+	tr2 := &countTracker{}
+	PairwiseMerge(rs, u64Less, 4, tr2)
+	if tr2.busy.Load() == 0 {
+		t.Error("PairwiseMerge never marked workers busy")
+	}
+	tr3 := &countTracker{}
+	rs2, _ := randomRuns(t, 1000, 8, 5)
+	PWayMerge(rs2, u64Less, 4, tr3)
+	if tr3.busy.Load() == 0 {
+		t.Error("PWayMerge never marked workers busy")
+	}
+}
+
+func TestLoserTreeMergeDirect(t *testing.T) {
+	// Exercise loserTreeMerge through PWayMerge with p=1 so a single
+	// worker merges many columns via the tree.
+	for _, k := range []int{3, 4, 5, 6, 9, 17} {
+		rs, want := randomRuns(t, 3000, k, int64(100+k))
+		got := PWayMerge(rs, u64Less, 1, nil)
+		checkMerged(t, got, want, fmt.Sprintf("losertree k=%d", k))
+	}
+}

@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cache is an LRU block cache in front of a Device — the page-cache /
+// MixApart-style caching layer the paper's related work discusses
+// (§VII) and the reason the Fig. 7 baseline's compute phase is fast
+// after copying: blocks already in memory cost no device time.
+//
+// Reads covered by cached blocks complete immediately; misses reserve
+// device time for the missing blocks only and then populate the cache,
+// evicting least-recently-used blocks beyond the capacity.
+type Cache struct {
+	dev       Device
+	blockSize int64
+	capacity  int // blocks
+
+	mu     sync.Mutex
+	blocks map[int64]*cacheEntry // block index -> entry
+	head   *cacheEntry           // most recently used
+	tail   *cacheEntry           // least recently used
+	stats  CacheStats
+}
+
+type cacheEntry struct {
+	block      int64
+	prev, next *cacheEntry
+}
+
+// CacheStats counts cache behaviour.
+type CacheStats struct {
+	Hits      int64 // block lookups served from cache
+	Misses    int64 // block lookups that reserved device time
+	Evictions int64
+}
+
+// NewCache wraps dev with an LRU block cache of capacity blocks of
+// blockSize bytes each.
+func NewCache(dev Device, blockSize int64, capacity int) (*Cache, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("storage: cache requires a device")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("storage: cache block size must be positive, got %d", blockSize)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("storage: cache capacity must be positive, got %d", capacity)
+	}
+	return &Cache{
+		dev:       dev,
+		blockSize: blockSize,
+		capacity:  capacity,
+		blocks:    make(map[int64]*cacheEntry),
+	}, nil
+}
+
+// Clock returns the underlying device clock.
+func (c *Cache) Clock() Clock { return c.dev.Clock() }
+
+// Bandwidth reports the underlying device bandwidth (the cache itself
+// is "free").
+func (c *Cache) Bandwidth() float64 { return c.dev.Bandwidth() }
+
+// Stats returns the underlying device counters (bytes that actually hit
+// the device).
+func (c *Cache) Stats() DeviceStats { return c.dev.Stats() }
+
+// CacheStats returns hit/miss/eviction counters.
+func (c *Cache) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// touch moves e to the MRU position (c.mu held).
+func (c *Cache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	// unlink
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	// push front
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// insert adds block as MRU, evicting if needed (c.mu held).
+func (c *Cache) insert(block int64) {
+	if _, ok := c.blocks[block]; ok {
+		return
+	}
+	if len(c.blocks) >= c.capacity {
+		lru := c.tail
+		if lru != nil {
+			if lru.prev != nil {
+				lru.prev.next = nil
+			}
+			c.tail = lru.prev
+			if c.head == lru {
+				c.head = nil
+			}
+			delete(c.blocks, lru.block)
+			c.stats.Evictions++
+		}
+	}
+	e := &cacheEntry{block: block}
+	c.blocks[block] = e
+	c.touch(e)
+}
+
+// Reserve charges device time only for the uncached blocks that overlap
+// [off, off+n) and marks all covered blocks cached. It implements
+// Device, so a Cache can stand wherever a Disk or RAID0 does.
+func (c *Cache) Reserve(off, n int64) time.Duration {
+	if n <= 0 {
+		return c.dev.Clock().Now()
+	}
+	first := off / c.blockSize
+	last := (off + n - 1) / c.blockSize
+
+	deadline := c.dev.Clock().Now()
+	c.mu.Lock()
+	// Collect runs of consecutive missing blocks so the device sees
+	// large sequential requests, not per-block dribble.
+	var runStart int64 = -1
+	flush := func(endExclusive int64) {
+		if runStart < 0 {
+			return
+		}
+		devOff := runStart * c.blockSize
+		devN := (endExclusive - runStart) * c.blockSize
+		if d := c.dev.Reserve(devOff, devN); d > deadline {
+			deadline = d
+		}
+		runStart = -1
+	}
+	for b := first; b <= last; b++ {
+		if e, ok := c.blocks[b]; ok {
+			c.stats.Hits++
+			c.touch(e)
+			flush(b)
+			continue
+		}
+		c.stats.Misses++
+		if runStart < 0 {
+			runStart = b
+		}
+		c.insert(b)
+	}
+	flush(last + 1)
+	c.mu.Unlock()
+	return deadline
+}
+
+// Contains reports whether the block holding byte offset off is cached.
+func (c *Cache) Contains(off int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.blocks[off/c.blockSize]
+	return ok
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.blocks)
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+func cachedDisk(t *testing.T, bw float64, blockSize int64, capacity int) (*Cache, *Disk, *FakeClock) {
+	t.Helper()
+	clock := NewFakeClock()
+	d, err := NewDisk(DiskConfig{Name: "d", Bandwidth: bw}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(d, blockSize, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d, clock
+}
+
+func TestCacheValidation(t *testing.T) {
+	clock := NewFakeClock()
+	d, _ := NewDisk(DiskConfig{Name: "d", Bandwidth: 1}, clock)
+	if _, err := NewCache(nil, 10, 1); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := NewCache(d, 0, 1); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewCache(d, 10, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestCacheHitCostsNothing(t *testing.T) {
+	c, d, clock := cachedDisk(t, 1e6, 1024, 16)
+	// First read: miss, charged.
+	dl := c.Reserve(0, 1024)
+	if dl <= 0 {
+		t.Fatal("miss should cost device time")
+	}
+	clock.SleepUntil(dl)
+	before := d.Stats().BytesRead
+	// Second read of the same block: free.
+	dl2 := c.Reserve(0, 1024)
+	if dl2 > clock.Now() {
+		t.Errorf("cache hit cost device time: deadline %v > now %v", dl2, clock.Now())
+	}
+	if d.Stats().BytesRead != before {
+		t.Error("cache hit reached the device")
+	}
+	cs := c.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("stats = %+v", cs)
+	}
+}
+
+func TestCachePartialOverlap(t *testing.T) {
+	c, d, _ := cachedDisk(t, 1e9, 1024, 16)
+	c.Reserve(0, 1024) // cache block 0
+	// Read blocks 0..3: only 1..3 hit the device.
+	c.Reserve(0, 4*1024)
+	if got := d.Stats().BytesRead; got != 4*1024 {
+		t.Errorf("device read %d bytes, want 4096 (1 cached + 3 fetched of 4)", got)
+	}
+	cs := c.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 4 {
+		t.Errorf("stats = %+v", cs)
+	}
+}
+
+func TestCacheEvictionLRU(t *testing.T) {
+	c, _, _ := cachedDisk(t, 1e9, 1024, 2)
+	c.Reserve(0, 1024)      // block 0
+	c.Reserve(1024, 1024)   // block 1
+	c.Reserve(0, 1024)      // touch block 0 (now MRU)
+	c.Reserve(2*1024, 1024) // block 2: evicts block 1 (LRU)
+	if !c.Contains(0) {
+		t.Error("recently-used block 0 evicted")
+	}
+	if c.Contains(1024) {
+		t.Error("LRU block 1 not evicted")
+	}
+	if !c.Contains(2 * 1024) {
+		t.Error("new block 2 missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d blocks, want 2", c.Len())
+	}
+	if c.CacheStats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.CacheStats().Evictions)
+	}
+}
+
+func TestCacheMissRunsCoalesce(t *testing.T) {
+	c, d, _ := cachedDisk(t, 1e9, 1024, 64)
+	c.Reserve(0, 16*1024) // 16 consecutive missing blocks
+	if got := d.Stats().Reads; got != 1 {
+		t.Errorf("device saw %d requests, want 1 coalesced run", got)
+	}
+}
+
+func TestCacheAsFileDevice(t *testing.T) {
+	clock := NewFakeClock()
+	d, err := NewDisk(DiskConfig{Name: "d", Bandwidth: 1e6}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewCache(d, 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	f, err := NewFile("f", int64(len(data)), 0, func(off int64, p []byte) { copy(p, data[off:]) }, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	// Cold read takes device time.
+	t0 := clock.Now()
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	cold := clock.Now() - t0
+	// Warm read is near-free.
+	t1 := clock.Now()
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	warm := clock.Now() - t1
+	if cold < 60*time.Millisecond {
+		t.Errorf("cold read took %v, want ~65ms", cold)
+	}
+	if warm > time.Millisecond {
+		t.Errorf("warm read took %v, want ~0", warm)
+	}
+}
+
+func TestCacheZeroLengthReserve(t *testing.T) {
+	c, _, _ := cachedDisk(t, 1e9, 1024, 4)
+	c.Reserve(100, 0)
+	if c.Len() != 0 {
+		t.Error("zero-length reserve cached blocks")
+	}
+}

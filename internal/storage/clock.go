@@ -1,0 +1,103 @@
+// Package storage simulates the primary-storage substrate of the SupMR
+// testbed: individual disks with finite bandwidth and seek latency, a
+// RAID-0 array that stripes requests across member disks, and files whose
+// contents are produced by deterministic generators so that multi-gigabyte
+// inputs never need to reside in memory.
+//
+// The paper's machine serves reads from a 3-disk RAID-0 at 384 MB/s; the
+// ingest bottleneck it studies is purely a bandwidth phenomenon. The
+// simulation therefore models service time, not media: a read of n bytes
+// occupies the device for n/bandwidth seconds (plus seek latency on
+// discontiguous access) and the caller sleeps until the device completes.
+// Because waiting is real wall-clock sleeping (under RealClock), ingest
+// genuinely overlaps with computation exactly as it would against a real
+// disk, which is what the SupMR ingest chunk pipeline exploits.
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so that unit tests can run the bandwidth arithmetic
+// instantly and deterministically while production runs sleep for real.
+type Clock interface {
+	// Now returns the elapsed duration since the clock's epoch.
+	Now() time.Duration
+	// SleepUntil blocks the caller until Now() >= t.
+	SleepUntil(t time.Duration)
+}
+
+// RealClock is a Clock backed by the wall clock. The zero value is not
+// usable; construct with NewRealClock so the epoch is fixed.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a Clock whose epoch is the moment of the call.
+func NewRealClock() *RealClock {
+	return &RealClock{epoch: time.Now()}
+}
+
+// Now returns the wall-clock duration since the epoch.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// spinThreshold is the tail of each wait that is yielded through rather
+// than slept: OS timers overshoot by ~0.1-1 ms, which would add a
+// systematic per-read error to fine-grained chunk pipelines (hundreds of
+// device waits per run).
+const spinThreshold = 500 * time.Microsecond
+
+// SleepUntil sleeps until the wall clock passes t, finishing the last
+// half millisecond with sched-yields so device waits land on time.
+func (c *RealClock) SleepUntil(t time.Duration) {
+	for {
+		d := t - c.Now()
+		if d <= 0 {
+			return
+		}
+		if d > spinThreshold {
+			time.Sleep(d - spinThreshold)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// FakeClock is a deterministic Clock for tests. SleepUntil advances the
+// clock immediately instead of blocking, so device-time arithmetic can be
+// verified without waiting. It is safe for concurrent use, but note that
+// with concurrent sleepers virtual time advances to the maximum requested
+// deadline; it does not implement a full event queue (the perfmodel
+// package owns the discrete-event machinery).
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at zero.
+func NewFakeClock() *FakeClock { return &FakeClock{} }
+
+// Now returns the current virtual time.
+func (c *FakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// SleepUntil advances virtual time to t if t is in the future.
+func (c *FakeClock) SleepUntil(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Advance moves virtual time forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}

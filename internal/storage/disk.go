@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Device models a block device that takes time to serve reads. Reserve
+// books the service time for a request and returns the virtual/real
+// completion deadline; callers then sleep on the device's clock until the
+// deadline. Splitting reservation from sleeping lets RAID0 reserve on all
+// member disks first and sleep once on the latest deadline.
+type Device interface {
+	// Reserve books service time for reading n bytes at byte offset off
+	// and returns the completion deadline on the device clock.
+	Reserve(off, n int64) time.Duration
+	// Clock returns the clock the device schedules against.
+	Clock() Clock
+	// Bandwidth returns the nominal sequential read bandwidth in
+	// bytes per second.
+	Bandwidth() float64
+	// Stats returns a snapshot of cumulative device counters.
+	Stats() DeviceStats
+}
+
+// DeviceStats are cumulative counters for a device.
+type DeviceStats struct {
+	BytesRead int64         // total payload bytes served
+	Reads     int64         // number of read requests
+	Seeks     int64         // requests that paid a seek penalty
+	BusyTime  time.Duration // total time the device was occupied
+}
+
+// DiskConfig describes a simulated disk.
+type DiskConfig struct {
+	Name      string        // for diagnostics
+	Bandwidth float64       // sequential read bandwidth, bytes/sec
+	SeekTime  time.Duration // penalty for a discontiguous request
+}
+
+// Disk is a single simulated spindle. Requests are serviced in FIFO
+// order: each reservation begins when the previous one completes (or now,
+// if the disk is idle) and lasts n/bandwidth, plus SeekTime when the
+// request does not continue the previous request's byte range.
+type Disk struct {
+	cfg   DiskConfig
+	clock Clock
+
+	mu       sync.Mutex
+	busyTill time.Duration // when the last accepted request completes
+	nextOff  int64         // offset one past the last served byte
+	stats    DeviceStats
+}
+
+// NewDisk builds a disk from cfg scheduling against clock.
+func NewDisk(cfg DiskConfig, clock Clock) (*Disk, error) {
+	if cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("storage: disk %q bandwidth must be positive, got %v", cfg.Name, cfg.Bandwidth)
+	}
+	if cfg.SeekTime < 0 {
+		return nil, fmt.Errorf("storage: disk %q seek time must be non-negative, got %v", cfg.Name, cfg.SeekTime)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("storage: disk %q requires a clock", cfg.Name)
+	}
+	return &Disk{cfg: cfg, clock: clock, nextOff: -1}, nil
+}
+
+// Clock returns the disk's scheduling clock.
+func (d *Disk) Clock() Clock { return d.clock }
+
+// Bandwidth returns the configured sequential bandwidth in bytes/sec.
+func (d *Disk) Bandwidth() float64 { return d.cfg.Bandwidth }
+
+// Name returns the configured device name.
+func (d *Disk) Name() string { return d.cfg.Name }
+
+// Reserve books the service time for n bytes at off and returns the
+// completion deadline. n == 0 reserves no time and returns the current
+// deadline horizon.
+func (d *Disk) Reserve(off, n int64) time.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("storage: negative read size %d on disk %q", n, d.cfg.Name))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	now := d.clock.Now()
+	start := d.busyTill
+	if start < now {
+		start = now
+	}
+	var service time.Duration
+	if n > 0 {
+		if d.nextOff != off && d.nextOff >= 0 {
+			service += d.cfg.SeekTime
+			d.stats.Seeks++
+		} else if d.nextOff < 0 && d.cfg.SeekTime > 0 {
+			// First request ever pays an initial seek.
+			service += d.cfg.SeekTime
+			d.stats.Seeks++
+		}
+		service += durationFor(n, d.cfg.Bandwidth)
+		d.nextOff = off + n
+		d.stats.Reads++
+		d.stats.BytesRead += n
+		d.stats.BusyTime += service
+	}
+	d.busyTill = start + service
+	return d.busyTill
+}
+
+// Stats returns a snapshot of the disk's counters.
+func (d *Disk) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// durationFor converts a byte count at a bandwidth into service time.
+func durationFor(n int64, bytesPerSec float64) time.Duration {
+	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}
+
+// NullDevice is a Device with infinite bandwidth: reservations complete
+// immediately. Useful for isolating compute behaviour in tests and for
+// the "input already in memory" configurations.
+type NullDevice struct {
+	clock Clock
+	mu    sync.Mutex
+	stats DeviceStats
+}
+
+// NewNullDevice returns an infinitely fast device on clock.
+func NewNullDevice(clock Clock) *NullDevice { return &NullDevice{clock: clock} }
+
+// Reserve accounts the read and completes immediately.
+func (d *NullDevice) Reserve(off, n int64) time.Duration {
+	d.mu.Lock()
+	d.stats.Reads++
+	d.stats.BytesRead += n
+	d.mu.Unlock()
+	return d.clock.Now()
+}
+
+// Clock returns the device clock.
+func (d *NullDevice) Clock() Clock { return d.clock }
+
+// Bandwidth reports a very large finite number to keep ratio arithmetic
+// in callers well-defined.
+func (d *NullDevice) Bandwidth() float64 { return 1 << 50 }
+
+// Stats returns a snapshot of counters.
+func (d *NullDevice) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

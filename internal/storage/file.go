@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fill deterministically produces the contents of a simulated file:
+// it must write len(p) bytes of the file's content starting at byte
+// offset off. Generators in internal/workload provide Fill functions so
+// that arbitrarily large inputs exist without being materialized.
+type Fill func(off int64, p []byte)
+
+// File is a named, fixed-size file whose bytes come from a Fill function
+// and whose read timing comes from a Device. It implements io.ReaderAt.
+type File struct {
+	name string
+	size int64
+	base int64 // byte offset of the file on the device, for striping
+	fill Fill
+	dev  Device
+}
+
+// NewFile creates a simulated file. base is the file's starting offset on
+// the device (files laid out at distinct bases model distinct extents).
+func NewFile(name string, size, base int64, fill Fill, dev Device) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("storage: file %q size must be non-negative, got %d", name, size)
+	}
+	if fill == nil {
+		return nil, fmt.Errorf("storage: file %q requires a fill function", name)
+	}
+	if dev == nil {
+		return nil, fmt.Errorf("storage: file %q requires a device", name)
+	}
+	return &File{name: name, size: size, base: base, fill: fill, dev: dev}, nil
+}
+
+// BytesFile builds a File over an in-memory byte slice (for tests and
+// small inputs) on dev at base offset 0.
+func BytesFile(name string, data []byte, dev Device) *File {
+	f, err := NewFile(name, int64(len(data)), 0, func(off int64, p []byte) {
+		copy(p, data[off:])
+	}, dev)
+	if err != nil {
+		// BytesFile's arguments cannot trigger validation failures.
+		panic(err)
+	}
+	return f
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Device returns the device that serves this file.
+func (f *File) Device() Device { return f.dev }
+
+// ReadAt fills p with file contents starting at off, charging the device
+// for the transfer and sleeping until the device completes. It satisfies
+// io.ReaderAt: short reads at EOF return io.EOF.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d reading %q", off, f.name)
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > f.size {
+		n = f.size - off
+	}
+	deadline := f.dev.Reserve(f.base+off, n)
+	f.fill(off, p[:n])
+	f.dev.Clock().SleepUntil(deadline)
+	if n < int64(len(p)) {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// NewReader returns a sequential reader over the whole file.
+func (f *File) NewReader() *Reader { return &Reader{f: f} }
+
+// Reader is a sequential io.Reader over a File.
+type Reader struct {
+	f   *File
+	off int64
+}
+
+// Read reads the next chunk of the file.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.off >= r.f.size {
+		return 0, io.EOF
+	}
+	n, err := r.f.ReadAt(p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// Offset returns the current sequential position.
+func (r *Reader) Offset() int64 { return r.off }
+
+// FileSet is an ordered collection of files on one device, the shape of a
+// many-small-files word-count input (Hadoop-style) used by intra-file
+// chunking.
+type FileSet struct {
+	files []*File
+}
+
+// NewFileSet wraps files preserving order.
+func NewFileSet(files []*File) *FileSet { return &FileSet{files: files} }
+
+// Len returns the number of files.
+func (s *FileSet) Len() int { return len(s.files) }
+
+// At returns the i-th file.
+func (s *FileSet) At(i int) *File { return s.files[i] }
+
+// TotalSize sums all file sizes.
+func (s *FileSet) TotalSize() int64 {
+	var t int64
+	for _, f := range s.files {
+		t += f.Size()
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// RAID0 stripes reads across member disks in fixed-size stripe units, the
+// way the testbed's 3-HDD RAID-0 aggregates the bandwidth of its members.
+// A request covering k stripe units is decomposed into per-disk extents;
+// each member disk reserves its share concurrently and the request
+// completes when the slowest member does, so aggregate sequential
+// bandwidth approaches the sum of the members'.
+type RAID0 struct {
+	members    []*Disk
+	stripeUnit int64
+	clock      Clock
+}
+
+// NewRAID0 builds a RAID-0 array over members with the given stripe unit
+// in bytes. All members must share one clock.
+func NewRAID0(members []*Disk, stripeUnit int64) (*RAID0, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("storage: RAID0 requires at least one member disk")
+	}
+	if stripeUnit <= 0 {
+		return nil, fmt.Errorf("storage: RAID0 stripe unit must be positive, got %d", stripeUnit)
+	}
+	clock := members[0].Clock()
+	for _, m := range members[1:] {
+		if m.Clock() != clock {
+			return nil, fmt.Errorf("storage: RAID0 members must share a clock")
+		}
+	}
+	return &RAID0{members: members, stripeUnit: stripeUnit, clock: clock}, nil
+}
+
+// Clock returns the array's scheduling clock.
+func (r *RAID0) Clock() Clock { return r.clock }
+
+// Bandwidth returns the aggregate sequential bandwidth of the array.
+func (r *RAID0) Bandwidth() float64 {
+	var sum float64
+	for _, m := range r.members {
+		sum += m.Bandwidth()
+	}
+	return sum
+}
+
+// Members returns the number of member disks.
+func (r *RAID0) Members() int { return len(r.members) }
+
+// StripeUnit returns the stripe unit size in bytes.
+func (r *RAID0) StripeUnit() int64 { return r.stripeUnit }
+
+// Reserve decomposes [off, off+n) into stripe units, reserves the mapped
+// extent on each member, and returns the latest member deadline.
+func (r *RAID0) Reserve(off, n int64) time.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("storage: negative read size %d on RAID0", n))
+	}
+	if n == 0 {
+		return r.clock.Now()
+	}
+	// Walk the request stripe unit by stripe unit, accumulating one
+	// contiguous extent per member disk, then reserve each extent once.
+	// Within a single striped request each member's extent is contiguous
+	// in the member's own address space.
+	type extent struct {
+		off, n int64
+		used   bool
+	}
+	extents := make([]extent, len(r.members))
+	for cur := off; cur < off+n; {
+		unit := cur / r.stripeUnit
+		member := int(unit % int64(len(r.members)))
+		memberRow := unit / int64(len(r.members))
+		inUnit := cur - unit*r.stripeUnit
+		take := r.stripeUnit - inUnit
+		if rem := off + n - cur; take > rem {
+			take = rem
+		}
+		mOff := memberRow*r.stripeUnit + inUnit
+		e := &extents[member]
+		if !e.used {
+			e.off, e.n, e.used = mOff, take, true
+		} else {
+			// Extend the member extent; rows are visited in order so the
+			// extent stays contiguous per member.
+			e.n += take
+		}
+		cur += take
+	}
+	deadline := r.clock.Now()
+	for i, e := range extents {
+		if !e.used {
+			continue
+		}
+		if d := r.members[i].Reserve(e.off, e.n); d > deadline {
+			deadline = d
+		}
+	}
+	return deadline
+}
+
+// Stats sums the member disks' counters.
+func (r *RAID0) Stats() DeviceStats {
+	var total DeviceStats
+	for _, m := range r.members {
+		s := m.Stats()
+		total.BytesRead += s.BytesRead
+		total.Reads += s.Reads
+		total.Seeks += s.Seeks
+		if s.BusyTime > total.BusyTime {
+			total.BusyTime = s.BusyTime // array busy ~ slowest member
+		}
+	}
+	return total
+}
+
+// TestbedRAID constructs the paper's storage configuration scaled by
+// factor: three identical disks whose aggregate bandwidth is
+// 384 MB/s * factor. factor 1.0 reproduces the testbed; small factors
+// make wall-clock experiments fast while preserving every ratio.
+func TestbedRAID(clock Clock, factor float64) (*RAID0, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("storage: testbed scale factor must be positive, got %v", factor)
+	}
+	const aggregate = 384 << 20 // bytes/sec
+	per := float64(aggregate) / 3 * factor
+	members := make([]*Disk, 3)
+	for i := range members {
+		d, err := NewDisk(DiskConfig{
+			Name:      fmt.Sprintf("hdd%d", i),
+			Bandwidth: per,
+			SeekTime:  0, // RAID sequential streams; seeks negligible at this grain
+		}, clock)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = d
+	}
+	return NewRAID0(members, 64<<10)
+}

@@ -1,0 +1,319 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestDisk(t *testing.T, bw float64, seek time.Duration) (*Disk, *FakeClock) {
+	t.Helper()
+	clock := NewFakeClock()
+	d, err := NewDisk(DiskConfig{Name: "d0", Bandwidth: bw, SeekTime: seek}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, clock
+}
+
+func TestDiskServiceTime(t *testing.T) {
+	d, clock := newTestDisk(t, 1e6, 0) // 1 MB/s
+	deadline := d.Reserve(0, 1e6)
+	if deadline != time.Second {
+		t.Errorf("1 MB at 1 MB/s should take 1s, got %v", deadline)
+	}
+	clock.SleepUntil(deadline)
+	// A second sequential read queues behind the first.
+	deadline2 := d.Reserve(1e6, 5e5)
+	if deadline2 != 1500*time.Millisecond {
+		t.Errorf("sequential follow-up should finish at 1.5s, got %v", deadline2)
+	}
+}
+
+func TestDiskSeekPenalty(t *testing.T) {
+	const seek = 10 * time.Millisecond
+	d, _ := newTestDisk(t, 1e6, seek)
+	// First request pays an initial seek.
+	d1 := d.Reserve(0, 1e6)
+	if want := time.Second + seek; d1 != want {
+		t.Errorf("first read deadline %v, want %v", d1, want)
+	}
+	// Sequential continuation: no seek.
+	d2 := d.Reserve(1e6, 1e6)
+	if want := 2*time.Second + seek; d2 != want {
+		t.Errorf("sequential read deadline %v, want %v", d2, want)
+	}
+	// Discontiguous request: extra seek.
+	d3 := d.Reserve(0, 1e6)
+	if want := 3*time.Second + 2*seek; d3 != want {
+		t.Errorf("random read deadline %v, want %v", d3, want)
+	}
+	s := d.Stats()
+	if s.Seeks != 2 {
+		t.Errorf("seeks = %d, want 2", s.Seeks)
+	}
+	if s.BytesRead != 3e6 {
+		t.Errorf("bytes read = %d, want 3e6", s.BytesRead)
+	}
+}
+
+func TestDiskIdleGap(t *testing.T) {
+	d, clock := newTestDisk(t, 1e6, 0)
+	d.Reserve(0, 1e6)
+	// Let the disk go idle for 5s, then request: service starts now, not
+	// at the old horizon.
+	clock.SleepUntil(6 * time.Second)
+	deadline := d.Reserve(1e6, 1e6)
+	if want := 7 * time.Second; deadline != want {
+		t.Errorf("post-idle deadline %v, want %v", deadline, want)
+	}
+}
+
+func TestDiskValidation(t *testing.T) {
+	clock := NewFakeClock()
+	if _, err := NewDisk(DiskConfig{Bandwidth: 0}, clock); err == nil {
+		t.Error("zero bandwidth should be rejected")
+	}
+	if _, err := NewDisk(DiskConfig{Bandwidth: 1, SeekTime: -time.Second}, clock); err == nil {
+		t.Error("negative seek should be rejected")
+	}
+	if _, err := NewDisk(DiskConfig{Bandwidth: 1}, nil); err == nil {
+		t.Error("nil clock should be rejected")
+	}
+}
+
+func TestRAID0AggregateBandwidth(t *testing.T) {
+	clock := NewFakeClock()
+	var members []*Disk
+	for i := 0; i < 3; i++ {
+		d, err := NewDisk(DiskConfig{Name: "m", Bandwidth: 1e6}, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, d)
+	}
+	r, err := NewRAID0(members, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bandwidth() != 3e6 {
+		t.Errorf("aggregate bandwidth %v, want 3e6", r.Bandwidth())
+	}
+	// A large aligned read should take ~n/(3*bw).
+	deadline := r.Reserve(0, 3e6)
+	if deadline < 990*time.Millisecond || deadline > 1100*time.Millisecond {
+		t.Errorf("3 MB over 3x1MB/s should take ~1s, got %v", deadline)
+	}
+	s := r.Stats()
+	if s.BytesRead != 3e6 {
+		t.Errorf("stats bytes %d, want 3e6", s.BytesRead)
+	}
+}
+
+func TestRAID0StripeMapping(t *testing.T) {
+	clock := NewFakeClock()
+	var members []*Disk
+	for i := 0; i < 2; i++ {
+		d, err := NewDisk(DiskConfig{Name: "m", Bandwidth: 1e6}, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, d)
+	}
+	r, err := NewRAID0(members, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytes [0,100) -> disk0, [100,200) -> disk1, [200,300) -> disk0...
+	r.Reserve(0, 300)
+	s0, s1 := members[0].Stats(), members[1].Stats()
+	if s0.BytesRead != 200 || s1.BytesRead != 100 {
+		t.Errorf("stripe distribution = %d/%d, want 200/100", s0.BytesRead, s1.BytesRead)
+	}
+}
+
+func TestRAID0Validation(t *testing.T) {
+	if _, err := NewRAID0(nil, 100); err == nil {
+		t.Error("empty member list should be rejected")
+	}
+	clock := NewFakeClock()
+	d, _ := NewDisk(DiskConfig{Name: "m", Bandwidth: 1}, clock)
+	if _, err := NewRAID0([]*Disk{d}, 0); err == nil {
+		t.Error("zero stripe unit should be rejected")
+	}
+	other, _ := NewDisk(DiskConfig{Name: "o", Bandwidth: 1}, NewFakeClock())
+	if _, err := NewRAID0([]*Disk{d, other}, 100); err == nil {
+		t.Error("mismatched clocks should be rejected")
+	}
+}
+
+func TestTestbedRAID(t *testing.T) {
+	clock := NewFakeClock()
+	r, err := TestbedRAID(clock, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Bandwidth(), float64(384<<20); got < want*0.999 || got > want*1.001 {
+		t.Errorf("testbed bandwidth = %v, want %v", got, want)
+	}
+	if r.Members() != 3 {
+		t.Errorf("testbed members = %d, want 3", r.Members())
+	}
+	if _, err := TestbedRAID(clock, 0); err == nil {
+		t.Error("zero factor should be rejected")
+	}
+}
+
+func TestFileReadAt(t *testing.T) {
+	clock := NewFakeClock()
+	data := []byte("hello, storage world")
+	f := BytesFile("f", data, NewNullDevice(clock))
+	buf := make([]byte, 5)
+	n, err := f.ReadAt(buf, 7)
+	if err != nil || n != 5 || string(buf) != "stora" {
+		t.Errorf("ReadAt(7,5) = %q, %d, %v", buf[:n], n, err)
+	}
+	// EOF behaviour.
+	n, err = f.ReadAt(buf, int64(len(data))-2)
+	if n != 2 || err != io.EOF {
+		t.Errorf("short read at EOF = %d, %v; want 2, EOF", n, err)
+	}
+	if _, err = f.ReadAt(buf, int64(len(data))); err != io.EOF {
+		t.Errorf("read past EOF = %v, want EOF", err)
+	}
+	if _, err = f.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset should error")
+	}
+}
+
+func TestFileReaderSequential(t *testing.T) {
+	clock := NewFakeClock()
+	data := bytes.Repeat([]byte("abc"), 100)
+	f := BytesFile("f", data, NewNullDevice(clock))
+	r := f.NewReader()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("sequential read mismatch")
+	}
+	if r.Offset() != int64(len(data)) {
+		t.Errorf("offset %d, want %d", r.Offset(), len(data))
+	}
+}
+
+func TestFileChargesDevice(t *testing.T) {
+	d, _ := newTestDisk(t, 1e6, 0)
+	data := make([]byte, 1000)
+	f, err := NewFile("f", int64(len(data)), 0, func(off int64, p []byte) {
+		copy(p, data[off:])
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 500)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().BytesRead; got != 500 {
+		t.Errorf("device charged %d bytes, want 500", got)
+	}
+	// The fake clock advanced by the service time.
+	if now := d.Clock().Now(); now != 500*time.Microsecond {
+		t.Errorf("clock advanced %v, want 500µs", now)
+	}
+}
+
+func TestFileValidation(t *testing.T) {
+	clock := NewFakeClock()
+	dev := NewNullDevice(clock)
+	if _, err := NewFile("f", -1, 0, func(int64, []byte) {}, dev); err == nil {
+		t.Error("negative size should be rejected")
+	}
+	if _, err := NewFile("f", 1, 0, nil, dev); err == nil {
+		t.Error("nil fill should be rejected")
+	}
+	if _, err := NewFile("f", 1, 0, func(int64, []byte) {}, nil); err == nil {
+		t.Error("nil device should be rejected")
+	}
+}
+
+func TestFileSet(t *testing.T) {
+	clock := NewFakeClock()
+	dev := NewNullDevice(clock)
+	fs := NewFileSet([]*File{
+		BytesFile("a", make([]byte, 10), dev),
+		BytesFile("b", make([]byte, 20), dev),
+	})
+	if fs.Len() != 2 || fs.TotalSize() != 30 {
+		t.Errorf("fileset len=%d total=%d, want 2, 30", fs.Len(), fs.TotalSize())
+	}
+	if fs.At(1).Name() != "b" {
+		t.Errorf("At(1) = %q, want b", fs.At(1).Name())
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	c := NewFakeClock()
+	c.SleepUntil(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", c.Now())
+	}
+	c.SleepUntil(time.Second) // past deadline: no-op
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v after past sleep, want 5s", c.Now())
+	}
+	c.Advance(time.Second)
+	if c.Now() != 6*time.Second {
+		t.Errorf("Now = %v after advance, want 6s", c.Now())
+	}
+}
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	c.SleepUntil(a + 2*time.Millisecond)
+	b := c.Now()
+	if b < a+2*time.Millisecond {
+		t.Errorf("SleepUntil returned early: %v -> %v", a, b)
+	}
+	if b > a+50*time.Millisecond {
+		t.Errorf("SleepUntil overshot wildly: %v -> %v", a, b)
+	}
+}
+
+// Property: RAID0 striping conserves bytes — whatever range is requested,
+// member byte counts sum to the request size.
+func TestRAID0ConservesBytes(t *testing.T) {
+	f := func(offRaw uint32, nRaw uint16, membersRaw, unitRaw uint8) bool {
+		members := int(membersRaw%4) + 1
+		unit := int64(unitRaw%64) + 1
+		off := int64(offRaw % 10000)
+		n := int64(nRaw % 4096)
+		clock := NewFakeClock()
+		var ds []*Disk
+		for i := 0; i < members; i++ {
+			d, err := NewDisk(DiskConfig{Name: "m", Bandwidth: 1e9}, clock)
+			if err != nil {
+				return false
+			}
+			ds = append(ds, d)
+		}
+		r, err := NewRAID0(ds, unit)
+		if err != nil {
+			return false
+		}
+		r.Reserve(off, n)
+		var sum int64
+		for _, d := range ds {
+			sum += d.Stats().BytesRead
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package tuner implements the chunk-size selection the paper leaves as
+// future work (§III-A2, §VIII): "the best approach ... is to design
+// components that factor in the expected performance and the workload
+// characteristics (i.e. a feedback loop)".
+//
+// Two pieces:
+//
+//   - Recommend: a static advisor that picks an initial ingest chunk
+//     size from what is known up front (device bandwidth, expected map
+//     rate, input size, per-round overhead) following the paper's own
+//     guidance — compute-bound jobs want larger chunks (fewer rounds,
+//     less thread overhead), disk-bound jobs want smaller chunks (finer
+//     overlap, higher utilization).
+//
+//   - Controller: a per-round feedback loop. The SupMR pipeline reports
+//     each round's observed ingest and map durations; the controller
+//     nudges the next chunk size so that per-round fixed overhead stays
+//     a small fraction of the round while keeping enough rounds for the
+//     pipeline to overlap.
+package tuner
+
+import (
+	"time"
+)
+
+// Limits bound chunk sizes chosen by the advisor and the controller.
+type Limits struct {
+	Min int64 // never chunk below this (default 64 KiB)
+	Max int64 // never chunk above this (default input/2 when known)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.Min <= 0 {
+		l.Min = 64 << 10
+	}
+	if l.Max <= 0 {
+		l.Max = 1 << 40
+	}
+	if l.Max < l.Min {
+		l.Max = l.Min
+	}
+	return l
+}
+
+func (l Limits) clamp(v int64) int64 {
+	if v < l.Min {
+		return l.Min
+	}
+	if v > l.Max {
+		return l.Max
+	}
+	return v
+}
+
+// Recommend picks an initial chunk size.
+//
+//   - ingestBW: device read bandwidth, bytes/sec.
+//   - mapRate: aggregate map throughput, bytes/sec (0 = unknown, assume
+//     disk-bound).
+//   - total: input size in bytes (0 = unknown).
+//   - roundOverhead: fixed per-round cost (thread create/destroy,
+//     synchronization).
+//
+// The rule: the chunk must be large enough that roundOverhead is at
+// most ~5% of the chunk's ingest time (otherwise thread overheads
+// dominate, the paper's §VI-C caveat), and small enough that the job
+// runs at least ~16 rounds so ingest and map genuinely pipeline. When
+// the job is compute-bound (map slower than ingest), rounds are paced
+// by map time, so the overhead bound uses the map rate instead.
+func Recommend(ingestBW, mapRate float64, total int64, roundOverhead time.Duration, lim Limits) int64 {
+	lim = lim.withDefaults()
+	if ingestBW <= 0 {
+		ingestBW = 1 << 30
+	}
+	pace := ingestBW
+	if mapRate > 0 && mapRate < ingestBW {
+		// Compute-bound: rounds take map time; prefer larger chunks.
+		pace = mapRate
+	}
+	// Overhead bound: chunk/pace >= 20 * overhead.
+	minBytes := int64(20 * roundOverhead.Seconds() * pace)
+	if minBytes < lim.Min {
+		minBytes = lim.Min
+	}
+	chunk := minBytes
+	if total > 0 {
+		// Round-count bound: at least ~16 rounds when the input allows.
+		byRounds := total / 16
+		if byRounds > chunk {
+			chunk = byRounds
+		}
+		if half := total / 2; chunk > half && half >= lim.Min {
+			chunk = half
+		}
+	} else {
+		// Unknown input size: a few MB balances both concerns.
+		if chunk < 4<<20 {
+			chunk = 4 << 20
+		}
+	}
+	return lim.clamp(chunk)
+}
+
+// Controller adapts the chunk size round by round. It watches two
+// signals:
+//
+//   - round efficiency: overlap(ingest, map) / roundTime. When the two
+//     halves are badly unbalanced the round wastes pipeline capacity;
+//     shrinking chunks improves utilization granularity (Fig. 5b vs 5c).
+//   - overhead fraction: estimated fixed cost per round vs round time.
+//     When rounds get too short the fixed cost dominates and chunks
+//     must grow (the paper's thread-overhead caveat).
+//
+// Adjustments are multiplicative and smoothed so one noisy round cannot
+// swing the size.
+type Controller struct {
+	lim      Limits
+	overhead time.Duration
+	cur      int64
+	// smoothing state
+	ewmaIngest float64 // seconds
+	ewmaMap    float64 // seconds
+	rounds     int
+}
+
+// ControllerConfig configures a Controller.
+type ControllerConfig struct {
+	Initial  int64         // starting chunk size (required)
+	Limits   Limits        // bounds
+	Overhead time.Duration // estimated fixed per-round cost (default 2ms)
+}
+
+// NewController builds the feedback controller.
+func NewController(cfg ControllerConfig) *Controller {
+	lim := cfg.Limits.withDefaults()
+	if cfg.Initial <= 0 {
+		cfg.Initial = lim.Min
+	}
+	if cfg.Overhead <= 0 {
+		cfg.Overhead = 2 * time.Millisecond
+	}
+	return &Controller{lim: lim, overhead: cfg.Overhead, cur: lim.clamp(cfg.Initial)}
+}
+
+// Current returns the chunk size the controller currently recommends.
+func (c *Controller) Current() int64 { return c.cur }
+
+// Rounds returns how many observations the controller has folded in.
+func (c *Controller) Rounds() int { return c.rounds }
+
+// ewma smoothing factor: recent rounds weigh ~1/3.
+const alpha = 0.35
+
+// Next folds in one round's observation — the chunk size that was
+// ingested and the wall-clock durations of the round's ingest and map
+// halves — and returns the chunk size to use for the next round.
+func (c *Controller) Next(chunkBytes int64, ingest, mapT time.Duration) int64 {
+	c.rounds++
+	if chunkBytes <= 0 {
+		return c.cur
+	}
+	// Normalize observations to the *current* chunk size so a pending
+	// size change does not confuse the ratios.
+	scale := float64(c.cur) / float64(chunkBytes)
+	ing := ingest.Seconds() * scale
+	mp := mapT.Seconds() * scale
+	if c.rounds == 1 {
+		c.ewmaIngest, c.ewmaMap = ing, mp
+	} else {
+		c.ewmaIngest = alpha*ing + (1-alpha)*c.ewmaIngest
+		c.ewmaMap = alpha*mp + (1-alpha)*c.ewmaMap
+	}
+
+	round := c.ewmaIngest
+	if c.ewmaMap > round {
+		round = c.ewmaMap
+	}
+	if round <= 0 {
+		return c.cur
+	}
+
+	next := float64(c.cur)
+	switch {
+	case c.overhead.Seconds() > 0.05*round:
+		// Rounds too short: fixed cost dominates — grow so overhead
+		// falls to ~2.5% of the round.
+		next = float64(c.cur) * (c.overhead.Seconds() / 0.025) / round
+	case c.overhead.Seconds() < 0.01*round:
+		// Plenty of headroom: shrink toward finer-grained overlap (the
+		// small-chunk regime of Fig. 5b), but gently.
+		next = float64(c.cur) * 0.8
+	}
+	c.cur = c.lim.clamp(int64(next))
+	return c.cur
+}
+
+// Balance reports the smoothed map:ingest time ratio (>1 means
+// compute-bound rounds). Diagnostic for reports and tests.
+func (c *Controller) Balance() float64 {
+	if c.ewmaIngest <= 0 {
+		return 0
+	}
+	return c.ewmaMap / c.ewmaIngest
+}

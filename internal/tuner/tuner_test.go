@@ -1,0 +1,160 @@
+package tuner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecommendDiskBound(t *testing.T) {
+	// Disk-bound (map much faster than disk): chunk paced by disk; with
+	// a large input, the round-count bound dominates.
+	got := Recommend(100e6, 2e9, 16<<30, 10*time.Millisecond, Limits{})
+	if got != 1<<30 {
+		t.Errorf("disk-bound chunk = %d, want input/16 = %d", got, int64(1)<<30)
+	}
+}
+
+func TestRecommendOverheadFloor(t *testing.T) {
+	// Small input: the overhead bound sets the floor: 20 * 10ms * 100MB/s
+	// = 20 MB.
+	got := Recommend(100e6, 0, 64<<20, 10*time.Millisecond, Limits{})
+	want := int64(20 * 0.01 * 100e6)
+	if got != want {
+		t.Errorf("overhead floor = %d, want %d", got, want)
+	}
+}
+
+func TestRecommendComputeBound(t *testing.T) {
+	// Compute-bound job (map slower than disk): rounds paced by map, so
+	// the overhead floor uses the map rate — chunks come out smaller
+	// than the disk-paced floor would be, but never below the bound.
+	diskBound := Recommend(400e6, 0, 1<<30, 10*time.Millisecond, Limits{})
+	computeBound := Recommend(400e6, 50e6, 1<<30, 10*time.Millisecond, Limits{})
+	if computeBound >= diskBound {
+		t.Errorf("compute-bound chunk %d should be below disk-paced floor %d", computeBound, diskBound)
+	}
+}
+
+func TestRecommendHalfInputCap(t *testing.T) {
+	// The chunk never exceeds half the input (pipelining needs >= 2).
+	got := Recommend(1e9, 0, 1<<20, time.Second, Limits{})
+	if got > 1<<19 {
+		t.Errorf("chunk %d exceeds half of the 1 MiB input", got)
+	}
+}
+
+func TestRecommendUnknownInput(t *testing.T) {
+	got := Recommend(100e6, 0, 0, time.Millisecond, Limits{})
+	if got < 4<<20 {
+		t.Errorf("unknown-input chunk = %d, want >= 4 MiB", got)
+	}
+}
+
+func TestRecommendRespectsLimits(t *testing.T) {
+	lim := Limits{Min: 1 << 20, Max: 2 << 20}
+	if got := Recommend(1e3, 0, 1<<30, 0, lim); got < lim.Min || got > lim.Max {
+		t.Errorf("chunk %d outside [%d, %d]", got, lim.Min, lim.Max)
+	}
+}
+
+func TestControllerGrowsWhenOverheadDominates(t *testing.T) {
+	c := NewController(ControllerConfig{
+		Initial:  64 << 10,
+		Overhead: 5 * time.Millisecond,
+		Limits:   Limits{Min: 64 << 10, Max: 1 << 30},
+	})
+	// Rounds of 10ms: overhead is 50% of the round — way above 5%.
+	var last int64
+	for i := 0; i < 10; i++ {
+		last = c.Next(c.Current(), 10*time.Millisecond, 2*time.Millisecond)
+	}
+	if last <= 64<<10 {
+		t.Errorf("controller did not grow chunks under overhead pressure: %d", last)
+	}
+}
+
+func TestControllerShrinksWithHeadroom(t *testing.T) {
+	c := NewController(ControllerConfig{
+		Initial:  64 << 20,
+		Overhead: time.Millisecond,
+		Limits:   Limits{Min: 64 << 10, Max: 1 << 30},
+	})
+	// Rounds of 2s: overhead is 0.05% — lots of headroom, shrink toward
+	// finer-grained overlap.
+	var last int64
+	for i := 0; i < 10; i++ {
+		last = c.Next(c.Current(), 2*time.Second, time.Second)
+	}
+	if last >= 64<<20 {
+		t.Errorf("controller did not shrink chunks with headroom: %d", last)
+	}
+	if last < 64<<10 {
+		t.Errorf("controller violated the minimum: %d", last)
+	}
+}
+
+func TestControllerConverges(t *testing.T) {
+	// With round time proportional to chunk size, the controller should
+	// settle into a band where overhead is 1-5% of the round, and stay.
+	const bw = 100e6 // bytes/sec "ingest"
+	overhead := 2 * time.Millisecond
+	c := NewController(ControllerConfig{
+		Initial:  512 << 10,
+		Overhead: overhead,
+		Limits:   Limits{Min: 16 << 10, Max: 1 << 30},
+	})
+	cur := c.Current()
+	for i := 0; i < 60; i++ {
+		ingest := time.Duration(float64(cur) / bw * float64(time.Second))
+		cur = c.Next(cur, ingest, ingest/3)
+	}
+	round := float64(cur) / bw
+	frac := overhead.Seconds() / round
+	if frac < 0.005 || frac > 0.08 {
+		t.Errorf("converged overhead fraction %.3f outside [0.005, 0.08] (chunk %d)", frac, cur)
+	}
+	if c.Rounds() != 60 {
+		t.Errorf("rounds = %d", c.Rounds())
+	}
+}
+
+func TestControllerBalance(t *testing.T) {
+	c := NewController(ControllerConfig{Initial: 1 << 20})
+	c.Next(1<<20, 100*time.Millisecond, 200*time.Millisecond)
+	if b := c.Balance(); b < 1.9 || b > 2.1 {
+		t.Errorf("balance = %.2f, want ~2 (map twice as long as ingest)", b)
+	}
+}
+
+func TestControllerIgnoresBadObservations(t *testing.T) {
+	c := NewController(ControllerConfig{Initial: 1 << 20})
+	before := c.Current()
+	if got := c.Next(0, time.Second, time.Second); got != before {
+		t.Errorf("zero-size observation changed the chunk: %d", got)
+	}
+	if got := c.Next(1<<20, 0, 0); got < 0 {
+		t.Errorf("zero-duration observation produced %d", got)
+	}
+}
+
+func TestControllerDefaults(t *testing.T) {
+	c := NewController(ControllerConfig{})
+	if c.Current() != 64<<10 {
+		t.Errorf("default initial = %d, want the default Min", c.Current())
+	}
+	if c.Balance() != 0 {
+		t.Error("balance before observations should be 0")
+	}
+}
+
+func TestLimitsClamp(t *testing.T) {
+	l := Limits{Min: 10, Max: 20}
+	if l.clamp(5) != 10 || l.clamp(25) != 20 || l.clamp(15) != 15 {
+		t.Error("clamp wrong")
+	}
+	// Max < Min normalizes.
+	bad := Limits{Min: 100, Max: 5}.withDefaults()
+	if bad.Max < bad.Min {
+		t.Error("withDefaults did not normalize inverted limits")
+	}
+}

@@ -1,0 +1,387 @@
+// Package supmr is a Go reproduction of "SupMR: Circumventing Disk and
+// Memory Bandwidth Bottlenecks for Scale-up MapReduce" (Sevilla et al.,
+// 2014): a scale-up MapReduce runtime whose ingest chunk pipeline
+// overlaps reading input with map computation and whose merge phase runs
+// a single-round parallel p-way merge instead of iterative pairwise
+// merging.
+//
+// This package is the public facade. Applications implement Job (map,
+// reduce, key ordering), pick an intermediate container matched to their
+// key distribution, and call Run with a Config selecting the traditional
+// runtime or the SupMR pipeline:
+//
+//	cfg := supmr.Config{Runtime: supmr.RuntimeSupMR, ChunkBytes: 1 << 20}
+//	report, err := supmr.RunBytes[string, int64](supmr.WordCountJob(), data,
+//	        supmr.NewHashContainer[string, int64](64, supmr.HashString, sum), cfg)
+//
+// The heavy machinery lives in internal packages: internal/core (the
+// pipeline), internal/mapreduce (the traditional runtime),
+// internal/container, internal/chunk, internal/sortalgo, plus the
+// simulated substrates internal/storage, internal/netsim, internal/hdfs
+// and the paper-scale performance model internal/perfmodel.
+package supmr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"supmr/internal/chunk"
+	"supmr/internal/container"
+	"supmr/internal/core"
+	"supmr/internal/kv"
+	"supmr/internal/mapreduce"
+	"supmr/internal/metrics"
+	"supmr/internal/sortalgo"
+	"supmr/internal/storage"
+	"supmr/internal/tuner"
+)
+
+// Job is the user application: Map parses an input split into key-value
+// pairs, Reduce folds the values of one key, and Less orders keys for
+// the merged output. Implement Combiner (Combine(a, b V) V) to let hash
+// and array containers fold values eagerly.
+type Job[K comparable, V any] = kv.App[K, V]
+
+// Pair is a key-value pair.
+type Pair[K any, V any] = kv.Pair[K, V]
+
+// Emitter receives pairs from Map.
+type Emitter[K any, V any] = kv.Emitter[K, V]
+
+// Container stores intermediate pairs between map and reduce.
+type Container[K comparable, V any] = container.Container[K, V]
+
+// Boundary locates record boundaries for chunking and splitting.
+type Boundary = chunk.Boundary
+
+// Input is any byte source the runtimes can ingest: simulated local
+// files, HDFS files, or in-memory buffers.
+type Input = chunk.Input
+
+// Stream produces ingest chunks.
+type Stream = chunk.Stream
+
+// Chunk is one ingested unit of input.
+type Chunk = chunk.Chunk
+
+// MergeAlgo selects the merge-phase algorithm.
+type MergeAlgo = sortalgo.MergeAlgo
+
+// Merge algorithm choices.
+const (
+	// MergePairwise is the original Phoenix iterative merge sort.
+	MergePairwise = sortalgo.MergePairwise
+	// MergePWay is SupMR's single-round parallel p-way merge.
+	MergePWay = sortalgo.MergePWay
+)
+
+// Boundaries for common record formats.
+var (
+	// NewlineRecords marks '\n'-terminated records (text).
+	NewlineRecords Boundary = chunk.NewlineBoundary{}
+	// CRLFRecords marks "\r\n"-terminated records (terasort).
+	CRLFRecords Boundary = chunk.CRLFBoundary{}
+)
+
+// FixedRecords marks fixed-width records of the given byte width.
+func FixedRecords(width int64) Boundary { return chunk.FixedBoundary{Width: width} }
+
+// Runtime selects which runtime executes the job.
+type Runtime int
+
+// Runtime choices.
+const (
+	// RuntimeTraditional is the Phoenix++-style baseline: ingest the
+	// whole input, then map, reduce and pairwise-merge.
+	RuntimeTraditional Runtime = iota
+	// RuntimeSupMR is the paper's contribution: the ingest chunk
+	// pipeline with a persistent container and the p-way merge.
+	RuntimeSupMR
+)
+
+// String names the runtime.
+func (r Runtime) String() string {
+	if r == RuntimeSupMR {
+		return "supmr"
+	}
+	return "traditional"
+}
+
+// Config controls an execution.
+type Config struct {
+	// Runtime selects the baseline or the SupMR pipeline.
+	Runtime Runtime
+	// Workers is the number of worker goroutines per phase
+	// (default: GOMAXPROCS).
+	Workers int
+	// Splits is the number of input splits per map wave
+	// (default: 4*Workers).
+	Splits int
+	// ChunkBytes is the SupMR inter-file ingest chunk size. Zero means
+	// the whole input arrives as a single chunk.
+	ChunkBytes int64
+	// FilesPerChunk enables intra-file chunking over multi-file inputs:
+	// that many files coalesce into each ingest chunk.
+	FilesPerChunk int
+	// Merge overrides the merge algorithm. By default the traditional
+	// runtime merges pairwise and SupMR uses the p-way merge.
+	Merge *MergeAlgo
+	// Boundary adjusts chunk and split cut points to record boundaries
+	// (default: newline).
+	Boundary Boundary
+	// TraceContexts, when positive, enables CPU-utilization tracing
+	// normalized to that many hardware contexts.
+	TraceContexts int
+	// TraceBucket is the utilization trace bucket width
+	// (default: 100ms).
+	TraceBucket time.Duration
+	// Clock provides time for phase measurement; defaults to a fresh
+	// wall clock. Pass the storage clock so device waits and phase
+	// times share a timeline.
+	Clock storage.Clock
+	// ResetEachRound re-initializes the container at every SupMR map
+	// round — the broken traditional behaviour, exposed only for the
+	// persistent-container ablation.
+	ResetEachRound bool
+	// AdaptiveChunks enables the chunk-size feedback loop (the paper's
+	// §VIII future work): the pipeline observes each round's ingest and
+	// map durations and retunes the ingest chunk size. ChunkBytes is
+	// the starting size. Only effective with RuntimeSupMR over a
+	// resizable stream (RunFile / StreamFile inputs).
+	AdaptiveChunks bool
+	// HybridChunks selects hybrid inter/intra-file chunking for
+	// multi-file inputs (RunFiles): small files coalesce up to
+	// ChunkBytes while oversized files are split at ChunkBytes.
+	HybridChunks bool
+}
+
+// Report is the outcome of a run: globally key-sorted output pairs,
+// per-phase times (the paper's Table II row), execution statistics, and
+// the utilization trace when tracing was enabled.
+type Report[K comparable, V any] struct {
+	Pairs []Pair[K, V]
+	Times metrics.PhaseTimes
+	Stats mapreduce.Stats
+	Trace *metrics.Trace
+	// Markers are phase-boundary annotations for the trace (present when
+	// tracing was enabled); render with Trace.AnnotatedASCII.
+	Markers []metrics.Marker
+}
+
+func (c Config) clock() storage.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return storage.NewRealClock()
+}
+
+func (c Config) boundary() Boundary {
+	if c.Boundary != nil {
+		return c.Boundary
+	}
+	return NewlineRecords
+}
+
+func (c Config) mergeAlgo() MergeAlgo {
+	if c.Merge != nil {
+		return *c.Merge
+	}
+	if c.Runtime == RuntimeSupMR {
+		return MergePWay
+	}
+	return MergePairwise
+}
+
+// mapreduceOptions converts a Config into runtime options (without
+// instrumentation — used by auxiliary drivers such as RunKMeans).
+func mapreduceOptions(cfg Config) mapreduce.Options {
+	return mapreduce.Options{
+		Workers:  cfg.Workers,
+		Splits:   cfg.Splits,
+		Merge:    cfg.mergeAlgo(),
+		Boundary: cfg.boundary(),
+	}
+}
+
+// Run executes the job over an explicit chunk stream. Most callers use
+// RunFile, RunFiles or RunBytes, which build the stream.
+func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V], cfg Config) (*Report[K, V], error) {
+	if job == nil {
+		return nil, errors.New("supmr: nil job")
+	}
+	if input == nil {
+		return nil, errors.New("supmr: nil input stream")
+	}
+	if cont == nil {
+		return nil, errors.New("supmr: nil container")
+	}
+	clk := cfg.clock()
+	timer := metrics.NewTimer(clk.Now)
+	var rec *metrics.UtilRecorder
+	var markers *metrics.MarkerLog
+	if cfg.TraceContexts > 0 {
+		rec = metrics.NewUtilRecorder(cfg.TraceContexts, clk.Now)
+		markers = &metrics.MarkerLog{}
+		timer.WithMarkers(markers)
+	}
+	ro := mapreduce.Options{
+		Workers:  cfg.Workers,
+		Splits:   cfg.Splits,
+		Merge:    cfg.mergeAlgo(),
+		Boundary: cfg.boundary(),
+		Timer:    timer,
+		Recorder: rec,
+	}
+
+	var (
+		res *mapreduce.Result[K, V]
+		err error
+	)
+	if cfg.Runtime == RuntimeSupMR {
+		co := core.Options{Options: ro, ResetEachRound: cfg.ResetEachRound}
+		if cfg.AdaptiveChunks {
+			initial := cfg.ChunkBytes
+			if initial <= 0 {
+				initial = tuner.Recommend(0, 0, input.TotalBytes(), 2*time.Millisecond, tuner.Limits{})
+			}
+			lim := tuner.Limits{Min: 64 << 10}
+			if total := input.TotalBytes(); total > 0 {
+				lim.Max = total / 2
+			}
+			co.Tuner = tuner.NewController(tuner.ControllerConfig{Initial: initial, Limits: lim})
+		}
+		res, err = core.Run(job, input, cont, co)
+	} else {
+		res, err = mapreduce.Run(job, input, cont, ro)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats}
+	if rec != nil {
+		bucket := cfg.TraceBucket
+		if bucket <= 0 {
+			bucket = 100 * time.Millisecond
+		}
+		rep.Trace = rec.Build(bucket, res.Times.Total)
+		rep.Markers = markers.Markers()
+	}
+	return rep, nil
+}
+
+// RunFile executes the job over a single (possibly simulated) file,
+// chunked per the config: SupMR uses inter-file ingest chunks of
+// ChunkBytes; the traditional runtime ingests the whole file.
+func RunFile[K comparable, V any](job Job[K, V], file Input, cont Container[K, V], cfg Config) (*Report[K, V], error) {
+	stream, err := StreamFile(file, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Run(job, stream, cont, cfg)
+}
+
+// RunFiles executes the job over a set of files using intra-file
+// chunking (FilesPerChunk files per ingest chunk; default 1).
+func RunFiles[K comparable, V any](job Job[K, V], files []Input, cont Container[K, V], cfg Config) (*Report[K, V], error) {
+	stream, err := StreamFiles(files, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Run(job, stream, cont, cfg)
+}
+
+// RunBytes executes the job over an in-memory buffer (no simulated
+// device: ingest is instantaneous). Handy for tests and quickstarts.
+func RunBytes[K comparable, V any](job Job[K, V], data []byte, cont Container[K, V], cfg Config) (*Report[K, V], error) {
+	clk := cfg.clock()
+	cfg.Clock = clk
+	f := storage.BytesFile("<memory>", data, storage.NewNullDevice(clk))
+	return RunFile(job, f, cont, cfg)
+}
+
+// StreamFile builds the chunk stream RunFile would use.
+func StreamFile(file Input, cfg Config) (Stream, error) {
+	if file == nil {
+		return nil, errors.New("supmr: nil input file")
+	}
+	chunkBytes := cfg.ChunkBytes
+	if chunkBytes <= 0 && cfg.AdaptiveChunks && cfg.Runtime == RuntimeSupMR {
+		// No explicit size: start from the static advisor's pick and let
+		// the feedback loop refine it.
+		chunkBytes = tuner.Recommend(0, 0, file.Size(), 2*time.Millisecond, tuner.Limits{})
+	}
+	wholeInput := cfg.Runtime != RuntimeSupMR || chunkBytes <= 0
+	if wholeInput {
+		chunkBytes = file.Size()
+		if chunkBytes <= 0 {
+			chunkBytes = 1
+		}
+	}
+	inter, err := chunk.NewInterFile(file, chunkBytes, cfg.boundary())
+	if err != nil {
+		return nil, fmt.Errorf("supmr: %w", err)
+	}
+	if wholeInput {
+		return chunk.NewWholeInput(inter), nil
+	}
+	return inter, nil
+}
+
+// StreamFiles builds the multi-file chunk stream RunFiles would use:
+// intra-file chunking by default, hybrid inter/intra-file chunking when
+// cfg.HybridChunks is set.
+func StreamFiles(files []Input, cfg Config) (Stream, error) {
+	var (
+		s   Stream
+		err error
+	)
+	if cfg.HybridChunks {
+		size := cfg.ChunkBytes
+		if size <= 0 {
+			size = 4 << 20
+		}
+		s, err = chunk.NewHybrid(files, size, cfg.boundary())
+	} else {
+		per := cfg.FilesPerChunk
+		if per <= 0 {
+			per = 1
+		}
+		s, err = chunk.NewIntraFile(files, per)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("supmr: %w", err)
+	}
+	if cfg.Runtime != RuntimeSupMR {
+		return chunk.NewWholeInput(s), nil
+	}
+	return s, nil
+}
+
+// NewHashContainer returns the default Phoenix++ hash container: keys
+// hash into shards; combine (optional) folds values at insertion.
+func NewHashContainer[K comparable, V any](shards int, hash func(K) uint64, combine func(a, b V) V) Container[K, V] {
+	return container.NewHash[K, V](shards, hash, combine)
+}
+
+// NewArrayContainer returns the array container for dense int keys in
+// [0, width).
+func NewArrayContainer[V any](width, stripes int, combine func(a, b V) V) Container[int, V] {
+	return container.NewArray[V](width, stripes, combine)
+}
+
+// NewKeyRangeContainer returns Phoenix's unlocked storage for
+// unique-key applications such as sort. partitions fixes the reduce
+// partition count (<=0 selects the default of 64).
+func NewKeyRangeContainer[K comparable, V any](partitions int) Container[K, V] {
+	return container.NewKeyRange[K, V](partitions)
+}
+
+// HashString hashes string keys for NewHashContainer.
+func HashString(s string) uint64 { return container.StringHasher(s) }
+
+// HashInt hashes int keys for NewHashContainer.
+func HashInt(i int) uint64 { return container.IntHasher(i) }
+
+// HashUint64 hashes uint64 keys for NewHashContainer.
+func HashUint64(x uint64) uint64 { return container.Uint64Hasher(x) }

@@ -1,0 +1,148 @@
+package supmr
+
+import (
+	"strings"
+	"testing"
+
+	"supmr/internal/kv"
+	"supmr/internal/workload"
+)
+
+// refWordCount computes word counts the boring way.
+func refWordCount(text []byte) map[string]int64 {
+	counts := make(map[string]int64)
+	for _, w := range strings.Fields(string(text)) {
+		counts[w]++
+	}
+	return counts
+}
+
+func genText(t *testing.T, size int64, seed int64) []byte {
+	t.Helper()
+	buf := make([]byte, size)
+	workload.TextGen{Seed: seed}.Fill()(0, buf)
+	return buf
+}
+
+func checkWordCounts(t *testing.T, pairs []Pair[string, int64], want map[string]int64) {
+	t.Helper()
+	if len(pairs) != len(want) {
+		t.Fatalf("got %d distinct words, want %d", len(pairs), len(want))
+	}
+	for i, p := range pairs {
+		if i > 0 && pairs[i-1].Key >= p.Key {
+			t.Fatalf("output not strictly sorted at %d: %q >= %q", i, pairs[i-1].Key, p.Key)
+		}
+		if want[p.Key] != p.Val {
+			t.Fatalf("count for %q = %d, want %d", p.Key, p.Val, want[p.Key])
+		}
+	}
+}
+
+func TestWordCountTraditionalMatchesReference(t *testing.T) {
+	text := genText(t, 64<<10, 1)
+	want := refWordCount(text)
+	rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(16), Config{
+		Runtime: RuntimeTraditional,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, rep.Pairs, want)
+	if rep.Stats.MapWaves != 1 {
+		t.Errorf("traditional runtime ran %d map waves, want 1", rep.Stats.MapWaves)
+	}
+}
+
+func TestWordCountSupMRMatchesTraditional(t *testing.T) {
+	text := genText(t, 64<<10, 2)
+	want := refWordCount(text)
+	rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(16), Config{
+		Runtime:    RuntimeSupMR,
+		Workers:    4,
+		ChunkBytes: 7 << 10, // ~10 chunks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, rep.Pairs, want)
+	if rep.Stats.MapWaves < 8 {
+		t.Errorf("SupMR ran %d map waves, want several (chunked input)", rep.Stats.MapWaves)
+	}
+}
+
+func TestSortBothRuntimesSortedAndEqual(t *testing.T) {
+	const records = 5000
+	data := make([]byte, records*workload.TeraRecordSize)
+	workload.TeraGen{Seed: 42}.Fill()(0, data)
+
+	run := func(rt Runtime, chunkBytes int64) []Pair[string, uint64] {
+		t.Helper()
+		rep, err := RunBytes[string, uint64](SortJob(), data, SortContainer(), Config{
+			Runtime:    rt,
+			Workers:    4,
+			ChunkBytes: chunkBytes,
+			Boundary:   CRLFRecords,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Pairs
+	}
+
+	base := run(RuntimeTraditional, 0)
+	sup := run(RuntimeSupMR, 64<<10)
+
+	if len(base) != records || len(sup) != records {
+		t.Fatalf("output sizes: baseline=%d supmr=%d, want %d", len(base), len(sup), records)
+	}
+	less := kv.Less[string](func(a, b string) bool { return a < b })
+	if !kv.IsSortedPairs(base, less) {
+		t.Error("baseline output not sorted")
+	}
+	if !kv.IsSortedPairs(sup, less) {
+		t.Error("SupMR output not sorted")
+	}
+	for i := range base {
+		if base[i] != sup[i] {
+			t.Fatalf("outputs differ at %d: baseline=%v supmr=%v", i, base[i], sup[i])
+		}
+	}
+}
+
+func TestPersistentContainerAblationLosesData(t *testing.T) {
+	// With the container re-initialized each round (the traditional
+	// behaviour §III-C removes), only the last chunk's words survive.
+	text := genText(t, 64<<10, 3)
+	want := refWordCount(text)
+	rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(16), Config{
+		Runtime:        RuntimeSupMR,
+		Workers:        4,
+		ChunkBytes:     7 << 10,
+		ResetEachRound: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, p := range rep.Pairs {
+		total += p.Val
+	}
+	var wantTotal int64
+	for _, c := range want {
+		wantTotal += c
+	}
+	if total >= wantTotal {
+		t.Fatalf("ablation kept %d word occurrences, want fewer than %d (data loss expected)", total, wantTotal)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run[string, int64](nil, nil, nil, Config{}); err == nil {
+		t.Error("Run with nil job should fail")
+	}
+	if _, err := RunFile[string, int64](WordCountJob(), nil, WordCountContainer(4), Config{}); err == nil {
+		t.Error("RunFile with nil file should fail")
+	}
+}

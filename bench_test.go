@@ -17,7 +17,9 @@ import (
 	"testing"
 	"time"
 
+	"supmr/internal/exec"
 	"supmr/internal/kv"
+	"supmr/internal/mapreduce"
 	"supmr/internal/perfmodel"
 	"supmr/internal/sortalgo"
 	"supmr/internal/workload"
@@ -294,6 +296,8 @@ func BenchmarkAblationMerge(b *testing.B) {
 				const total = 200_000
 				less := kv.Less[uint64](func(a, c uint64) bool { return a < c })
 				base := makeRuns(total, runs)
+				ex := exec.NewLocal(4)
+				defer ex.Close()
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -303,9 +307,9 @@ func BenchmarkAblationMerge(b *testing.B) {
 						rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
 					}
 					b.StartTimer()
-					out := sortalgo.Merge(algo, rs, less, 4, nil)
-					if len(out) != total {
-						b.Fatalf("merged %d of %d", len(out), total)
+					out, err := sortalgo.Merge(algo, rs, less, ex)
+					if err != nil || len(out) != total {
+						b.Fatalf("merged %d of %d (%v)", len(out), total, err)
 					}
 				}
 			})
@@ -337,6 +341,48 @@ func makeRuns(total, runs int) [][]kv.Pair[uint64, uint64] {
 		out[r] = run
 	}
 	return out
+}
+
+// ExecutorSpawnVsPool: the tentpole's spawn-overhead claim, measured.
+// A many-round SupMR wordcount drives one map wave per ingest chunk;
+// the old path created (and tore down) a fresh set of worker goroutines
+// every wave, the persistent pool pays worker startup once per job.
+func BenchmarkExecutorSpawnVsPool(b *testing.B) {
+	const size = 1 << 20
+	const chunkSz = 8 << 10 // 128 waves per job
+	text := make([]byte, size)
+	workload.TextGen{Seed: 7}.Fill()(0, text)
+	var chunks [][]byte
+	for off := 0; off < len(text); off += chunkSz {
+		end := off + chunkSz
+		if end > len(text) {
+			end = len(text)
+		}
+		chunks = append(chunks, text[off:end])
+	}
+	job := WordCountJob()
+	run := func(b *testing.B, persistent bool) {
+		b.ReportAllocs()
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			cont := WordCountContainer(64)
+			opts := mapreduce.Options{Workers: 4, Splits: 8}
+			if persistent {
+				pool := exec.NewLocal(4)
+				opts.Pool = pool
+			}
+			for _, c := range chunks {
+				if _, _, err := mapreduce.MapWaveTimed[string, int64](job, c, cont, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if opts.Pool != nil {
+				opts.Pool.Close()
+			}
+		}
+	}
+	b.Run("SpawnPerWave", func(b *testing.B) { run(b, false) })
+	b.Run("PersistentPool", func(b *testing.B) { run(b, true) })
 }
 
 // AblationChunkSize: the fine-vs-coarse granularity trade-off of

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate: formatting, vet, build, full test suite, and race-detector
+# coverage of the concurrent runtime packages, ending with a short
+# race-mode SupMR pipeline run end to end.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (runtime packages) =="
+go test -race -count=1 \
+    ./internal/exec/ \
+    ./internal/mapreduce/ \
+    ./internal/core/ \
+    ./internal/sortalgo/ \
+    ./internal/apps/ \
+    .
+
+echo "== race-mode SupMR pipeline run =="
+go run -race ./cmd/supmr -app wordcount -runtime supmr \
+    -size 2m -chunk 128k -bw 0 -workers 4
+
+echo "CI OK"

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"supmr"
@@ -47,13 +51,22 @@ func main() {
 	if *energy {
 		*trace = true
 	}
-	if err := run(runOpts{
+	// Ctrl-C cancels the job context: the runtime aborts within the
+	// current round and the process exits cleanly instead of dying
+	// mid-phase.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, runOpts{
 		app: *app, rt: *rt, size: parseSize(*size), chunkSz: parseSize(*chunkSz),
 		bw: parseSize(*bw), workers: *workers, merge: *merge, files: *files,
 		filesPer: *filesPer, fileSize: parseSize(*fileSize), trace: *trace,
 		contexts: *contexts, bucket: parseDur(*bucketStr), seed: *seed,
 		adaptive: *adaptive, hybrid: *hybrid, energy: *energy, pattern: *pattern,
 	}); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "supmr: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "supmr:", err)
 		os.Exit(1)
 	}
@@ -71,7 +84,7 @@ type runOpts struct {
 	seed                     int64
 }
 
-func run(o runOpts) error {
+func run(ctx context.Context, o runOpts) error {
 	app, rt := o.app, o.rt
 	size, chunkSz, bw := o.size, o.chunkSz, o.bw
 	workers, merge := o.workers, o.merge
@@ -91,6 +104,7 @@ func run(o runOpts) error {
 	}
 
 	cfg := supmr.Config{
+		Context:        ctx,
 		Workers:        workers,
 		ChunkBytes:     chunkSz,
 		FilesPerChunk:  filesPer,

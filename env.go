@@ -182,6 +182,8 @@ type KMeansResult = apps.KMeansResult
 // RunKMeans drives Lloyd's algorithm over file through the SupMR
 // pipeline, re-streaming the input each iteration (wrap the device with
 // NewCachedDevice to make iterations after the first compute-bound).
+// One persistent worker pool spans all iterations; cfg.Context
+// cancellation aborts the driver mid-run.
 func RunKMeans(km *apps.KMeans, file Input, cfg Config, maxIters int) (*KMeansResult, error) {
 	mk := func() (Stream, error) {
 		cfgIter := cfg
@@ -189,7 +191,7 @@ func RunKMeans(km *apps.KMeans, file Input, cfg Config, maxIters int) (*KMeansRe
 		cfgIter.Boundary = km.Boundary()
 		return StreamFile(file, cfgIter)
 	}
-	return apps.RunKMeans(km, mk, mapreduceOptions(cfg), maxIters)
+	return apps.RunKMeans(cfg.Context, km, mk, mapreduceOptions(cfg), maxIters)
 }
 
 // GrepJob returns a string-match application over the given patterns

@@ -1,12 +1,14 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"supmr/internal/chunk"
 	"supmr/internal/container"
 	"supmr/internal/core"
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
 )
@@ -170,8 +172,10 @@ type KMeansResult struct {
 // RunKMeans drives Lloyd's algorithm: each iteration runs one SupMR
 // pipelined job over a fresh stream from mkStream (the same underlying
 // file — put a storage.Cache in front to make later iterations free of
-// device time, the HaLoop/Twister data-caching idea).
-func RunKMeans(k *KMeans, mkStream func() (chunk.Stream, error), opts mapreduce.Options, maxIters int) (*KMeansResult, error) {
+// device time, the HaLoop/Twister data-caching idea). One persistent
+// worker pool spans all iterations; ctx cancellation stops the driver
+// between (and, via the pool, within) iterations.
+func RunKMeans(ctx context.Context, k *KMeans, mkStream func() (chunk.Stream, error), opts mapreduce.Options, maxIters int) (*KMeansResult, error) {
 	if k.K <= 0 || k.Dim <= 0 {
 		return nil, fmt.Errorf("apps: kmeans requires positive K and Dim (got %d, %d)", k.K, k.Dim)
 	}
@@ -186,8 +190,16 @@ func RunKMeans(k *KMeans, mkStream func() (chunk.Stream, error), opts mapreduce.
 		maxIters = 20
 	}
 	opts.Boundary = k.Boundary()
+	if opts.Pool == nil {
+		pool := exec.NewPool(ctx, exec.Config{Workers: opts.Workers, Recorder: opts.Recorder})
+		defer pool.Close()
+		opts.Pool = pool
+	}
 	res := &KMeansResult{}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := opts.Pool.Err(); err != nil {
+			return nil, err
+		}
 		stream, err := mkStream()
 		if err != nil {
 			return nil, err

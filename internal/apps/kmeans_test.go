@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestKMeansConvergesOnSeparatedClusters(t *testing.T) {
 		f := storage.BytesFile("pts", data, storage.NewNullDevice(storage.NewFakeClock()))
 		return chunk.NewInterFile(f, 256, chunk.FixedBoundary{Width: 2})
 	}
-	res, err := RunKMeans(k, mk, mapreduce.Options{Workers: 2}, 50)
+	res, err := RunKMeans(context.Background(), k, mk, mapreduce.Options{Workers: 2}, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestKMeansCachedIterationsAvoidDevice(t *testing.T) {
 	mk := func() (chunk.Stream, error) {
 		return chunk.NewInterFile(file, 512, chunk.FixedBoundary{Width: 2})
 	}
-	res, err := RunKMeans(k, mk, mapreduce.Options{Workers: 2}, 30)
+	res, err := RunKMeans(context.Background(), k, mk, mapreduce.Options{Workers: 2}, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestKMeansCachedIterationsAvoidDevice(t *testing.T) {
 }
 
 func TestRunKMeansValidation(t *testing.T) {
-	if _, err := RunKMeans(&KMeans{}, nil, mapreduce.Options{}, 1); err == nil {
+	if _, err := RunKMeans(context.Background(), &KMeans{}, nil, mapreduce.Options{}, 1); err == nil {
 		t.Error("invalid K/Dim accepted")
 	}
 }

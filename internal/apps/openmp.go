@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"supmr/internal/chunk"
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
@@ -25,16 +26,20 @@ type OpenMPSortResult struct {
 // MapReduce model (whose map phase parses in parallel for free).
 //
 // Phases reported: read (sequential ingest), map (sequential parse),
-// merge (parallel p-way sort, the gnu_parallel::sort analog).
+// merge (parallel p-way sort, the gnu_parallel::sort analog). All run
+// on one executor pool: ingest and the single-threaded parse on the IO
+// lane, the sort on the compute workers.
 func OpenMPSort(input chunk.Stream, workers int, timer *metrics.Timer, rec *metrics.UtilRecorder) (*OpenMPSortResult, error) {
 	if timer == nil {
 		epoch := time.Now()
 		timer = metrics.NewTimer(func() time.Duration { return time.Since(epoch) })
 	}
+	pool := exec.NewPool(nil, exec.Config{Workers: workers, Recorder: rec})
+	defer pool.Close()
 
 	// Sequential ingest: one thread in IO wait.
 	timer.StartPhase(metrics.PhaseRead)
-	data, err := mapreduce.Ingest(input, rec)
+	data, err := mapreduce.Ingest(input, pool)
 	timer.EndPhase(metrics.PhaseRead)
 	if err != nil {
 		return nil, err
@@ -43,30 +48,26 @@ func OpenMPSort(input chunk.Stream, workers int, timer *metrics.Timer, rec *metr
 	// Sequential parse: one thread in user state, building the key
 	// pointer array the sort will run over.
 	timer.StartPhase(metrics.PhaseMap)
-	var id int
-	if rec != nil {
-		id = rec.Register()
-		rec.SetState(id, metrics.StateUser)
-	}
 	var pairs []kv.Pair[string, uint64]
 	app := Sort{}
-	app.Map(data, kv.EmitFunc[string, uint64](func(k string, v uint64) {
-		pairs = append(pairs, kv.Pair[string, uint64]{Key: k, Val: v})
-	}))
-	if rec != nil {
-		rec.SetState(id, metrics.StateIdle)
-	}
+	err = pool.GoIO("parse", metrics.StateUser, func() error {
+		app.Map(data, kv.EmitFunc[string, uint64](func(k string, v uint64) {
+			pairs = append(pairs, kv.Pair[string, uint64]{Key: k, Val: v})
+		}))
+		return nil
+	}).Wait()
 	timer.EndPhase(metrics.PhaseMap)
+	if err != nil {
+		return nil, err
+	}
 
 	// Parallel sort: partition into one run per worker, sort runs in
 	// parallel, single-round p-way merge — the structure of
 	// gnu_parallel::sort.
 	timer.StartPhase(metrics.PhaseMerge)
-	if workers < 1 {
-		workers = 1
-	}
-	runs := make([][]kv.Pair[string, uint64], 0, workers)
-	per := (len(pairs) + workers - 1) / workers
+	p := pool.Workers()
+	runs := make([][]kv.Pair[string, uint64], 0, p)
+	per := (len(pairs) + p - 1) / p
 	for off := 0; off < len(pairs); off += per {
 		end := off + per
 		if end > len(pairs) {
@@ -74,21 +75,15 @@ func OpenMPSort(input chunk.Stream, workers int, timer *metrics.Timer, rec *metr
 		}
 		runs = append(runs, pairs[off:end])
 	}
-	var tr sortalgo.Tracker
-	if rec != nil {
-		tr = recTracker{rec}
-	}
 	less := kv.Less[string](app.Less)
-	sortalgo.SortRuns(runs, less, workers, tr)
-	sorted := sortalgo.PWayMerge(runs, less, workers, tr)
+	if err := sortalgo.SortRuns(runs, less, pool); err != nil {
+		return nil, err
+	}
+	sorted, err := sortalgo.PWayMerge(runs, less, pool)
 	timer.EndPhase(metrics.PhaseMerge)
+	if err != nil {
+		return nil, err
+	}
 
 	return &OpenMPSortResult{Pairs: sorted, Times: timer.Finish()}, nil
 }
-
-// recTracker adapts a UtilRecorder to sortalgo.Tracker (user state).
-type recTracker struct{ rec *metrics.UtilRecorder }
-
-func (t recTracker) Register() int { return t.rec.Register() }
-func (t recTracker) Busy(id int)   { t.rec.SetState(id, metrics.StateUser) }
-func (t recTracker) Idle(id int)   { t.rec.SetState(id, metrics.StateIdle) }

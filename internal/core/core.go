@@ -14,6 +14,12 @@
 // The pipeline executes n+1 rounds for n ingest chunks: the first round
 // ingests chunk 0 serially, rounds 1..n-1 ingest chunk i+1 while mappers
 // operate on chunk i, and the final round maps the last chunk.
+//
+// Every round runs on the job's persistent internal/exec pool: the
+// prefetch ingest is a pool task on the dedicated IO worker (so it is
+// joined — never abandoned mid-device-wait — when a round fails or the
+// job is cancelled), and map/reduce/merge run on the pool's compute
+// workers with panic isolation and cancellation.
 package core
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"supmr/internal/chunk"
 	"supmr/internal/container"
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
@@ -66,15 +73,32 @@ type Options struct {
 // Result aliases the runtime result type.
 type Result[K comparable, V any] = mapreduce.Result[K, V]
 
+// ingestResult is one prefetched chunk: the chunk (nil at EOF), the
+// terminal error, and the ingest duration on the job clock for the
+// tuner's feedback loop.
+type ingestResult struct {
+	c   *chunk.Chunk
+	err error
+	dur time.Duration
+}
+
 // Run launches the SupMR runtime (the run_ingestMR() API call): it
 // drives the ingest chunk pipeline over the stream, reduces once, and
 // merges with the configured algorithm. The container persists across
-// all map rounds.
+// all map rounds. If opts.Pool is nil a job pool is created here and
+// torn down on return; either way every phase — including the prefetch
+// ingest — runs on that single pool.
 func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont container.Container[K, V], opts Options) (*Result[K, V], error) {
 	ro := opts.Options
+	pool := ro.Pool
+	if pool == nil {
+		pool = exec.NewPool(nil, exec.Config{Workers: ro.Workers, Recorder: ro.Recorder})
+		defer pool.Close()
+		ro.Pool = pool
+	}
 	timer := ro.Timer
 	if timer == nil {
-		timer = metrics.NewTimer(wallNow())
+		timer = metrics.NewTimer(pool.Now)
 	}
 
 	// Fresh container at job start; never again (unless the ablation
@@ -82,41 +106,68 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	cont.Reset()
 	ro.ResetContainer = false
 
-	var ingestID int
-	rec := ro.Recorder
-	if rec != nil {
-		ingestID = rec.Register()
-	}
-	ingest := func() (*chunk.Chunk, error) {
-		if rec != nil {
-			rec.SetState(ingestID, metrics.StateIOWait)
-			defer rec.SetState(ingestID, metrics.StateIdle)
-		}
-		c, err := input.Next()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil, io.EOF
+	// prefetch starts reading the next chunk on the pool's dedicated IO
+	// worker and returns the channel its result will arrive on. The
+	// result is relayed off the task handle, which always resolves —
+	// normal return, stream panic (as a *PanicError), cancellation, or
+	// refused submission — so the round loop can always join the read,
+	// and Close joins any read still parked in a device wait.
+	prefetch := func() <-chan ingestResult {
+		ch := make(chan ingestResult, 1)
+		res := new(ingestResult)
+		h := pool.GoIO("ingest", metrics.StateIOWait, func() error {
+			start := pool.Now()
+			defer func() { res.dur = pool.Now() - start }()
+			if err := pool.Err(); err != nil {
+				return err
 			}
-			return nil, fmt.Errorf("core: ingest failed: %w", err)
-		}
-		return c, nil
+			c, err := input.Next()
+			switch {
+			case errors.Is(err, io.EOF):
+				return io.EOF
+			case err != nil:
+				return fmt.Errorf("core: ingest failed: %w", err)
+			}
+			res.c = c
+			return nil
+		})
+		go func() {
+			res.err = h.Wait()
+			ch <- *res
+		}()
+		return ch
 	}
 
 	var stats mapreduce.Stats
-	runMappers := func(c *chunk.Chunk) time.Duration {
-		start := wallClock()
+	runMappers := func(c *chunk.Chunk) (time.Duration, error) {
+		start := pool.Now()
 		if opts.ResetEachRound {
 			cont.Reset()
 		}
 		if ca, ok := any(app).(ChunkAware); ok {
 			ca.SetData(c)
 		}
-		n, busy := mapreduce.MapWaveTimed(app, c.Data, cont, ro)
+		n, busy, err := mapreduce.MapWaveTimed(app, c.Data, cont, ro)
+		if err != nil {
+			return 0, err
+		}
 		stats.Splits += n
 		stats.MapBusy += busy
 		stats.MapWaves++
 		stats.BytesIngested += c.Size()
-		return wallClock() - start
+		return pool.Now() - start, nil
+	}
+
+	// fail aborts the job: the cancellation reaches the in-flight
+	// prefetch between stream reads, and pending is drained so no ingest
+	// result is left unconsumed when the pool shuts down.
+	fail := func(err error, pending <-chan ingestResult) (*Result[K, V], error) {
+		pool.Abort(err)
+		if pending != nil {
+			<-pending
+		}
+		timer.EndPhase(metrics.PhaseReadMap)
+		return nil, err
 	}
 
 	resizable, _ := input.(chunk.Resizable)
@@ -129,39 +180,34 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	//     destroy thread
 	//   run mappers on last chunk
 	timer.StartPhase(metrics.PhaseReadMap)
-	cur, err := ingest()
-	if err != nil && !errors.Is(err, io.EOF) {
-		return nil, err
+	first := <-prefetch()
+	if first.err != nil && !errors.Is(first.err, io.EOF) {
+		return fail(first.err, nil)
 	}
-	if errors.Is(err, io.EOF) {
-		cur = nil
-	}
+	cur := first.c
 	for cur != nil {
-		type ingestResult struct {
-			c   *chunk.Chunk
-			err error
-			dur time.Duration
+		if err := pool.Err(); err != nil {
+			return fail(err, nil)
 		}
-		nextCh := make(chan ingestResult, 1)
-		go func() {
-			start := wallClock()
-			c, err := ingest()
-			nextCh <- ingestResult{c, err, wallClock() - start}
-		}()
-		// Give the ingest goroutine a scheduling slot so it reaches the
+		nextCh := prefetch()
+		// Give the ingest task a scheduling slot so it reaches the
 		// storage device (issuing its reservation and parking in the
 		// device wait) before the mappers monopolize the CPUs; on
 		// low-core machines it would otherwise start the read only
 		// after the map wave finishes, defeating the double-buffering.
 		runtime.Gosched()
-		mapDur := runMappers(cur)
+		mapDur, mapErr := runMappers(cur)
+		if mapErr != nil {
+			return fail(mapErr, nextCh)
+		}
 		r := <-nextCh
 		if r.err != nil && !errors.Is(r.err, io.EOF) {
-			timer.EndPhase(metrics.PhaseReadMap)
-			return nil, r.err
+			return fail(r.err, nil)
 		}
 		// Feedback loop: fold this round's observation into the tuner
-		// and resize subsequent chunks.
+		// and resize subsequent chunks. Durations are read off the job
+		// clock (pool.Now), so simulated devices feed the tuner their
+		// virtual timeline, not wall time.
 		if opts.Tuner != nil && resizable != nil && r.c != nil {
 			if next := opts.Tuner.Next(r.c.Size(), r.dur, mapDur); next > 0 {
 				resizable.SetChunkSize(next)
@@ -173,16 +219,25 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	stats.IntermediateN = cont.Len()
 
 	timer.StartPhase(metrics.PhaseReduce)
-	runs, reduceBusy := mapreduce.ReducePhaseTimed(app, cont, ro)
+	runs, reduceBusy, err := mapreduce.ReducePhaseTimed(app, cont, ro)
 	timer.EndPhase(metrics.PhaseReduce)
+	if err != nil {
+		pool.Abort(err)
+		return nil, err
+	}
 	stats.Runs = len(runs)
 	stats.ReduceBusy = reduceBusy
 
 	timer.StartPhase(metrics.PhaseMerge)
-	merged, rounds := mapreduce.MergePhase(app, runs, ro)
+	merged, rounds, err := mapreduce.MergePhase(app, runs, ro)
 	timer.EndPhase(metrics.PhaseMerge)
+	if err != nil {
+		pool.Abort(err)
+		return nil, err
+	}
 	stats.MergeRounds = rounds
 	stats.OutputPairs = len(merged)
+	stats.Tasks = pool.TaskStats()
 
 	return &Result[K, V]{Pairs: merged, Times: timer.Finish(), Stats: stats}, nil
 }
@@ -190,15 +245,3 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 // DefaultMerge is the merge algorithm SupMR ships with: the single-round
 // parallel p-way merge.
 const DefaultMerge = sortalgo.MergePWay
-
-func wallNow() func() time.Duration {
-	epoch := time.Now()
-	return func() time.Duration { return time.Since(epoch) }
-}
-
-var processEpoch = time.Now()
-
-// wallClock reads a process-wide monotonic clock for per-round tuner
-// observations (phase timers own the job timeline; the tuner only needs
-// durations).
-func wallClock() time.Duration { return time.Since(processEpoch) }

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"supmr/internal/chunk"
 	"supmr/internal/container"
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
@@ -264,5 +268,196 @@ func TestPipelineOverlapsIngestWithMap(t *testing.T) {
 func TestDefaultMergeIsPWay(t *testing.T) {
 	if DefaultMerge != sortalgo.MergePWay {
 		t.Error("SupMR default merge should be p-way")
+	}
+}
+
+// cancelApp cancels the job from inside its first map task and records
+// how many map waves started.
+type cancelApp struct {
+	wcApp
+	cancel context.CancelFunc
+	waves  atomic.Int32
+	fired  atomic.Bool
+}
+
+func (a *cancelApp) SetData(*chunk.Chunk) { a.waves.Add(1) }
+
+func (a *cancelApp) Map(split []byte, emit kv.Emitter[string, int64]) {
+	if a.fired.CompareAndSwap(false, true) {
+		a.cancel()
+	}
+	time.Sleep(5 * time.Millisecond) // let the cancellation land mid-wave
+	a.wcApp.Map(split, emit)
+}
+
+func TestPipelineCancelledMidMapWave(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := exec.NewPool(ctx, exec.Config{Workers: 2})
+	defer pool.Close()
+	text := genText(t, 64<<10)
+	app := &cancelApp{cancel: cancel}
+	_, err := Run[string, int64](app, textStream(t, text, 4<<10), wcApp{}.NewContainer(8),
+		Options{Options: mapreduce.Options{Pool: pool}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 16 chunks were queued; a prompt cancellation stops within one round
+	// of the wave that observed it.
+	if w := app.waves.Load(); w > 2 {
+		t.Errorf("ran %d map waves after cancellation, want <= 2", w)
+	}
+}
+
+// panicCoreApp panics in every map task.
+type panicCoreApp struct{ wcApp }
+
+func (panicCoreApp) Map([]byte, kv.Emitter[string, int64]) { panic("mapper exploded") }
+
+func TestPipelineSurvivesMapPanic(t *testing.T) {
+	// A panicking map task under the SupMR runtime becomes a job error
+	// naming the phase and split — it must not kill the process or hang
+	// the prefetch.
+	text := genText(t, 32<<10)
+	_, err := Run[string, int64](panicCoreApp{}, textStream(t, text, 4<<10), wcApp{}.NewContainer(8),
+		Options{Options: mapreduce.Options{Workers: 2}})
+	if err == nil {
+		t.Fatal("panicking map task did not fail the job")
+	}
+	var pe *exec.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *exec.PanicError", err)
+	}
+	if pe.Phase != "map" || pe.Task < 0 {
+		t.Errorf("panic error = %+v, want map phase with task index", pe)
+	}
+	if !strings.Contains(err.Error(), "mapper exploded") {
+		t.Errorf("err %q does not carry the panic value", err)
+	}
+}
+
+// inflightStream counts Next calls currently executing, so tests can
+// assert the pipeline joined — not abandoned — its prefetch read.
+type inflightStream struct {
+	inner    chunk.Stream
+	failAt   int
+	calls    atomic.Int32
+	inflight atomic.Int32
+}
+
+func (s *inflightStream) TotalBytes() int64 { return s.inner.TotalBytes() }
+func (s *inflightStream) Next() (*chunk.Chunk, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	time.Sleep(2 * time.Millisecond) // a read that takes real time
+	if int(s.calls.Add(1)) == s.failAt {
+		return nil, errors.New("mid-stream ingest failure")
+	}
+	return s.inner.Next()
+}
+
+func TestIngestErrorJoinsPrefetchWithoutLeaks(t *testing.T) {
+	// Regression for the abandoned-prefetch bug: a mid-stream ingest
+	// error must surface promptly AND the in-flight prefetch goroutine
+	// must be joined before Run returns, leaking nothing.
+	text := genText(t, 64<<10)
+	wc := wcApp{}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		s := &inflightStream{inner: textStream(t, text, 4<<10), failAt: 3}
+		start := time.Now()
+		_, err := Run[string, int64](wc, s, wc.NewContainer(8),
+			Options{Options: mapreduce.Options{Workers: 2}})
+		if err == nil || !strings.Contains(err.Error(), "mid-stream ingest failure") {
+			t.Fatalf("err = %v, want mid-stream ingest failure", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("ingest error did not surface promptly")
+		}
+		if n := s.inflight.Load(); n != 0 {
+			t.Fatalf("%d stream reads still in flight after Run returned", n)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines grew from %d to %d across failed jobs — prefetch leaked", base, n)
+	}
+}
+
+// recTuner records the round observations fed into the feedback loop.
+type recTuner struct {
+	ingests []time.Duration
+	maps    []time.Duration
+}
+
+func (r *recTuner) Next(_ int64, ingest, mapT time.Duration) int64 {
+	r.ingests = append(r.ingests, ingest)
+	r.maps = append(r.maps, mapT)
+	return 0 // keep the chunk size
+}
+
+func TestTunerObservesJobClock(t *testing.T) {
+	// Regression for the wallClock() bug: round timings fed to the tuner
+	// must come from the job clock (here a virtual FakeClock driving a
+	// simulated disk), not the process real-time epoch. On the fake
+	// timeline each 8 KiB ingest at 1 MiB/s costs ~7.8ms; on the real
+	// clock these reads complete in microseconds.
+	clock := storage.NewFakeClock()
+	const size = 64 << 10
+	data := genText(t, size)
+	d, err := storage.NewDisk(storage.DiskConfig{Name: "sim", Bandwidth: 1 << 20}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := storage.NewFile("in", size, 0, func(off int64, p []byte) { copy(p, data[off:]) }, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := chunk.NewInterFile(f, 8<<10, chunk.NewlineBoundary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := exec.NewPool(nil, exec.Config{Workers: 2, Now: clock.Now})
+	defer pool.Close()
+	tun := &recTuner{}
+	wc := wcApp{}
+	if _, err := Run[string, int64](wc, s, wc.NewContainer(8),
+		Options{Options: mapreduce.Options{Pool: pool, Timer: metrics.NewTimer(clock.Now)}, Tuner: tun}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tun.ingests) == 0 {
+		t.Fatal("tuner never fed")
+	}
+	var total time.Duration
+	for _, dur := range tun.ingests {
+		total += dur
+	}
+	// 7 observed rounds x ~7.8ms virtual each; real-clock timings would
+	// sum to well under a millisecond.
+	if total < 10*time.Millisecond {
+		t.Errorf("tuner ingest durations sum to %v — not read off the virtual job clock", total)
+	}
+}
+
+func TestStableWorkerRegistrationAcrossRounds(t *testing.T) {
+	// A multi-round SupMR job draws every phase from one persistent pool:
+	// the utilization trace must show exactly workers+1 registered workers
+	// (compute + the dedicated ingest lane), not a fresh batch per wave.
+	rec := metrics.NewUtilRecorder(4, func() time.Duration { return 0 })
+	text := genText(t, 64<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, textStream(t, text, 4<<10), wc.NewContainer(8),
+		Options{Options: mapreduce.Options{Workers: 3, Recorder: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MapWaves < 10 {
+		t.Fatalf("want a multi-round job, got %d waves", res.Stats.MapWaves)
+	}
+	if got := rec.Registered(); got != 4 {
+		t.Errorf("trace registered %d workers across %d rounds, want stable 4 (3 compute + 1 IO)",
+			got, res.Stats.MapWaves)
 	}
 }

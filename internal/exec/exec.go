@@ -1,0 +1,365 @@
+// Package exec is the shared execution engine both runtimes schedule
+// on: one persistent worker pool per job, created once and reused by
+// every phase (ingest, map waves, reduce, run-sorting, merge) instead of
+// spawning and tearing down goroutines per phase. The SupMR pipeline
+// pays phase startup once per ingest round — exactly the repeated-wave
+// path the paper optimizes (§III) — so scheduling cost must be bounded
+// and observable, not re-paid every wave.
+//
+// The pool provides:
+//
+//   - a task-submission API (ForEach for data-parallel phases, GoIO for
+//     the single asynchronous ingest/prefetch lane) replacing the ad-hoc
+//     per-phase goroutine spawning;
+//   - context.Context cancellation: a cancelled job stops dispatching
+//     tasks between iterations and surfaces context.Canceled;
+//   - panic isolation: a crashing task becomes a *PanicError naming the
+//     phase and task (split) instead of killing the process;
+//   - per-task instrumentation: task counts, queue-wait and busy
+//     durations per phase (metrics.TaskStats), plus worker busy/idle
+//     states on a metrics.UtilRecorder with worker ids that stay stable
+//     across phases — so utilization traces keep working unchanged.
+//
+// Workers are registered with the recorder at pool creation: ids
+// 0..Workers-1 are the compute workers and the final id is the
+// dedicated IO worker that serves GoIO tasks (the paper's ingest
+// thread), so device waits never compete with map tasks for a slot.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"supmr/internal/metrics"
+)
+
+// PanicError is the job error produced when a task panics: the process
+// survives, the job fails, and the error names the crashing task.
+type PanicError struct {
+	Phase string // phase label, e.g. "map"
+	Task  int    // task index within the phase (the split), -1 if n/a
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+// Error names the phase and task so a crashing map split is
+// identifiable from the job error alone.
+func (e *PanicError) Error() string {
+	if e.Task >= 0 {
+		return fmt.Sprintf("exec: %s task %d panicked: %v", e.Phase, e.Task, e.Value)
+	}
+	return fmt.Sprintf("exec: %s panicked: %v", e.Phase, e.Value)
+}
+
+// Config configures a pool.
+type Config struct {
+	// Workers is the number of compute workers (default: NumCPU). One
+	// extra dedicated IO worker is always added for GoIO tasks.
+	Workers int
+	// Recorder, when set, observes worker busy/idle transitions for
+	// utilization traces. All workers register once at pool creation.
+	Recorder *metrics.UtilRecorder
+	// Now is the job clock used for durations handed back to callers
+	// (e.g. tuner round observations). Defaults to a wall clock rooted
+	// at pool creation. Pass the storage clock so round measurements
+	// share the device timeline under simulated clocks.
+	Now func() time.Duration
+}
+
+// task is one unit of queued work.
+type task struct {
+	run func(w *worker)
+}
+
+// worker is one pool goroutine's identity.
+type worker struct {
+	pool *Pool
+	id   int // recorder worker id, -1 without a recorder
+}
+
+func (w *worker) setState(s metrics.WorkerState) {
+	if w.pool.rec != nil {
+		w.pool.rec.SetState(w.id, s)
+	}
+}
+
+// Pool is the persistent per-job worker pool. Create one with NewPool,
+// run every phase on it, then Close it; Close joins all in-flight work,
+// so no task (in particular no prefetch ingest parked in a device wait)
+// outlives the job.
+type Pool struct {
+	ctx     context.Context
+	abort   context.CancelCauseFunc
+	workers int
+	rec     *metrics.UtilRecorder
+	now     func() time.Duration
+
+	tasks chan task // compute lane
+	io    chan task // dedicated IO lane (ingest/prefetch)
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	stats  map[string]*metrics.TaskStats
+	closed bool
+}
+
+// NewPool creates a pool of cfg.Workers compute workers plus one IO
+// worker, all running until Close. ctx cancellation stops task dispatch
+// between iterations; in-flight tasks run to completion.
+func NewPool(ctx context.Context, cfg Config) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	now := cfg.Now
+	if now == nil {
+		epoch := time.Now()
+		now = func() time.Duration { return time.Since(epoch) }
+	}
+	cctx, abort := context.WithCancelCause(ctx)
+	p := &Pool{
+		ctx:     cctx,
+		abort:   abort,
+		workers: w,
+		rec:     cfg.Recorder,
+		now:     now,
+		tasks:   make(chan task, w),
+		io:      make(chan task, 1),
+		stats:   make(map[string]*metrics.TaskStats),
+	}
+	// Register every worker up front so trace worker ids are stable for
+	// the life of the job, whatever mix of phases runs on the pool.
+	for i := 0; i <= w; i++ {
+		id := -1
+		if p.rec != nil {
+			id = p.rec.Register()
+		}
+		ch := p.tasks
+		if i == w {
+			ch = p.io
+		}
+		p.wg.Add(1)
+		go p.loop(&worker{pool: p, id: id}, ch)
+	}
+	return p
+}
+
+// NewLocal is a convenience pool for standalone phase primitives and
+// tests: background context, no recorder. Callers must Close it.
+func NewLocal(workers int) *Pool {
+	return NewPool(context.Background(), Config{Workers: workers})
+}
+
+func (p *Pool) loop(w *worker, ch chan task) {
+	defer p.wg.Done()
+	for t := range ch {
+		t.run(w)
+	}
+}
+
+// Workers returns the compute worker count (phase parallelism).
+func (p *Pool) Workers() int { return p.workers }
+
+// Context returns the pool's cancellable job context.
+func (p *Pool) Context() context.Context { return p.ctx }
+
+// Now reads the job clock.
+func (p *Pool) Now() time.Duration { return p.now() }
+
+// Err reports the cancellation cause, or nil while the job is live.
+func (p *Pool) Err() error {
+	if p.ctx.Err() != nil {
+		return context.Cause(p.ctx)
+	}
+	return nil
+}
+
+// Abort cancels the job with the given cause: queued and future work is
+// skipped, in-flight tasks finish, and Err reports cause.
+func (p *Pool) Abort(cause error) { p.abort(cause) }
+
+// Close joins the pool: no new tasks are accepted, in-flight tasks
+// (including a prefetch parked in a device wait) run to completion, and
+// all worker goroutines exit. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.tasks)
+	close(p.io)
+	p.wg.Wait()
+	p.abort(context.Canceled) // release the derived context
+}
+
+func (p *Pool) record(phase string, tasks int, queueWait, busy time.Duration) {
+	p.mu.Lock()
+	s := p.stats[phase]
+	if s == nil {
+		s = &metrics.TaskStats{}
+		p.stats[phase] = s
+	}
+	s.Add(metrics.TaskStats{Tasks: tasks, QueueWait: queueWait, Busy: busy})
+	p.mu.Unlock()
+}
+
+// TaskStats snapshots the per-phase task instrumentation.
+func (p *Pool) TaskStats() map[string]metrics.TaskStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]metrics.TaskStats, len(p.stats))
+	for k, v := range p.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// submit enqueues t on ch, refusing after Close.
+func (p *Pool) submit(ch chan task, t task) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("exec: pool is closed")
+	}
+	p.mu.Unlock()
+	ch <- t
+	return nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the pool's compute
+// workers, marking each worker with state while it executes a task and
+// idle between tasks. It returns the aggregate busy time (the sum of
+// per-task wall-clock durations) and the first error: a task error, a
+// *PanicError if a task panicked, or the cancellation cause if the job
+// context was cancelled (dispatch stops between tasks). Tasks must not
+// themselves submit pool work; phases are sequential, tasks within a
+// phase are parallel.
+func (p *Pool) ForEach(phase string, state metrics.WorkerState, n int, fn func(i int) error) (time.Duration, error) {
+	if err := p.Err(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	slots := p.workers
+	if slots > n {
+		slots = n
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		busyNS   atomic.Int64
+		ran      atomic.Int64
+		waitNS   atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				setErr(&PanicError{Phase: phase, Task: i, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		if err := fn(i); err != nil {
+			setErr(err)
+		}
+	}
+	loop := func(w *worker, submitted time.Time) {
+		defer wg.Done()
+		waitNS.Add(int64(time.Since(submitted)))
+		for {
+			if failed.Load() || p.ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			w.setState(state)
+			start := time.Now()
+			runOne(i)
+			busyNS.Add(int64(time.Since(start)))
+			ran.Add(1)
+			w.setState(metrics.StateIdle)
+		}
+	}
+	for s := 0; s < slots; s++ {
+		submitted := time.Now()
+		wg.Add(1)
+		if err := p.submit(p.tasks, task{run: func(w *worker) { loop(w, submitted) }}); err != nil {
+			wg.Done()
+			setErr(err)
+			break
+		}
+	}
+	wg.Wait()
+	busy := time.Duration(busyNS.Load())
+	p.record(phase, int(ran.Load()), time.Duration(waitNS.Load()), busy)
+	if firstErr == nil && int(ran.Load()) < n {
+		// Dispatch stopped early without a task error: cancellation.
+		if err := p.Err(); err != nil {
+			return busy, err
+		}
+	}
+	return busy, firstErr
+}
+
+// Handle joins an asynchronous task started with GoIO.
+type Handle struct {
+	done chan error
+}
+
+// Wait blocks until the task completes and returns its error (a
+// *PanicError if it panicked). Call Wait exactly once.
+func (h *Handle) Wait() error { return <-h.done }
+
+// GoIO runs fn asynchronously on the pool's dedicated IO worker,
+// marking it with state (typically metrics.StateIOWait) while fn runs.
+// This is the ingest/prefetch lane: it never competes with compute
+// tasks for a worker, so the double-buffered read of the SupMR pipeline
+// always has a thread to park in the device wait. The returned Handle
+// joins the task; Close also joins any task still in flight.
+func (p *Pool) GoIO(phase string, state metrics.WorkerState, fn func() error) *Handle {
+	h := &Handle{done: make(chan error, 1)}
+	submitted := time.Now()
+	t := task{run: func(w *worker) {
+		wait := time.Since(submitted)
+		w.setState(state)
+		start := time.Now()
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = &PanicError{Phase: phase, Task: -1, Value: r, Stack: debug.Stack()}
+				}
+			}()
+			return fn()
+		}()
+		w.setState(metrics.StateIdle)
+		p.record(phase, 1, wait, time.Since(start))
+		h.done <- err
+	}}
+	if err := p.submit(p.io, t); err != nil {
+		h.done <- err
+	}
+	return h
+}

@@ -1,0 +1,315 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"supmr/internal/metrics"
+)
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	p := NewLocal(4)
+	defer p.Close()
+	var hits [100]atomic.Int32
+	if _, err := p.ForEach("test", metrics.StateUser, 100, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if n := hits[i].Load(); n != 1 {
+			t.Fatalf("index %d executed %d times", i, n)
+		}
+	}
+}
+
+func TestForEachDegenerate(t *testing.T) {
+	p := NewLocal(4)
+	defer p.Close()
+	if _, err := p.ForEach("test", metrics.StateUser, 0, func(int) error {
+		t.Error("called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// More tasks than workers, fewer tasks than workers.
+	for _, n := range []int{1, 3, 17} {
+		var ran atomic.Int32
+		if _, err := p.ForEach("test", metrics.StateUser, n, func(int) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if int(ran.Load()) != n {
+			t.Errorf("n=%d: ran %d", n, ran.Load())
+		}
+	}
+}
+
+func TestForEachTaskError(t *testing.T) {
+	p := NewLocal(2)
+	defer p.Close()
+	boom := errors.New("task failed")
+	_, err := p.ForEach("test", metrics.StateUser, 50, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want task error", err)
+	}
+}
+
+func TestForEachPanicNamesTask(t *testing.T) {
+	p := NewLocal(2)
+	defer p.Close()
+	_, err := p.ForEach("map", metrics.StateUser, 10, func(i int) error {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Phase != "map" || pe.Task != 3 {
+		t.Errorf("panic error = %+v, want phase=map task=3", pe)
+	}
+	if !strings.Contains(pe.Error(), "map task 3 panicked: kaboom") {
+		t.Errorf("message %q does not name the split", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	// The pool survives: the next phase still runs.
+	if _, err := p.ForEach("test", metrics.StateUser, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+}
+
+func TestForEachObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, Config{Workers: 2})
+	defer p.Close()
+	started := make(chan struct{})
+	var once atomic.Bool
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := p.ForEach("test", metrics.StateUser, 1000, func(i int) error {
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		<-ctx.Done() // park until cancelled so the wave is mid-flight
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachCancelMidWave(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, Config{Workers: 2})
+	defer p.Close()
+	var ran atomic.Int32
+	go func() {
+		// Cancel once the wave is under way.
+		for ran.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, err := p.ForEach("test", metrics.StateUser, 1_000_000, func(i int) error {
+		ran.Add(1)
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1_000_000 {
+		t.Error("cancellation did not stop dispatch early")
+	}
+}
+
+func TestForEachCompletedWaveIgnoresLateCancel(t *testing.T) {
+	// If every task ran, a cancellation that lands after the fact must
+	// not turn a finished wave into an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, Config{Workers: 2})
+	defer p.Close()
+	if _, err := p.ForEach("test", metrics.StateUser, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("completed wave errored: %v", err)
+	}
+	cancel()
+	if _, err := p.ForEach("test", metrics.StateUser, 10, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel wave err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAbortCause(t *testing.T) {
+	p := NewLocal(2)
+	defer p.Close()
+	cause := errors.New("round failed")
+	p.Abort(cause)
+	if err := p.Err(); !errors.Is(err, cause) {
+		t.Fatalf("Err() = %v, want abort cause", err)
+	}
+	if _, err := p.ForEach("test", metrics.StateUser, 5, func(int) error { return nil }); !errors.Is(err, cause) {
+		t.Fatalf("ForEach after abort = %v, want cause", err)
+	}
+}
+
+func TestGoIOJoinAndPanic(t *testing.T) {
+	p := NewLocal(1)
+	defer p.Close()
+	done := make(chan struct{})
+	h := p.GoIO("ingest", metrics.StateIOWait, func() error {
+		close(done)
+		return nil
+	})
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	default:
+		t.Error("Wait returned before the task ran")
+	}
+	h2 := p.GoIO("ingest", metrics.StateIOWait, func() error { panic("io blew up") })
+	var pe *PanicError
+	if err := h2.Wait(); !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	} else if pe.Phase != "ingest" || pe.Task != -1 {
+		t.Errorf("panic error = %+v", pe)
+	}
+}
+
+func TestGoIODoesNotBlockComputeLane(t *testing.T) {
+	// With a single compute worker, an in-flight IO task must not steal
+	// the compute slot — the paper's dedicated ingest thread.
+	p := NewLocal(1)
+	defer p.Close()
+	release := make(chan struct{})
+	h := p.GoIO("ingest", metrics.StateIOWait, func() error {
+		<-release
+		return nil
+	})
+	doneCh := make(chan error, 1)
+	go func() {
+		_, err := p.ForEach("map", metrics.StateUser, 4, func(int) error { return nil })
+		doneCh <- err
+	}()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute wave blocked behind IO task")
+	}
+	close(release)
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseJoinsInFlightWork(t *testing.T) {
+	p := NewLocal(1)
+	var finished atomic.Bool
+	p.GoIO("ingest", metrics.StateIOWait, func() error {
+		time.Sleep(20 * time.Millisecond)
+		finished.Store(true)
+		return nil
+	})
+	p.Close() // must join the parked IO task, not abandon it
+	if !finished.Load() {
+		t.Error("Close returned before in-flight IO task completed")
+	}
+	p.Close() // idempotent
+	if _, err := p.ForEach("test", metrics.StateUser, 3, func(int) error { return nil }); err == nil {
+		t.Error("ForEach on closed pool should fail")
+	}
+	if err := p.GoIO("x", metrics.StateUser, func() error { return nil }).Wait(); err == nil {
+		t.Error("GoIO on closed pool should fail")
+	}
+}
+
+func TestTaskStats(t *testing.T) {
+	p := NewLocal(2)
+	defer p.Close()
+	if _, err := p.ForEach("map", metrics.StateUser, 20, func(int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GoIO("ingest", metrics.StateIOWait, func() error { return nil }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.TaskStats()
+	m := stats["map"]
+	if m.Tasks != 20 || m.Busy <= 0 {
+		t.Errorf("map stats = %+v", m)
+	}
+	if m.AvgBusy() <= 0 {
+		t.Error("AvgBusy not positive")
+	}
+	if stats["ingest"].Tasks != 1 {
+		t.Errorf("ingest stats = %+v", stats["ingest"])
+	}
+	out := metrics.FormatTaskStats(stats)
+	if !strings.Contains(out, "map") || !strings.Contains(out, "ingest") {
+		t.Errorf("formatted stats missing phases:\n%s", out)
+	}
+}
+
+func TestStableWorkerRegistration(t *testing.T) {
+	// All worker ids are allocated at pool creation — phases re-use them
+	// instead of re-registering, so the trace population stays fixed.
+	rec := metrics.NewUtilRecorder(4, func() time.Duration { return 0 })
+	p := NewPool(context.Background(), Config{Workers: 3, Recorder: rec})
+	defer p.Close()
+	if got := rec.Registered(); got != 4 {
+		t.Fatalf("registered %d workers, want 3 compute + 1 IO", got)
+	}
+	for phase := 0; phase < 5; phase++ {
+		if _, err := p.ForEach(fmt.Sprintf("phase%d", phase), metrics.StateUser, 10, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.GoIO("io", metrics.StateIOWait, func() error { return nil }).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.Registered(); got != 4 {
+		t.Errorf("worker population grew to %d across phases, want stable 4", got)
+	}
+}
+
+func TestPoolClockDefaultsAndOverride(t *testing.T) {
+	var virtual time.Duration = 42 * time.Second
+	p := NewPool(context.Background(), Config{Workers: 1, Now: func() time.Duration { return virtual }})
+	defer p.Close()
+	if p.Now() != 42*time.Second {
+		t.Errorf("Now() = %v, want the configured job clock", p.Now())
+	}
+	p2 := NewLocal(1)
+	defer p2.Close()
+	if p2.Now() < 0 {
+		t.Error("default clock went backwards")
+	}
+	if p2.Workers() != 1 {
+		t.Errorf("Workers() = %d", p2.Workers())
+	}
+}

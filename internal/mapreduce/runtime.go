@@ -7,6 +7,11 @@
 // mappers start and the merge phase defaults to the iterative pairwise
 // merge — both behaviours SupMR (internal/core) modifies.
 //
+// All phases run on a persistent internal/exec pool — one set of worker
+// goroutines per job rather than per phase — which carries the job's
+// cancellation context, converts task panics into job errors, and feeds
+// per-task instrumentation into internal/metrics.
+//
 // The phase primitives (MapWave, ReducePhase, MergePhase) are exported
 // because SupMR's run_mappers()/run_reducers() are wrappers over exactly
 // these internals (Table I).
@@ -17,11 +22,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 	"time"
 
 	"supmr/internal/chunk"
 	"supmr/internal/container"
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/metrics"
 	"supmr/internal/sortalgo"
@@ -31,7 +36,7 @@ import (
 type Options struct {
 	// Workers is the number of map/reduce/merge worker threads (the
 	// paper's machine exposes 32 hardware contexts). Defaults to
-	// runtime.NumCPU().
+	// runtime.NumCPU(). Ignored when Pool is set — the pool's size wins.
 	Workers int
 	// Splits is the number of input splits per map wave. Defaults to
 	// 4 * Workers.
@@ -43,8 +48,15 @@ type Options struct {
 	Boundary chunk.Boundary
 	// Timer records per-phase durations (optional).
 	Timer *metrics.Timer
-	// Recorder reconstructs CPU utilization traces (optional).
+	// Recorder reconstructs CPU utilization traces (optional). Only
+	// consulted when this package creates the pool itself; an explicit
+	// Pool brings its own recorder wiring.
 	Recorder *metrics.UtilRecorder
+	// Pool is the job's persistent execution engine. When nil, Run and
+	// the phase primitives create a transient pool (sized by Workers,
+	// observing Recorder) for the call. The facade sets it so one pool
+	// spans the whole job, with the job context and clock attached.
+	Pool *exec.Pool
 	// ResetContainer controls whether the container is re-initialized
 	// when mappers start — the traditional behaviour (§III-C). The
 	// traditional runtime has a single map wave, so this is safe; it
@@ -53,6 +65,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Pool != nil {
+		o.Workers = o.Pool.Workers()
+	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
 	}
@@ -63,6 +78,17 @@ func (o Options) withDefaults() Options {
 		o.Boundary = chunk.NewlineBoundary{}
 	}
 	return o
+}
+
+// pool returns the executor for a phase call: the job pool when
+// configured, otherwise a transient pool the caller must release via the
+// returned func. Options must already have defaults applied.
+func (o Options) pool() (*exec.Pool, func()) {
+	if o.Pool != nil {
+		return o.Pool, func() {}
+	}
+	p := exec.NewPool(nil, exec.Config{Workers: o.Workers, Recorder: o.Recorder})
+	return p, p.Close
 }
 
 // Stats summarizes an execution.
@@ -76,6 +102,9 @@ type Stats struct {
 	OutputPairs   int
 	MapBusy       time.Duration // aggregate worker-busy time in map tasks
 	ReduceBusy    time.Duration // aggregate worker-busy time in reduce tasks
+	// Tasks is the executor's per-phase task instrumentation: task
+	// counts, queue-wait and busy durations keyed by phase label.
+	Tasks map[string]metrics.TaskStats
 }
 
 // Result is the job output: globally sorted pairs plus measurements.
@@ -85,133 +114,74 @@ type Result[K comparable, V any] struct {
 	Stats Stats
 }
 
-// tracker adapts a UtilRecorder to sortalgo.Tracker, classifying busy
-// merge workers as user-space compute.
-type tracker struct {
-	rec *metrics.UtilRecorder
-}
-
-func (t tracker) Register() int { return t.rec.Register() }
-func (t tracker) Busy(id int)   { t.rec.SetState(id, metrics.StateUser) }
-func (t tracker) Idle(id int)   { t.rec.SetState(id, metrics.StateIdle) }
-
-func trackerFor(rec *metrics.UtilRecorder) sortalgo.Tracker {
-	if rec == nil {
-		return nil
-	}
-	return tracker{rec}
-}
-
-// ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines,
-// marking each worker busy in rec (as state) while it runs an iteration.
-// It returns the aggregate worker-busy time (the sum of per-task
-// wall-clock durations) so callers can account per-phase CPU work.
-func ParallelFor(n, workers int, rec *metrics.UtilRecorder, state metrics.WorkerState, fn func(i int)) time.Duration {
-	if n <= 0 {
-		return 0
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	var next int
-	var busy int64 // nanoseconds, accumulated under mu
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			id := -1
-			if rec != nil {
-				id = rec.Register()
-			}
-			var local time.Duration
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					break
-				}
-				if rec != nil {
-					rec.SetState(id, state)
-				}
-				start := time.Now()
-				fn(i)
-				local += time.Since(start)
-				if rec != nil {
-					rec.SetState(id, metrics.StateIdle)
-				}
-			}
-			mu.Lock()
-			busy += int64(local)
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	return time.Duration(busy)
-}
-
 // MapWave runs one wave of mappers over data: the chunk is cut into
-// boundary-adjusted input splits and Workers mappers emit into the
-// container through per-task locals. This is the body the SupMR
-// run_mappers() wrapper invokes once per ingest chunk.
-func MapWave[K comparable, V any](app kv.App[K, V], data []byte, cont container.Container[K, V], opts Options) int {
-	n, _ := MapWaveTimed(app, data, cont, opts)
-	return n
+// boundary-adjusted input splits and the pool's compute workers emit
+// into the container through per-task locals. This is the body the
+// SupMR run_mappers() wrapper invokes once per ingest chunk.
+func MapWave[K comparable, V any](app kv.App[K, V], data []byte, cont container.Container[K, V], opts Options) (int, error) {
+	n, _, err := MapWaveTimed(app, data, cont, opts)
+	return n, err
 }
 
 // MapWaveTimed is MapWave plus the wave's aggregate worker-busy time.
-func MapWaveTimed[K comparable, V any](app kv.App[K, V], data []byte, cont container.Container[K, V], opts Options) (int, time.Duration) {
+func MapWaveTimed[K comparable, V any](app kv.App[K, V], data []byte, cont container.Container[K, V], opts Options) (int, time.Duration, error) {
 	opts = opts.withDefaults()
 	if opts.ResetContainer {
 		cont.Reset()
 	}
+	pool, release := opts.pool()
+	defer release()
 	splits := chunk.SplitBuffer(data, opts.Splits, opts.Boundary)
-	busy := ParallelFor(len(splits), opts.Workers, opts.Recorder, metrics.StateUser, func(i int) {
+	busy, err := pool.ForEach("map", metrics.StateUser, len(splits), func(i int) error {
 		local := cont.NewLocal()
 		app.Map(splits[i], local)
 		local.Flush()
+		return nil
 	})
-	return len(splits), busy
+	return len(splits), busy, err
 }
 
 // ReducePhase runs reducers over every container partition, returning
 // one unsorted run per non-empty partition. This is the body the SupMR
 // run_reducers() wrapper invokes once at the end of the job.
-func ReducePhase[K comparable, V any](app kv.App[K, V], cont container.Container[K, V], opts Options) [][]kv.Pair[K, V] {
-	runs, _ := ReducePhaseTimed(app, cont, opts)
-	return runs
+func ReducePhase[K comparable, V any](app kv.App[K, V], cont container.Container[K, V], opts Options) ([][]kv.Pair[K, V], error) {
+	runs, _, err := ReducePhaseTimed(app, cont, opts)
+	return runs, err
 }
 
 // ReducePhaseTimed is ReducePhase plus aggregate worker-busy time.
-func ReducePhaseTimed[K comparable, V any](app kv.App[K, V], cont container.Container[K, V], opts Options) ([][]kv.Pair[K, V], time.Duration) {
+func ReducePhaseTimed[K comparable, V any](app kv.App[K, V], cont container.Container[K, V], opts Options) ([][]kv.Pair[K, V], time.Duration, error) {
 	opts = opts.withDefaults()
+	pool, release := opts.pool()
+	defer release()
 	parts := cont.Partitions()
 	runs := make([][]kv.Pair[K, V], parts)
-	busy := ParallelFor(parts, opts.Workers, opts.Recorder, metrics.StateUser, func(p int) {
+	busy, err := pool.ForEach("reduce", metrics.StateUser, parts, func(p int) error {
 		runs[p] = cont.Reduce(p, app.Reduce, nil)
+		return nil
 	})
+	if err != nil {
+		return nil, busy, err
+	}
 	out := runs[:0]
 	for _, r := range runs {
 		if len(r) > 0 {
 			out = append(out, r)
 		}
 	}
-	return out, busy
+	return out, busy, nil
 }
 
 // MergePhase sorts each run in parallel and merges them with the
 // selected algorithm, returning the globally sorted output and the
 // number of pairwise rounds an iterative merge would perform.
-func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], opts Options) ([]kv.Pair[K, V], int) {
+func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], opts Options) ([]kv.Pair[K, V], int, error) {
 	opts = opts.withDefaults()
-	tr := trackerFor(opts.Recorder)
-	sortalgo.SortRuns(runs, app.Less, opts.Workers, tr)
+	pool, release := opts.pool()
+	defer release()
+	if err := sortalgo.SortRuns(runs, app.Less, pool); err != nil {
+		return nil, 0, err
+	}
 	rounds := sortalgo.Rounds(len(runs))
 	if opts.Merge == sortalgo.MergePWay {
 		rounds = 1
@@ -219,70 +189,102 @@ func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], o
 			rounds = 0
 		}
 	}
-	merged := sortalgo.Merge(opts.Merge, runs, app.Less, opts.Workers, tr)
-	return merged, rounds
+	merged, err := sortalgo.Merge(opts.Merge, runs, app.Less, pool)
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, rounds, nil
 }
 
-// Ingest reads the entire input stream into memory, marking the single
-// ingest worker as IO-waiting while the device serves data — the
-// sequential ingest phase of Fig. 1's first 180 seconds.
-func Ingest(input chunk.Stream, rec *metrics.UtilRecorder) ([]byte, error) {
-	var id int
-	if rec != nil {
-		id = rec.Register()
-		rec.SetState(id, metrics.StateIOWait)
-		defer rec.SetState(id, metrics.StateIdle)
+// Ingest reads the entire input stream into memory on the pool's
+// dedicated IO worker, which is marked IO-waiting while the device
+// serves data — the sequential ingest phase of Fig. 1's first 180
+// seconds. A nil pool reads inline without instrumentation.
+// Cancellation of the pool's context is observed between chunks.
+func Ingest(input chunk.Stream, p *exec.Pool) ([]byte, error) {
+	read := func(ctxErr func() error) ([]byte, error) {
+		var buf []byte
+		if total := input.TotalBytes(); total > 0 {
+			buf = make([]byte, 0, total)
+		}
+		for {
+			if ctxErr != nil {
+				if err := ctxErr(); err != nil {
+					return nil, err
+				}
+			}
+			ch, err := input.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: ingest failed: %w", err)
+			}
+			buf = append(buf, ch.Data...)
+		}
+		return buf, nil
+	}
+	if p == nil {
+		return read(nil)
 	}
 	var buf []byte
-	if total := input.TotalBytes(); total > 0 {
-		buf = make([]byte, 0, total)
-	}
-	for {
-		ch, err := input.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: ingest failed: %w", err)
-		}
-		buf = append(buf, ch.Data...)
+	h := p.GoIO("ingest", metrics.StateIOWait, func() error {
+		var err error
+		buf, err = read(p.Err)
+		return err
+	})
+	if err := h.Wait(); err != nil {
+		return nil, err
 	}
 	return buf, nil
 }
 
 // Run executes a complete traditional MapReduce job: ingest everything,
 // one map wave, reduce, merge. This is the "none" configuration of
-// Table II.
+// Table II. All phases share one persistent pool; if opts.Pool is nil a
+// job pool is created here and torn down on return.
 func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont container.Container[K, V], opts Options) (*Result[K, V], error) {
 	opts = opts.withDefaults()
 	// The traditional runtime initializes the intermediate container when
 	// mappers start (§III-C); with its single map wave this is equivalent
 	// to starting fresh.
 	opts.ResetContainer = true
+	pool, release := opts.pool()
+	defer release()
+	opts.Pool = pool
 	timer := opts.Timer
 	if timer == nil {
-		timer = metrics.NewTimer(nowFunc())
+		timer = metrics.NewTimer(pool.Now)
 	}
 
 	timer.StartPhase(metrics.PhaseRead)
-	data, err := Ingest(input, opts.Recorder)
+	data, err := Ingest(input, pool)
 	timer.EndPhase(metrics.PhaseRead)
 	if err != nil {
 		return nil, err
 	}
 
 	timer.StartPhase(metrics.PhaseMap)
-	nSplits, mapBusy := MapWaveTimed(app, data, cont, opts)
+	nSplits, mapBusy, err := MapWaveTimed(app, data, cont, opts)
 	timer.EndPhase(metrics.PhaseMap)
+	if err != nil {
+		return nil, err
+	}
 	interN := cont.Len()
 
 	timer.StartPhase(metrics.PhaseReduce)
-	runs, reduceBusy := ReducePhaseTimed(app, cont, opts)
+	runs, reduceBusy, err := ReducePhaseTimed(app, cont, opts)
 	timer.EndPhase(metrics.PhaseReduce)
+	if err != nil {
+		return nil, err
+	}
 
 	timer.StartPhase(metrics.PhaseMerge)
-	merged, rounds := MergePhase(app, runs, opts)
+	merged, rounds, err := MergePhase(app, runs, opts)
 	timer.EndPhase(metrics.PhaseMerge)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result[K, V]{
 		Pairs: merged,
@@ -297,13 +299,8 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 			OutputPairs:   len(merged),
 			MapBusy:       mapBusy,
 			ReduceBusy:    reduceBusy,
+			Tasks:         pool.TaskStats(),
 		},
 	}
 	return res, nil
-}
-
-// nowFunc returns a monotonic clock reading function based on wall time.
-func nowFunc() func() time.Duration {
-	epoch := time.Now()
-	return func() time.Duration { return time.Since(epoch) }
 }

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"supmr/internal/chunk"
 	"supmr/internal/container"
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/metrics"
 	"supmr/internal/storage"
@@ -105,7 +107,10 @@ func TestMapWaveSplitCount(t *testing.T) {
 	text := genText(t, 32<<10)
 	wc := wcApp{}
 	cont := wc.NewContainer(8)
-	n := MapWave[string, int64](wc, text, cont, Options{Workers: 2, Splits: 8})
+	n, err := MapWave[string, int64](wc, text, cont, Options{Workers: 2, Splits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n < 2 || n > 8 {
 		t.Errorf("map wave produced %d splits, want 2..8", n)
 	}
@@ -118,10 +123,17 @@ func TestMapWaveResetContainer(t *testing.T) {
 	text := []byte("a a a\n")
 	wc := wcApp{}
 	cont := wc.NewContainer(4)
-	MapWave[string, int64](wc, text, cont, Options{Workers: 1})
-	MapWave[string, int64](wc, text, cont, Options{Workers: 1, ResetContainer: true})
+	if _, err := MapWave[string, int64](wc, text, cont, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapWave[string, int64](wc, text, cont, Options{Workers: 1, ResetContainer: true}); err != nil {
+		t.Fatal(err)
+	}
 	// After a reset wave, only one wave's worth of counts remain.
-	runs := ReducePhase[string, int64](wc, cont, Options{Workers: 1})
+	runs, err := ReducePhase[string, int64](wc, cont, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var total int64
 	for _, r := range runs {
 		for _, p := range r {
@@ -140,7 +152,10 @@ func TestReducePhaseDropsEmptyPartitions(t *testing.T) {
 	l.Emit("a", 1)
 	l.Emit("b", 1)
 	l.Flush()
-	runs := ReducePhase[string, int64](wc, cont, Options{Workers: 2})
+	runs, err := ReducePhase[string, int64](wc, cont, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, r := range runs {
 		if len(r) == 0 {
 			t.Errorf("run %d empty — empty partitions should be dropped", i)
@@ -156,7 +171,10 @@ func TestMergePhaseRounds(t *testing.T) {
 		{{Key: "e", Val: 1}, {Key: "d", Val: 1}},
 		{{Key: "f", Val: 1}},
 	}
-	merged, rounds := MergePhase[string, int64](wc, runs, Options{Workers: 2, Merge: 0})
+	merged, rounds, err := MergePhase[string, int64](wc, runs, Options{Workers: 2, Merge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rounds != 2 {
 		t.Errorf("pairwise rounds = %d, want 2 for 4 runs", rounds)
 	}
@@ -181,7 +199,9 @@ func TestIngestMarksIOWait(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Ingest(chunk.NewWholeInput(inter), rec)
+	pool := exec.NewPool(nil, exec.Config{Workers: 1, Recorder: rec})
+	defer pool.Close()
+	got, err := Ingest(chunk.NewWholeInput(inter), pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,19 +238,63 @@ func TestRunPropagatesIngestError(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
-	var hits [100]int32
-	ParallelFor(100, 8, nil, metrics.StateUser, func(i int) {
-		hits[i]++
-	})
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d executed %d times", i, h)
+// panicApp panics while mapping a split containing the trigger word.
+type panicApp struct{ wcApp }
+
+func (panicApp) Map(split []byte, emit kv.Emitter[string, int64]) {
+	if strings.Contains(string(split), "boom") {
+		panic("mapper exploded")
+	}
+	wcApp{}.Map(split, emit)
+}
+
+func TestRunSurvivesMapPanic(t *testing.T) {
+	// A panicking map task must become a job error naming the split, not
+	// kill the process (tentpole: panic isolation in the traditional
+	// runtime).
+	text := append(genText(t, 8<<10), []byte("boom\n")...)
+	wc := panicApp{}
+	_, err := Run[string, int64](wc, memStream(t, text), wcApp{}.NewContainer(8), Options{Workers: 2})
+	if err == nil {
+		t.Fatal("panicking map task did not fail the job")
+	}
+	var pe *exec.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *exec.PanicError", err)
+	}
+	if pe.Phase != "map" || pe.Task < 0 {
+		t.Errorf("panic error = %+v, want map phase with task index", pe)
+	}
+	if !strings.Contains(err.Error(), "mapper exploded") {
+		t.Errorf("err %q does not name the panic value", err)
+	}
+}
+
+func TestRunObservesCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := exec.NewPool(ctx, exec.Config{Workers: 2})
+	defer pool.Close()
+	text := genText(t, 16<<10)
+	wc := wcApp{}
+	_, err := Run[string, int64](wc, memStream(t, text), wc.NewContainer(8), Options{Pool: pool})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunRecordsTaskStats(t *testing.T) {
+	text := genText(t, 16<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, memStream(t, text), wc.NewContainer(8), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"ingest", "map", "reduce", "sort"} {
+		if res.Stats.Tasks[phase].Tasks == 0 {
+			t.Errorf("no %s tasks recorded: %+v", phase, res.Stats.Tasks)
 		}
 	}
-	// Degenerate cases must not hang or panic.
-	ParallelFor(0, 4, nil, metrics.StateUser, func(int) { t.Error("called for n=0") })
-	ParallelFor(3, 0, nil, metrics.StateUser, func(int) {})
 }
 
 func TestOptionsDefaults(t *testing.T) {

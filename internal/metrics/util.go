@@ -78,6 +78,15 @@ func (r *UtilRecorder) Register() int {
 	return id
 }
 
+// Registered returns how many worker ids have been allocated — the
+// worker population of the trace. With the persistent executor this is
+// stable across phases (workers register once per job).
+func (r *UtilRecorder) Registered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextID
+}
+
 // SetState records that worker id entered state now.
 func (r *UtilRecorder) SetState(id int, s WorkerState) {
 	at := r.now()

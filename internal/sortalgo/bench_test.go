@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 )
 
@@ -43,6 +44,8 @@ func BenchmarkMerge(b *testing.B) {
 		base := benchRuns(total, runs)
 		for _, algo := range []MergeAlgo{MergePairwise, MergePWay} {
 			b.Run(fmt.Sprintf("%s/runs=%d", algo, runs), func(b *testing.B) {
+				ex := exec.NewLocal(4)
+				defer ex.Close()
 				b.ReportAllocs()
 				b.SetBytes(int64(total * 16))
 				for i := 0; i < b.N; i++ {
@@ -52,9 +55,9 @@ func BenchmarkMerge(b *testing.B) {
 						rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
 					}
 					b.StartTimer()
-					out := Merge(algo, rs, less, 4, nil)
-					if len(out) != total {
-						b.Fatal("bad merge")
+					out, err := Merge(algo, rs, less, ex)
+					if err != nil || len(out) != total {
+						b.Fatal("bad merge", err)
 					}
 				}
 			})
@@ -66,6 +69,8 @@ func BenchmarkSortRuns(b *testing.B) {
 	const total = 1 << 17
 	base := benchRuns(total, 32)
 	less := kv.Less[uint64](func(a, c uint64) bool { return a < c })
+	ex := exec.NewLocal(4)
+	defer ex.Close()
 	b.ReportAllocs()
 	b.SetBytes(int64(total * 16))
 	for i := 0; i < b.N; i++ {
@@ -75,7 +80,9 @@ func BenchmarkSortRuns(b *testing.B) {
 			rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
 		}
 		b.StartTimer()
-		SortRuns(rs, less, 4, nil)
+		if err := SortRuns(rs, less, ex); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -86,6 +93,8 @@ func BenchmarkLoserTreeWidth(b *testing.B) {
 	for _, k := range []int{4, 16, 64, 256} {
 		base := benchRuns(total, k)
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			ex := exec.NewLocal(1)
+			defer ex.Close()
 			b.SetBytes(int64(total * 16))
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -94,9 +103,9 @@ func BenchmarkLoserTreeWidth(b *testing.B) {
 					rs[j] = append([]kv.Pair[uint64, uint64](nil), base[j]...)
 				}
 				b.StartTimer()
-				out := PWayMerge(rs, less, 1, nil)
-				if len(out) != total {
-					b.Fatal("bad merge")
+				out, err := PWayMerge(rs, less, ex)
+				if err != nil || len(out) != total {
+					b.Fatal("bad merge", err)
 				}
 			}
 		})

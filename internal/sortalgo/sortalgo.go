@@ -11,77 +11,31 @@
 // processors. Sampled splitters cut every run at consistent keys, giving
 // each processor an independent output range to fill with a loser-tree
 // k-way merge — one scan of the data, full parallelism throughout.
+//
+// All algorithms run on the job's persistent executor (internal/exec)
+// rather than spawning their own workers: parallelism comes from the
+// pool's compute workers, utilization instrumentation from the pool's
+// recorder, and cancellation/panic isolation from the pool's task
+// dispatch.
 package sortalgo
 
 import (
 	"sort"
-	"sync"
 
+	"supmr/internal/exec"
 	"supmr/internal/kv"
+	"supmr/internal/metrics"
 )
 
-// Tracker observes worker activity so the runtimes can reconstruct
-// collectl-style utilization traces of the merge phase. A nil Tracker is
-// valid and records nothing.
-type Tracker interface {
-	// Register allocates a worker id.
-	Register() int
-	// Busy marks worker id as computing.
-	Busy(id int)
-	// Idle marks worker id as idle.
-	Idle(id int)
-}
-
-type nopTracker struct{}
-
-func (nopTracker) Register() int { return 0 }
-func (nopTracker) Busy(int)      {}
-func (nopTracker) Idle(int)      {}
-
-func orNop(t Tracker) Tracker {
-	if t == nil {
-		return nopTracker{}
-	}
-	return t
-}
-
-// SortRuns sorts each run in place, in parallel across workers. This is
+// SortRuns sorts each run in place, in parallel on the executor. This is
 // the high-utilization prefix both merge algorithms share ("all cores
 // sorting small lists in parallel").
-func SortRuns[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], workers int, tr Tracker) {
-	tr = orNop(tr)
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(runs) {
-		workers = len(runs)
-	}
-	if workers == 0 {
-		return
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			id := tr.Register()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(runs) {
-					return
-				}
-				tr.Busy(id)
-				kv.SortPairs(runs[i], less)
-				tr.Idle(id)
-			}
-		}()
-	}
-	wg.Wait()
+func SortRuns[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) error {
+	_, err := ex.ForEach("sort", metrics.StateUser, len(runs), func(i int) error {
+		kv.SortPairs(runs[i], less)
+		return nil
+	})
+	return err
 }
 
 // mergeTwo merges sorted a and b into dst (which must have capacity
@@ -106,53 +60,30 @@ func mergeTwo[K any, V any](a, b []kv.Pair[K, V], less kv.Less[K], dst []kv.Pair
 // pairs until one remains. Each round processes every key again, and the
 // number of concurrently mergeable pairs (and hence busy workers) halves
 // every round. Runs must already be sorted.
-func PairwiseMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], workers int, tr Tracker) []kv.Pair[K, V] {
-	tr = orNop(tr)
+func PairwiseMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) ([]kv.Pair[K, V], error) {
 	if len(runs) == 0 {
-		return nil
-	}
-	if workers < 1 {
-		workers = 1
+		return nil, nil
 	}
 	cur := runs
 	for len(cur) > 1 {
 		pairs := len(cur) / 2
 		nextRuns := make([][]kv.Pair[K, V], pairs+len(cur)%2)
-		par := workers
-		if par > pairs {
-			par = pairs
+		round := cur
+		_, err := ex.ForEach("merge", metrics.StateUser, pairs, func(p int) error {
+			a, b := round[2*p], round[2*p+1]
+			dst := make([]kv.Pair[K, V], 0, len(a)+len(b))
+			nextRuns[p] = mergeTwo(a, b, less, dst)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		var idx int
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		for w := 0; w < par; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				id := tr.Register()
-				for {
-					mu.Lock()
-					p := idx
-					idx++
-					mu.Unlock()
-					if p >= pairs {
-						return
-					}
-					a, b := cur[2*p], cur[2*p+1]
-					tr.Busy(id)
-					dst := make([]kv.Pair[K, V], 0, len(a)+len(b))
-					nextRuns[p] = mergeTwo(a, b, less, dst)
-					tr.Idle(id)
-				}
-			}()
-		}
-		wg.Wait()
 		if len(cur)%2 == 1 {
 			nextRuns[pairs] = cur[len(cur)-1]
 		}
 		cur = nextRuns
 	}
-	return cur[0]
+	return cur[0], nil
 }
 
 // Rounds returns the number of pairwise merge rounds needed for n runs —
@@ -171,11 +102,11 @@ func Rounds(n int) int {
 const samplesPerRun = 32
 
 // PWayMerge merges sorted runs into one sorted array in a single round
-// using p workers. Sampled splitters partition the key space into p
-// consistent ranges; every worker loser-tree-merges its column of run
-// slices into a disjoint region of the output.
-func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], p int, tr Tracker) []kv.Pair[K, V] {
-	tr = orNop(tr)
+// using the executor's compute workers. Sampled splitters partition the
+// key space into one consistent range per worker; every worker
+// loser-tree-merges its column of run slices into a disjoint region of
+// the output.
+func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) ([]kv.Pair[K, V], error) {
 	// Drop empty runs.
 	var rs [][]kv.Pair[K, V]
 	total := 0
@@ -186,11 +117,12 @@ func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], p int, tr 
 		}
 	}
 	if total == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(rs) == 1 {
-		return rs[0]
+		return rs[0], nil
 	}
+	p := ex.Workers()
 	if p < 1 {
 		p = 1
 	}
@@ -248,28 +180,23 @@ func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], p int, tr 
 	}
 
 	out := make([]kv.Pair[K, V], total)
-	var wg sync.WaitGroup
-	for s := 0; s < p; s++ {
+	_, err := ex.ForEach("merge", metrics.StateUser, p, func(s int) error {
 		if rangeLen[s] == 0 {
-			continue
+			return nil
 		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			id := tr.Register()
-			tr.Busy(id)
-			defer tr.Idle(id)
-			var cols [][]kv.Pair[K, V]
-			for ri, r := range rs {
-				if seg := r[cuts[ri][s]:cuts[ri][s+1]]; len(seg) > 0 {
-					cols = append(cols, seg)
-				}
+		var cols [][]kv.Pair[K, V]
+		for ri, r := range rs {
+			if seg := r[cuts[ri][s]:cuts[ri][s+1]]; len(seg) > 0 {
+				cols = append(cols, seg)
 			}
-			loserTreeMerge(cols, less, out[offsets[s]:offsets[s]:offsets[s+1]])
-		}(s)
+		}
+		loserTreeMerge(cols, less, out[offsets[s]:offsets[s]:offsets[s+1]])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out
+	return out, nil
 }
 
 // lowerBound returns the index of the first element of r whose key is not
@@ -384,11 +311,11 @@ func (m MergeAlgo) String() string {
 }
 
 // Merge dispatches to the selected algorithm. Runs must be sorted.
-func Merge[K any, V any](algo MergeAlgo, runs [][]kv.Pair[K, V], less kv.Less[K], workers int, tr Tracker) []kv.Pair[K, V] {
+func Merge[K any, V any](algo MergeAlgo, runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) ([]kv.Pair[K, V], error) {
 	switch algo {
 	case MergePWay:
-		return PWayMerge(runs, less, workers, tr)
+		return PWayMerge(runs, less, ex)
 	default:
-		return PairwiseMerge(runs, less, workers, tr)
+		return PairwiseMerge(runs, less, ex)
 	}
 }

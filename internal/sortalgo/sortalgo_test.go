@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync/atomic"
 	"testing"
 	"testing/quick"
 
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 )
 
@@ -41,6 +41,30 @@ func randomRuns(t testing.TB, total, runs int, seed int64) ([][]kv.Pair[uint64, 
 	return out, all
 }
 
+// pairwise / pway run a merge on a transient p-worker pool, failing the
+// test on error.
+func pairwise(t testing.TB, rs [][]kv.Pair[uint64, int], p int) []kv.Pair[uint64, int] {
+	t.Helper()
+	ex := exec.NewLocal(p)
+	defer ex.Close()
+	got, err := PairwiseMerge(rs, u64Less, ex)
+	if err != nil {
+		t.Fatalf("PairwiseMerge: %v", err)
+	}
+	return got
+}
+
+func pway(t testing.TB, rs [][]kv.Pair[uint64, int], p int) []kv.Pair[uint64, int] {
+	t.Helper()
+	ex := exec.NewLocal(p)
+	defer ex.Close()
+	got, err := PWayMerge(rs, u64Less, ex)
+	if err != nil {
+		t.Fatalf("PWayMerge: %v", err)
+	}
+	return got
+}
+
 func checkMerged(t *testing.T, got []kv.Pair[uint64, int], want []uint64, label string) {
 	t.Helper()
 	if len(got) != len(want) {
@@ -64,7 +88,7 @@ func checkMerged(t *testing.T, got []kv.Pair[uint64, int], want []uint64, label 
 func TestPairwiseMergeCorrect(t *testing.T) {
 	for _, runs := range []int{1, 2, 3, 7, 16, 33} {
 		rs, want := randomRuns(t, 5000, runs, int64(runs))
-		got := PairwiseMerge(rs, u64Less, 4, nil)
+		got := pairwise(t, rs, 4)
 		checkMerged(t, got, want, fmt.Sprintf("pairwise runs=%d", runs))
 	}
 }
@@ -73,26 +97,26 @@ func TestPWayMergeCorrect(t *testing.T) {
 	for _, runs := range []int{1, 2, 3, 7, 16, 33, 200} {
 		for _, p := range []int{1, 2, 4, 16} {
 			rs, want := randomRuns(t, 5000, runs, int64(runs*31+p))
-			got := PWayMerge(rs, u64Less, p, nil)
+			got := pway(t, rs, p)
 			checkMerged(t, got, want, fmt.Sprintf("pway runs=%d p=%d", runs, p))
 		}
 	}
 }
 
 func TestMergeEmptyAndSingleton(t *testing.T) {
-	if got := PairwiseMerge[uint64, int](nil, u64Less, 4, nil); got != nil {
+	if got := pairwise(t, nil, 4); got != nil {
 		t.Errorf("pairwise(nil) = %v", got)
 	}
-	if got := PWayMerge[uint64, int](nil, u64Less, 4, nil); got != nil {
+	if got := pway(t, nil, 4); got != nil {
 		t.Errorf("pway(nil) = %v", got)
 	}
 	one := [][]kv.Pair[uint64, int]{{{Key: 1}, {Key: 2}}}
-	if got := PWayMerge(one, u64Less, 4, nil); len(got) != 2 {
+	if got := pway(t, one, 4); len(got) != 2 {
 		t.Errorf("pway(single run) = %v", got)
 	}
 	// All-empty runs.
 	empty := [][]kv.Pair[uint64, int]{{}, {}, {}}
-	if got := PWayMerge(empty, u64Less, 4, nil); got != nil {
+	if got := pway(t, empty, 4); got != nil {
 		t.Errorf("pway(empty runs) = %v", got)
 	}
 }
@@ -112,7 +136,7 @@ func TestPWayMergeSkewedRuns(t *testing.T) {
 			idx++
 		}
 	}
-	got := PWayMerge(runs, u64Less, 8, nil)
+	got := pway(t, runs, 8)
 	if len(got) != idx {
 		t.Fatalf("merged %d, want %d", len(got), idx)
 	}
@@ -131,7 +155,7 @@ func TestPWayMergeAllEqualKeys(t *testing.T) {
 			idx++
 		}
 	}
-	got := PWayMerge(runs, u64Less, 4, nil)
+	got := pway(t, runs, 4)
 	if len(got) != idx {
 		t.Fatalf("merged %d of %d equal-key pairs", len(got), idx)
 	}
@@ -147,8 +171,13 @@ func TestMergesAgree(t *testing.T) {
 		for i := range rs {
 			rs2[i] = append([]kv.Pair[uint64, int](nil), rs[i]...)
 		}
-		a := PairwiseMerge(rs, u64Less, p, nil)
-		b := PWayMerge(rs2, u64Less, p, nil)
+		ex := exec.NewLocal(p)
+		defer ex.Close()
+		a, errA := PairwiseMerge(rs, u64Less, ex)
+		b, errB := PWayMerge(rs2, u64Less, ex)
+		if errA != nil || errB != nil {
+			return false
+		}
 		if len(a) != len(want) || len(b) != len(want) {
 			return false
 		}
@@ -171,7 +200,11 @@ func TestSortRuns(t *testing.T) {
 	for _, r := range rs {
 		rng.Shuffle(len(r), func(i, j int) { r[i], r[j] = r[j], r[i] })
 	}
-	SortRuns(rs, u64Less, 4, nil)
+	ex := exec.NewLocal(4)
+	defer ex.Close()
+	if err := SortRuns(rs, u64Less, ex); err != nil {
+		t.Fatal(err)
+	}
 	for i, r := range rs {
 		if !kv.IsSortedPairs(r, u64Less) {
 			t.Errorf("run %d unsorted after SortRuns", i)
@@ -196,37 +229,41 @@ func TestMergeDispatchAndString(t *testing.T) {
 		t.Error("unknown algo string wrong")
 	}
 	rs, want := randomRuns(t, 500, 4, 3)
-	got := Merge(MergePWay, rs, u64Less, 2, nil)
+	ex := exec.NewLocal(2)
+	defer ex.Close()
+	got, err := Merge(MergePWay, rs, u64Less, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkMerged(t, got, want, "dispatch")
 }
 
-// countTracker counts busy transitions to verify instrumentation fires.
-type countTracker struct {
-	registered atomic.Int64
-	busy       atomic.Int64
-}
-
-func (c *countTracker) Register() int { c.registered.Add(1); return int(c.registered.Load()) }
-func (c *countTracker) Busy(int)      { c.busy.Add(1) }
-func (c *countTracker) Idle(int)      {}
-
-func TestTrackerInstrumentation(t *testing.T) {
+func TestExecutorInstrumentation(t *testing.T) {
+	// The executor's per-phase task stats replace the old Tracker: one
+	// "sort" task per run, plus "merge" tasks from both algorithms.
 	rs, _ := randomRuns(t, 1000, 8, 4)
-	tr := &countTracker{}
-	SortRuns(rs, u64Less, 4, tr)
-	if tr.busy.Load() != 8 {
-		t.Errorf("SortRuns marked busy %d times, want 8 (one per run)", tr.busy.Load())
+	ex := exec.NewLocal(4)
+	defer ex.Close()
+	if err := SortRuns(rs, u64Less, ex); err != nil {
+		t.Fatal(err)
 	}
-	tr2 := &countTracker{}
-	PairwiseMerge(rs, u64Less, 4, tr2)
-	if tr2.busy.Load() == 0 {
-		t.Error("PairwiseMerge never marked workers busy")
+	if got := ex.TaskStats()["sort"].Tasks; got != 8 {
+		t.Errorf("SortRuns ran %d sort tasks, want 8 (one per run)", got)
 	}
-	tr3 := &countTracker{}
+	if _, err := PairwiseMerge(rs, u64Less, ex); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.TaskStats()["merge"].Tasks; got == 0 {
+		t.Error("PairwiseMerge recorded no merge tasks")
+	}
+	ex2 := exec.NewLocal(4)
+	defer ex2.Close()
 	rs2, _ := randomRuns(t, 1000, 8, 5)
-	PWayMerge(rs2, u64Less, 4, tr3)
-	if tr3.busy.Load() == 0 {
-		t.Error("PWayMerge never marked workers busy")
+	if _, err := PWayMerge(rs2, u64Less, ex2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex2.TaskStats()["merge"].Tasks; got == 0 {
+		t.Error("PWayMerge recorded no merge tasks")
 	}
 }
 
@@ -235,7 +272,7 @@ func TestLoserTreeMergeDirect(t *testing.T) {
 	// worker merges many columns via the tree.
 	for _, k := range []int{3, 4, 5, 6, 9, 17} {
 		rs, want := randomRuns(t, 3000, k, int64(100+k))
-		got := PWayMerge(rs, u64Less, 1, nil)
+		got := pway(t, rs, 1)
 		checkMerged(t, got, want, fmt.Sprintf("losertree k=%d", k))
 	}
 }

@@ -22,6 +22,7 @@
 package supmr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"supmr/internal/chunk"
 	"supmr/internal/container"
 	"supmr/internal/core"
+	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
@@ -112,6 +114,11 @@ func (r Runtime) String() string {
 type Config struct {
 	// Runtime selects the baseline or the SupMR pipeline.
 	Runtime Runtime
+	// Context, when set, bounds the job: cancelling it makes the run
+	// abort promptly (ingest between chunks, phases between tasks) and
+	// return the cancellation cause, typically context.Canceled.
+	// RunContext is the usual way to set it.
+	Context context.Context
 	// Workers is the number of worker goroutines per phase
 	// (default: GOMAXPROCS).
 	Workers int
@@ -206,6 +213,12 @@ func mapreduceOptions(cfg Config) mapreduce.Options {
 
 // Run executes the job over an explicit chunk stream. Most callers use
 // RunFile, RunFiles or RunBytes, which build the stream.
+//
+// Every phase runs on one persistent worker pool created here for the
+// job (the execution engine of internal/exec): map, reduce, sort and
+// merge draw compute workers from it, ingest runs on its dedicated IO
+// worker, and cfg.Context cancellation or a panicking task aborts the
+// whole pipeline with a job error.
 func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V], cfg Config) (*Report[K, V], error) {
 	if job == nil {
 		return nil, errors.New("supmr: nil job")
@@ -225,6 +238,12 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		markers = &metrics.MarkerLog{}
 		timer.WithMarkers(markers)
 	}
+	pool := exec.NewPool(cfg.Context, exec.Config{
+		Workers:  cfg.Workers,
+		Recorder: rec,
+		Now:      clk.Now,
+	})
+	defer pool.Close()
 	ro := mapreduce.Options{
 		Workers:  cfg.Workers,
 		Splits:   cfg.Splits,
@@ -232,6 +251,7 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		Boundary: cfg.boundary(),
 		Timer:    timer,
 		Recorder: rec,
+		Pool:     pool,
 	}
 
 	var (
@@ -268,6 +288,15 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		rep.Markers = markers.Markers()
 	}
 	return rep, nil
+}
+
+// RunContext is Run bounded by ctx: cancelling ctx aborts the job
+// promptly (within the current round) and the call returns the
+// cancellation cause — context.Canceled for a plain cancel. RunFile,
+// RunFiles and RunBytes honour the same context via cfg.Context.
+func RunContext[K comparable, V any](ctx context.Context, job Job[K, V], input Stream, cont Container[K, V], cfg Config) (*Report[K, V], error) {
+	cfg.Context = ctx
+	return Run(job, input, cont, cfg)
 }
 
 // RunFile executes the job over a single (possibly simulated) file,

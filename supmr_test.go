@@ -1,10 +1,13 @@
 package supmr
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"supmr/internal/kv"
+	"supmr/internal/storage"
 	"supmr/internal/workload"
 )
 
@@ -136,6 +139,35 @@ func TestPersistentContainerAblationLosesData(t *testing.T) {
 	if total >= wantTotal {
 		t.Fatalf("ablation kept %d word occurrences, want fewer than %d (data loss expected)", total, wantTotal)
 	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	// A cancelled RunContext job returns context.Canceled promptly in
+	// both runtimes, instead of running to completion.
+	text := genText(t, 64<<10, 4)
+	for _, rt := range []Runtime{RuntimeTraditional, RuntimeSupMR} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		clk := storage.NewFakeClock()
+		f := storage.BytesFile("in", text, storage.NewNullDevice(clk))
+		cfg := Config{Runtime: rt, Workers: 2, ChunkBytes: 4 << 10, Clock: clk}
+		stream, err := StreamFile(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = RunContext[string, int64](ctx, WordCountJob(), stream, WordCountContainer(8), cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", rt, err)
+		}
+	}
+	// An un-cancelled context changes nothing.
+	rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(8), Config{
+		Runtime: RuntimeSupMR, Workers: 2, ChunkBytes: 7 << 10, Context: context.Background(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, rep.Pairs, refWordCount(text))
 }
 
 func TestRunValidation(t *testing.T) {

@@ -523,6 +523,51 @@ func BenchmarkAblationHybridChunking(b *testing.B) {
 	}
 }
 
+// AblationSpill: the memory-budget sweep for the out-of-core path. A
+// calibration map wave measures the job's resident intermediate size,
+// then the job runs unbudgeted, at 2x that size (fits, never spills)
+// and at 0.5x (must spill roughly half the rounds' state). The spill
+// machinery should be free when the budget fits, and the 0.5x row
+// quantifies what the extra device writes plus the external merge cost.
+func BenchmarkAblationSpill(b *testing.B) {
+	const size = 2 << 20
+	text := make([]byte, size)
+	workload.TextGen{Seed: 7}.Fill()(0, text)
+	cont := WordCountContainer(64)
+	if _, err := mapreduce.MapWave[string, int64](WordCountJob(), text, cont, mapreduce.Options{Workers: 4}); err != nil {
+		b.Fatal(err)
+	}
+	inter := cont.SizeBytes()
+	for _, cfg := range []struct {
+		name   string
+		budget int64
+	}{
+		{"Unbudgeted", 0},
+		{"Budget2x", 2 * inter},
+		{"BudgetHalf", inter / 2},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(64),
+					Config{Runtime: RuntimeSupMR, ChunkBytes: 64 << 10,
+						MemoryBudget: cfg.budget})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cfg.budget >= inter && rep.Stats.SpilledRuns != 0 {
+					b.Fatalf("budget %d >= intermediate %d yet spilled %d runs",
+						cfg.budget, inter, rep.Stats.SpilledRuns)
+				}
+				b.ReportMetric(float64(rep.Stats.SpilledRuns), "spill-runs")
+				b.ReportMetric(float64(rep.Stats.SpilledBytes), "spill-B")
+				b.ReportMetric(float64(rep.Stats.MergeRounds), "merge-rounds")
+			}
+		})
+	}
+}
+
 // AblationEnergy: the §VI-C utilization/energy trade-off — small chunks
 // raise mean utilization (and power) while cutting wall-clock time.
 func BenchmarkAblationEnergy(b *testing.B) {

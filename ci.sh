@@ -28,11 +28,16 @@ go test -race -count=1 \
     ./internal/mapreduce/ \
     ./internal/core/ \
     ./internal/sortalgo/ \
+    ./internal/spill/ \
     ./internal/apps/ \
     .
 
 echo "== race-mode SupMR pipeline run =="
 go run -race ./cmd/supmr -app wordcount -runtime supmr \
     -size 2m -chunk 128k -bw 0 -workers 4
+
+echo "== race-mode budget-constrained pipeline run =="
+go run -race ./cmd/supmr -app wordcount -runtime supmr \
+    -size 2m -chunk 128k -bw 0 -workers 4 -budget 64k
 
 echo "CI OK"

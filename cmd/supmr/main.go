@@ -31,6 +31,7 @@ func main() {
 		rt        = flag.String("runtime", "supmr", "runtime: traditional | supmr")
 		size      = flag.String("size", "32m", "input size in bytes (k/m/g suffixes)")
 		chunkSz   = flag.String("chunk", "2m", "SupMR ingest chunk size (0 = whole input)")
+		budget    = flag.String("budget", "0", "intermediate-container memory budget in bytes; over-budget state spills to the simulated device (0 = unbudgeted; supmr runtime only)")
 		bw        = flag.String("bw", "8m", "simulated storage bandwidth, bytes/sec (0 = infinite)")
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		merge     = flag.String("merge", "", "merge algorithm override: pairwise | pway")
@@ -57,7 +58,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, runOpts{
-		app: *app, rt: *rt, size: parseSize(*size), chunkSz: parseSize(*chunkSz),
+		app: *app, rt: *rt, size: parseSize(*size), chunkSz: parseSize(*chunkSz), budget: parseSize(*budget),
 		bw: parseSize(*bw), workers: *workers, merge: *merge, files: *files,
 		filesPer: *filesPer, fileSize: parseSize(*fileSize), trace: *trace,
 		contexts: *contexts, bucket: parseDur(*bucketStr), seed: *seed,
@@ -75,6 +76,7 @@ func main() {
 type runOpts struct {
 	app, rt, merge, pattern  string
 	size, chunkSz, bw        int64
+	budget                   int64
 	workers, files, filesPer int
 	fileSize                 int64
 	trace, adaptive, hybrid  bool
@@ -135,9 +137,25 @@ func run(ctx context.Context, o runOpts) error {
 		cfg.TraceContexts = contexts
 		cfg.TraceBucket = bucket
 	}
+	if o.budget > 0 {
+		if cfg.Runtime != supmr.RuntimeSupMR {
+			return fmt.Errorf("-budget requires -runtime supmr: the traditional runtime ingests the whole input before mapping, so bounding the container would not bound the job")
+		}
+		switch app {
+		case "histogram", "linreg":
+			return fmt.Errorf("-budget is incompatible with -app %s: its array container has a fixed footprint and cannot spill", app)
+		case "invindex":
+			return fmt.Errorf("-budget is incompatible with -app invindex: []string values have no spill codec")
+		case "kmeans":
+			return fmt.Errorf("-budget is incompatible with -app kmeans: the iterative driver re-creates its container every iteration")
+		}
+		cfg.MemoryBudget = o.budget
+		cfg.SpillDevice = dev // spill contends with ingest for the same bandwidth
+	}
 
 	var (
 		times  fmt.Stringer
+		stats  *supmr.Stats
 		tr     interface{ ASCII(int) string }
 		report func()
 	)
@@ -147,7 +165,8 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, report = &rep.Times, func() {
+		times, stats = &rep.Times, &rep.Stats
+		report = func() {
 			fmt.Printf("distinct words: %d  occurrences kept: %d  map waves: %d\n",
 				len(rep.Pairs), rep.Stats.IntermediateN, rep.Stats.MapWaves)
 		}
@@ -164,7 +183,8 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, report = &rep.Times, func() {
+		times, stats = &rep.Times, &rep.Stats
+		report = func() {
 			fmt.Printf("records sorted: %d  map waves: %d  merge rounds: %d\n",
 				len(rep.Pairs), rep.Stats.MapWaves, rep.Stats.MergeRounds)
 		}
@@ -181,7 +201,8 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, report = &rep.Times, func() {
+		times, stats = &rep.Times, &rep.Stats
+		report = func() {
 			fmt.Printf("byte values seen: %d  map waves: %d\n", len(rep.Pairs), rep.Stats.MapWaves)
 		}
 		if rep.Trace != nil {
@@ -201,7 +222,8 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, report = &rep.Times, func() {
+		times, stats = &rep.Times, &rep.Stats
+		report = func() {
 			fmt.Printf("indexed words: %d  files: %d\n", len(rep.Pairs), files)
 		}
 		if rep.Trace != nil {
@@ -218,7 +240,8 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, report = &rep.Times, func() {
+		times, stats = &rep.Times, &rep.Stats
+		report = func() {
 			for _, p := range rep.Pairs {
 				fmt.Printf("  %-16s %d matching lines\n", p.Key, p.Val)
 			}
@@ -256,7 +279,8 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, report = &rep.Times, func() {
+		times, stats = &rep.Times, &rep.Stats
+		report = func() {
 			if slope, intercept, ok := job.Fit(rep.Pairs); ok {
 				fmt.Printf("fit: y = %.4f*x + %.2f over %d points\n", slope, intercept, int64(rep.Pairs[0].Val))
 			}
@@ -271,6 +295,10 @@ func run(ctx context.Context, o runOpts) error {
 	fmt.Printf("app=%s runtime=%s size=%d chunk=%d bw=%d\n", app, rt, size, chunkSz, bw)
 	fmt.Println(times.String())
 	report()
+	if stats != nil && stats.SpilledRuns > 0 {
+		fmt.Printf("spill: %d runs, %d bytes written, merged in %d round(s) (budget %d)\n",
+			stats.SpilledRuns, stats.SpilledBytes, stats.MergeRounds, o.budget)
+	}
 	if trace && tr != nil {
 		fmt.Println()
 		fmt.Print(tr.ASCII(16))

@@ -49,6 +49,33 @@ func (a *Array[V]) Reset() {
 	a.vals = make([]V, a.width)
 }
 
+// SizeBytes returns the container footprint. It is fixed by the key
+// width — the flat value and presence arrays exist whether or not cells
+// are occupied — plus any heap bytes occupied values reference.
+func (a *Array[V]) SizeBytes() int64 {
+	size := int64(a.width) * (shallowSize[V]() + 1)
+	dynV := dynSizer[V]()
+	if dynV == nil {
+		return size
+	}
+	for s := 0; s < a.stripes; s++ {
+		lo, hi := a.stripeRange(s)
+		a.mu[s].Lock()
+		for i := lo; i < hi; i++ {
+			if a.present[i] {
+				size += dynV(a.vals[i])
+			}
+		}
+		a.mu[s].Unlock()
+	}
+	return size
+}
+
+// UnspillableContainer marks the array container as unsupported by the
+// spill layer: its footprint is width-bound, not data-bound, so
+// spilling cannot shrink it.
+func (a *Array[V]) UnspillableContainer() {}
+
 // Width returns the key-universe size.
 func (a *Array[V]) Width() int { return a.width }
 

@@ -42,9 +42,17 @@ type Container[K comparable, V any] interface {
 	Reduce(p int, reduce func(k K, vs []V) V, out []kv.Pair[K, V]) []kv.Pair[K, V]
 	// Len returns the number of distinct entries held.
 	Len() int
+	// SizeBytes returns the approximate resident heap bytes of the
+	// stored entries (shallow struct sizes plus referenced string/slice
+	// bytes, plus per-entry bookkeeping). The spill layer compares this
+	// against the job's memory budget between ingest rounds; worker-local
+	// accumulators are transient and not counted.
+	SizeBytes() int64
 	// Reset clears all state, restoring the freshly-initialized
 	// container. The traditional runtime resets when mappers start; the
-	// SupMR pipeline must not (persistent container, §III-C).
+	// SupMR pipeline must not (persistent container, §III-C) — except
+	// when the spill layer drains the container to disk, which resets to
+	// actually return the drained memory.
 	Reset()
 }
 

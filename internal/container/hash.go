@@ -3,6 +3,7 @@ package container
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"supmr/internal/kv"
 )
@@ -21,6 +22,12 @@ type Hash[K comparable, V any] struct {
 	shards  []hashShard[K, V]
 	hasher  Hasher[K]
 	combine kv.Combine[V] // nil = retain all values
+
+	// Byte accounting for SizeBytes, maintained incrementally at Flush
+	// so the budget check between ingest rounds is O(1).
+	bytes atomic.Int64
+	dynK  func(K) int64 // nil when K carries no heap bytes
+	dynV  func(V) int64
 }
 
 type hashShard[K comparable, V any] struct {
@@ -44,12 +51,22 @@ func NewHash[K comparable, V any](shards int, hasher Hasher[K], combine kv.Combi
 	if hasher == nil {
 		panic("container: NewHash requires a hasher")
 	}
-	h := &Hash[K, V]{shards: make([]hashShard[K, V], n), hasher: hasher, combine: combine}
+	h := &Hash[K, V]{
+		shards:  make([]hashShard[K, V], n),
+		hasher:  hasher,
+		combine: combine,
+		dynK:    dynSizer[K](),
+		dynV:    dynSizer[V](),
+	}
 	h.Reset()
 	return h
 }
 
-// Reset reinitializes every shard.
+// Reset reinitializes every shard. The old shard maps are replaced with
+// freshly allocated empty maps rather than cleared in place: Go maps
+// never shrink their bucket arrays, so clearing a map that held a huge
+// round's vocabulary would pin that memory for the rest of the job. The
+// spill layer relies on Reset actually returning the drained bytes.
 func (h *Hash[K, V]) Reset() {
 	for i := range h.shards {
 		s := &h.shards[i]
@@ -63,6 +80,21 @@ func (h *Hash[K, V]) Reset() {
 		}
 		s.mu.Unlock()
 	}
+	h.bytes.Store(0)
+}
+
+// SizeBytes returns the approximate resident bytes of the shard maps.
+func (h *Hash[K, V]) SizeBytes() int64 { return h.bytes.Load() }
+
+// combinedEntryBytes is the per-key cost of a combining shard map entry.
+func (h *Hash[K, V]) combinedEntryBytes() int64 {
+	return mapEntryOverhead + shallowSize[K]() + shallowSize[V]()
+}
+
+// listEntryBytes is the per-key cost of a retaining shard map entry,
+// excluding the values themselves.
+func (h *Hash[K, V]) listEntryBytes() int64 {
+	return mapEntryOverhead + shallowSize[K]() + sliceHeaderBytes
 }
 
 // Partitions returns the shard count; each shard is one reduce partition.
@@ -110,16 +142,24 @@ func (l *hashLocalCombine[K, V]) Emit(key K, val V) {
 func (l *hashLocalCombine[K, V]) Flush() {
 	p := l.parent
 	mask := uint64(len(p.shards) - 1)
+	entry := p.combinedEntryBytes()
+	var added int64
 	for k, v := range l.vals {
 		s := &p.shards[p.hasher(k)&mask]
 		s.mu.Lock()
 		if old, ok := s.vals[k]; ok {
-			s.vals[k] = p.combine(old, v)
+			merged := p.combine(old, v)
+			s.vals[k] = merged
+			if p.dynV != nil {
+				added += p.dynV(merged) - p.dynV(old)
+			}
 		} else {
 			s.vals[k] = v
+			added += entry + dynOf(p.dynK, k) + dynOf(p.dynV, v)
 		}
 		s.mu.Unlock()
 	}
+	p.bytes.Add(added)
 	l.vals = nil
 }
 
@@ -137,12 +177,25 @@ func (l *hashLocalList[K, V]) Emit(key K, val V) {
 func (l *hashLocalList[K, V]) Flush() {
 	p := l.parent
 	mask := uint64(len(p.shards) - 1)
+	entry := p.listEntryBytes()
+	valSize := shallowSize[V]()
+	var added int64
 	for k, vs := range l.list {
 		s := &p.shards[p.hasher(k)&mask]
 		s.mu.Lock()
+		if _, ok := s.list[k]; !ok {
+			added += entry + dynOf(p.dynK, k)
+		}
 		s.list[k] = append(s.list[k], vs...)
 		s.mu.Unlock()
+		added += int64(len(vs)) * valSize
+		if p.dynV != nil {
+			for _, v := range vs {
+				added += p.dynV(v)
+			}
+		}
 	}
+	p.bytes.Add(added)
 	l.list = nil
 }
 

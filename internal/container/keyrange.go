@@ -22,6 +22,7 @@ type KeyRange[K comparable, V any] struct {
 	mu    sync.Mutex
 	bufs  [][]kv.Pair[K, V]
 	total int
+	bytes int64 // approximate resident bytes, maintained at Flush
 }
 
 // DefaultKeyRangePartitions is the partition count when none is given.
@@ -41,7 +42,16 @@ func (c *KeyRange[K, V]) Reset() {
 	c.mu.Lock()
 	c.bufs = nil
 	c.total = 0
+	c.bytes = 0
 	c.mu.Unlock()
+}
+
+// SizeBytes returns the approximate resident bytes of the published
+// buffers.
+func (c *KeyRange[K, V]) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Partitions returns the fixed partition count (0 when empty).
@@ -85,10 +95,17 @@ func (l *keyRangeLocal[K, V]) Flush() {
 		l.buf = nil
 		return
 	}
+	added := int64(len(l.buf)) * shallowSize[kv.Pair[K, V]]()
+	if dynK, dynV := dynSizer[K](), dynSizer[V](); dynK != nil || dynV != nil {
+		for _, pr := range l.buf {
+			added += dynOf(dynK, pr.Key) + dynOf(dynV, pr.Val)
+		}
+	}
 	p := l.parent
 	p.mu.Lock()
 	p.bufs = append(p.bufs, l.buf)
 	p.total += len(l.buf)
+	p.bytes += added
 	p.mu.Unlock()
 	l.buf = nil
 }

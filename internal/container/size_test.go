@@ -1,0 +1,162 @@
+package container
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestHashSizeBytesGrowsAndResets(t *testing.T) {
+	h := NewHash[string, int64](4, StringHasher, sumInt64)
+	if got := h.SizeBytes(); got != 0 {
+		t.Fatalf("empty SizeBytes = %d, want 0", got)
+	}
+	l := h.NewLocal()
+	for i := 0; i < 100; i++ {
+		l.Emit(fmt.Sprintf("key-%04d", i), 1)
+	}
+	l.Flush()
+	sz := h.SizeBytes()
+	// 100 distinct keys of 8 bytes each: at least key bytes plus some
+	// per-entry overhead, and not absurdly more than ~a few hundred
+	// bytes per entry.
+	if sz < 100*8 || sz > 100*1024 {
+		t.Fatalf("SizeBytes = %d, want within [800, 102400]", sz)
+	}
+	// Re-emitting the same keys combines in place: no growth beyond the
+	// existing entries (int64 values carry no heap bytes).
+	l2 := h.NewLocal()
+	for i := 0; i < 100; i++ {
+		l2.Emit(fmt.Sprintf("key-%04d", i), 1)
+	}
+	l2.Flush()
+	if got := h.SizeBytes(); got != sz {
+		t.Errorf("SizeBytes after combining flush = %d, want unchanged %d", got, sz)
+	}
+	h.Reset()
+	if got := h.SizeBytes(); got != 0 {
+		t.Errorf("SizeBytes after Reset = %d, want 0", got)
+	}
+}
+
+func TestHashSizeBytesNoCombiner(t *testing.T) {
+	h := NewHash[string, int64](2, StringHasher, nil)
+	l := h.NewLocal()
+	for i := 0; i < 10; i++ {
+		l.Emit("same", int64(i))
+	}
+	l.Flush()
+	first := h.SizeBytes()
+	if first <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0", first)
+	}
+	// Another 10 values for the same key grow the value list but add no
+	// new key entry: growth must be smaller than the first flush's.
+	l2 := h.NewLocal()
+	for i := 0; i < 10; i++ {
+		l2.Emit("same", int64(i))
+	}
+	l2.Flush()
+	growth := h.SizeBytes() - first
+	if growth <= 0 || growth >= first {
+		t.Errorf("second flush growth = %d, want in (0, %d)", growth, first)
+	}
+}
+
+func TestKeyRangeSizeBytes(t *testing.T) {
+	c := NewKeyRange[string, uint64](4)
+	if got := c.SizeBytes(); got != 0 {
+		t.Fatalf("empty SizeBytes = %d, want 0", got)
+	}
+	l := c.NewLocal()
+	for i := 0; i < 50; i++ {
+		l.Emit(fmt.Sprintf("k%08d", i), uint64(i))
+	}
+	l.Flush()
+	sz := c.SizeBytes()
+	// 50 pairs, each at least the 10-byte key plus the pair struct.
+	if sz < 50*10 {
+		t.Fatalf("SizeBytes = %d, want >= %d", sz, 50*10)
+	}
+	c.Reset()
+	if got := c.SizeBytes(); got != 0 {
+		t.Errorf("SizeBytes after Reset = %d, want 0", got)
+	}
+}
+
+func TestArraySizeBytesFixedByWidth(t *testing.T) {
+	a := NewArray[int64](1000, 4, sumInt64)
+	empty := a.SizeBytes()
+	if empty < 1000*8 {
+		t.Fatalf("empty array SizeBytes = %d, want >= %d", empty, 1000*8)
+	}
+	l := a.NewLocal()
+	for i := 0; i < 1000; i++ {
+		l.Emit(i, 1)
+	}
+	l.Flush()
+	if got := a.SizeBytes(); got != empty {
+		t.Errorf("array SizeBytes grew with data: %d -> %d (footprint is width-bound)", empty, got)
+	}
+}
+
+func TestArrayIsUnspillable(t *testing.T) {
+	var c Container[int, int64] = NewArray[int64](8, 1, sumInt64)
+	if _, ok := c.(Unspillable); !ok {
+		t.Error("array container should implement Unspillable")
+	}
+	var h Container[string, int64] = NewHash[string, int64](4, StringHasher, sumInt64)
+	if _, ok := h.(Unspillable); ok {
+		t.Error("hash container should not implement Unspillable")
+	}
+}
+
+// TestHashResetReallocates verifies Reset replaces the shard maps with
+// fresh allocations instead of clearing in place: Go maps never shrink,
+// so in-place clearing after a huge round would pin the bucket arrays
+// for the rest of the job.
+func TestHashResetReallocates(t *testing.T) {
+	h := NewHash[string, int64](4, StringHasher, sumInt64)
+	allocs := testing.AllocsPerRun(10, func() { h.Reset() })
+	// One fresh map per shard, every run.
+	if allocs < float64(h.Partitions()) {
+		t.Errorf("Reset allocs/run = %.1f, want >= %d (fresh map per shard)", allocs, h.Partitions())
+	}
+}
+
+// TestHashResetReleasesMemory fills the container with a large round's
+// worth of keys and checks that Reset actually returns the heap to the
+// runtime (within GC accounting slack).
+func TestHashResetReleasesMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap-size assertion skipped in -short")
+	}
+	h := NewHash[string, int64](64, StringHasher, sumInt64)
+
+	heapInUse := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapInuse
+	}
+
+	base := heapInUse()
+	l := h.NewLocal()
+	for i := 0; i < 500_000; i++ {
+		l.Emit(fmt.Sprintf("word-%07d", i), 1)
+	}
+	l.Flush()
+	full := heapInUse()
+	if full <= base+(8<<20) {
+		t.Skipf("container heap growth too small to measure: %d -> %d", base, full)
+	}
+
+	h.Reset()
+	after := heapInUse()
+	// The shard maps held tens of MB; after Reset at least half of the
+	// growth must be back with the runtime.
+	if after > base+(full-base)/2 {
+		t.Errorf("heap after Reset = %d, want <= %d (base %d, full %d): Reset did not release shard maps",
+			after, base+(full-base)/2, base, full)
+	}
+}

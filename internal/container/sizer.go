@@ -1,0 +1,63 @@
+package container
+
+import "unsafe"
+
+// Memory accounting for the spill layer (internal/spill): every
+// container tracks the approximate resident heap bytes of its global
+// state so the SupMR round loop can compare SizeBytes() against the
+// job's memory budget between ingest rounds. The estimate is shallow
+// struct size plus the referenced bytes of common dynamic key/value
+// types; worker-local accumulators are transient and not counted.
+
+// mapEntryOverhead approximates the per-entry bookkeeping of a Go map
+// (bucket slot, tophash, growth slack) beyond the key and value bytes.
+const mapEntryOverhead = 48
+
+// sliceHeaderBytes is the inline size of a slice header.
+const sliceHeaderBytes = int64(unsafe.Sizeof([]byte(nil)))
+
+// shallowSize returns the inline representation size of T.
+func shallowSize[T any]() int64 {
+	var z T
+	return int64(unsafe.Sizeof(z))
+}
+
+// dynSizer returns a function measuring the heap bytes a value of T
+// references beyond its inline representation, or nil when T carries
+// none worth counting (numeric types). Covers the key/value types the
+// benchmark applications store.
+func dynSizer[T any]() func(T) int64 {
+	var zero T
+	switch any(zero).(type) {
+	case string:
+		return func(v T) int64 { return int64(len(any(v).(string))) }
+	case []byte:
+		return func(v T) int64 { return int64(len(any(v).([]byte))) }
+	case []string:
+		return func(v T) int64 {
+			var n int64
+			for _, s := range any(v).([]string) {
+				n += int64(len(s)) + int64(unsafe.Sizeof(s))
+			}
+			return n
+		}
+	}
+	return nil
+}
+
+// dynOf applies sizer to v, treating a nil sizer as zero.
+func dynOf[T any](sizer func(T) int64, v T) int64 {
+	if sizer == nil {
+		return 0
+	}
+	return sizer(v)
+}
+
+// Unspillable marks containers the spill layer cannot drain to disk.
+// The array container implements it: its footprint is fixed by the key
+// width rather than by the data, so spilling cannot shrink it, and
+// draining cells would abandon the dense-key layout that justifies the
+// container in the first place.
+type Unspillable interface {
+	UnspillableContainer()
+}

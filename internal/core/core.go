@@ -36,6 +36,7 @@ import (
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
 	"supmr/internal/sortalgo"
+	"supmr/internal/spill"
 )
 
 // ChunkAware is the set_data() callback of Table I: applications that
@@ -68,6 +69,16 @@ type Options struct {
 	// Tuner, when set and the input stream is chunk.Resizable, drives
 	// the adaptive chunk-size feedback loop.
 	Tuner Tuner
+	// MemoryBudget caps the container's resident bytes (Container.
+	// SizeBytes). When positive, the pipeline checks the budget between
+	// ingest rounds; a container over budget is drained into a
+	// key-sorted run written to SpillStore on the pool's IO lane while
+	// the next map round computes, and the merge phase streams the runs
+	// back in the same single p-way round. Zero disables spilling.
+	MemoryBudget int64
+	// SpillStore receives the spilled runs; required when MemoryBudget
+	// is positive.
+	SpillStore *spill.Store
 }
 
 // Result aliases the runtime result type.
@@ -105,6 +116,22 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	// flag asks for the broken behaviour).
 	cont.Reset()
 	ro.ResetContainer = false
+
+	// The memory budget: a spiller when configured, nil otherwise.
+	var spiller *spill.Spiller[K, V]
+	if opts.MemoryBudget > 0 {
+		if _, ok := any(cont).(container.Unspillable); ok {
+			return nil, fmt.Errorf("core: container %T cannot spill (its footprint is fixed by construction); run without a memory budget", cont)
+		}
+		if opts.SpillStore == nil {
+			return nil, fmt.Errorf("core: MemoryBudget requires a SpillStore")
+		}
+		var err error
+		spiller, err = spill.NewSpiller(opts.SpillStore, opts.MemoryBudget, app)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// prefetch starts reading the next chunk on the pool's dedicated IO
 	// worker and returns the channel its result will arrive on. The
@@ -159,12 +186,16 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	}
 
 	// fail aborts the job: the cancellation reaches the in-flight
-	// prefetch between stream reads, and pending is drained so no ingest
-	// result is left unconsumed when the pool shuts down.
+	// prefetch between stream reads, pending is drained so no ingest
+	// result is left unconsumed when the pool shuts down, and an
+	// in-flight spill write is joined so its run writer is not abandoned.
 	fail := func(err error, pending <-chan ingestResult) (*Result[K, V], error) {
 		pool.Abort(err)
 		if pending != nil {
 			<-pending
+		}
+		if spiller != nil {
+			spiller.Join() // the job error wins; the write ran or was refused
 		}
 		timer.EndPhase(metrics.PhaseReadMap)
 		return nil, err
@@ -189,7 +220,29 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 		if err := pool.Err(); err != nil {
 			return fail(err, nil)
 		}
+		// Budget check between ingest rounds: drain an over-budget
+		// container now — before this round's mappers refill it. The run
+		// write is scheduled below, after the next prefetch, so it queues
+		// behind the read on the IO lane and executes while the map round
+		// computes instead of delaying the chunk it double-buffers.
+		var drained []kv.Pair[K, V]
+		if spiller != nil && spiller.Over(cont) {
+			timer.EndPhase(metrics.PhaseReadMap)
+			timer.StartPhase(metrics.PhaseSpill)
+			err := spiller.Join() // at most one spill write in flight
+			if err == nil {
+				drained, err = spiller.Drain(cont, pool)
+			}
+			timer.EndPhase(metrics.PhaseSpill)
+			timer.StartPhase(metrics.PhaseReadMap)
+			if err != nil {
+				return fail(err, nil)
+			}
+		}
 		nextCh := prefetch()
+		if len(drained) > 0 {
+			spiller.SpillAsync(drained, pool)
+		}
 		// Give the ingest task a scheduling slot so it reaches the
 		// storage device (issuing its reservation and parking in the
 		// device wait) before the mappers monopolize the CPUs; on
@@ -218,6 +271,21 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	timer.EndPhase(metrics.PhaseReadMap)
 	stats.IntermediateN = cont.Len()
 
+	// Join the last spill write before reducing: the merge below must
+	// see every run complete. The residue still in the container is
+	// never spilled — it feeds the merge from memory.
+	if spiller != nil {
+		timer.StartPhase(metrics.PhaseSpill)
+		err := spiller.Join()
+		timer.EndPhase(metrics.PhaseSpill)
+		if err != nil {
+			pool.Abort(err)
+			return nil, err
+		}
+		stats.SpilledRuns = spiller.RunCount()
+		stats.SpilledBytes = spiller.BytesSpilled()
+	}
+
 	timer.StartPhase(metrics.PhaseReduce)
 	runs, reduceBusy, err := mapreduce.ReducePhaseTimed(app, cont, ro)
 	timer.EndPhase(metrics.PhaseReduce)
@@ -225,11 +293,19 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 		pool.Abort(err)
 		return nil, err
 	}
-	stats.Runs = len(runs)
+	stats.Runs = len(runs) + stats.SpilledRuns
 	stats.ReduceBusy = reduceBusy
 
 	timer.StartPhase(metrics.PhaseMerge)
-	merged, rounds, err := mapreduce.MergePhase(app, runs, ro)
+	var (
+		merged []kv.Pair[K, V]
+		rounds int
+	)
+	if spiller != nil && spiller.RunCount() > 0 {
+		merged, rounds, err = externalMerge(app, runs, spiller, pool)
+	} else {
+		merged, rounds, err = mapreduce.MergePhase(app, runs, ro)
+	}
 	timer.EndPhase(metrics.PhaseMerge)
 	if err != nil {
 		pool.Abort(err)
@@ -240,6 +316,34 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	stats.Tasks = pool.TaskStats()
 
 	return &Result[K, V]{Pairs: merged, Times: timer.Finish(), Stats: stats}, nil
+}
+
+// externalMerge is the budgeted merge: the in-memory residue runs sort
+// in parallel, then one streaming loser-tree pass consumes them
+// together with every on-disk run, re-reducing keys whose values were
+// split across spills. The round count stays 1 — spilling adds merge
+// sources, not merge rounds, preserving the paper's single-round
+// property (§IV).
+func externalMerge[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], spiller *spill.Spiller[K, V], pool *exec.Pool) ([]kv.Pair[K, V], int, error) {
+	if err := sortalgo.SortRuns(runs, app.Less, pool); err != nil {
+		return nil, 0, err
+	}
+	srcs := spiller.Sources()
+	for _, r := range runs {
+		srcs = append(srcs, sortalgo.NewSliceSource(r))
+	}
+	// One streaming pass over all sources; run it as a pool task so the
+	// device waits of run reads are attributed to the job's workers.
+	var merged []kv.Pair[K, V]
+	_, err := pool.ForEach("merge", metrics.StateUser, 1, func(int) error {
+		var mErr error
+		merged, mErr = sortalgo.MergeSources(srcs, app.Less, app.Reduce, nil)
+		return mErr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, 1, nil
 }
 
 // DefaultMerge is the merge algorithm SupMR ships with: the single-round

@@ -100,6 +100,8 @@ type Stats struct {
 	Runs          int // sorted runs entering merge
 	MergeRounds   int // pairwise rounds the merge algorithm performed
 	OutputPairs   int
+	SpilledRuns   int           // key-sorted runs the spill layer wrote to storage
+	SpilledBytes  int64         // payload bytes the spill layer wrote to storage
 	MapBusy       time.Duration // aggregate worker-busy time in map tasks
 	ReduceBusy    time.Duration // aggregate worker-busy time in reduce tasks
 	// Tasks is the executor's per-phase task instrumentation: task

@@ -24,6 +24,7 @@ const (
 	PhaseRead
 	PhaseMap
 	PhaseReadMap // fused ingest/map rounds of the SupMR pipeline
+	PhaseSpill   // budget-triggered container drains (internal/spill)
 	PhaseReduce
 	PhaseMerge
 	PhaseCleanup
@@ -41,6 +42,8 @@ func (p Phase) String() string {
 		return "map"
 	case PhaseReadMap:
 		return "read+map"
+	case PhaseSpill:
+		return "spill"
 	case PhaseReduce:
 		return "reduce"
 	case PhaseMerge:

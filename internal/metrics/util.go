@@ -37,6 +37,14 @@ func (s WorkerState) String() string {
 	}
 }
 
+// SeriesPoint is one sample of a cumulative counter over the job
+// timeline — e.g. bytes spilled to the intermediate store by time T.
+// Reports plot the series alongside the utilization trace.
+type SeriesPoint struct {
+	T time.Duration
+	V int64
+}
+
 // event is one worker state transition.
 type event struct {
 	at     time.Duration

@@ -1,0 +1,187 @@
+package sortalgo
+
+import (
+	"supmr/internal/kv"
+)
+
+// This file extends the merge phase to out-of-core inputs: a Source
+// streams one sorted run — an in-memory slice or an on-disk spill run
+// decoded incrementally — and MergeSources consumes any mix of them in
+// a single loser-tree round. This is the external counterpart of
+// PWayMerge: same single-round structure (Conclusion 3), but run heads
+// are pulled on demand instead of indexed, so merging never needs all
+// runs resident. The spill layer (internal/spill) provides Sources over
+// its run files.
+
+// Source streams one key-sorted run. Implementations are consumed by a
+// single goroutine; Next returns ok=false when the run is exhausted.
+type Source[K any, V any] interface {
+	Next() (p kv.Pair[K, V], ok bool, err error)
+}
+
+// sliceSource adapts an in-memory sorted run.
+type sliceSource[K any, V any] struct {
+	ps []kv.Pair[K, V]
+	i  int
+}
+
+// NewSliceSource returns a Source over an in-memory sorted run.
+func NewSliceSource[K any, V any](ps []kv.Pair[K, V]) Source[K, V] {
+	return &sliceSource[K, V]{ps: ps}
+}
+
+func (s *sliceSource[K, V]) Next() (kv.Pair[K, V], bool, error) {
+	if s.i >= len(s.ps) {
+		var zero kv.Pair[K, V]
+		return zero, false, nil
+	}
+	p := s.ps[s.i]
+	s.i++
+	return p, true, nil
+}
+
+// sourceTree is a tournament tree of losers over streaming sources: the
+// same structure loserTreeMerge uses for slices, with heads held as
+// buffered pairs pulled from each source on demand.
+type sourceTree[K any, V any] struct {
+	srcs  []Source[K, V]
+	heads []kv.Pair[K, V] // current head per source
+	live  []bool          // head valid (source not exhausted)
+	tree  []int           // tree[1..k-1] losers, tree[0] winner
+	less  kv.Less[K]
+}
+
+func newSourceTree[K any, V any](srcs []Source[K, V], less kv.Less[K]) (*sourceTree[K, V], error) {
+	k := len(srcs)
+	t := &sourceTree[K, V]{
+		srcs:  srcs,
+		heads: make([]kv.Pair[K, V], k),
+		live:  make([]bool, k),
+		tree:  make([]int, k),
+		less:  less,
+	}
+	for c := 0; c < k; c++ {
+		p, ok, err := srcs[c].Next()
+		if err != nil {
+			return nil, err
+		}
+		t.heads[c], t.live[c] = p, ok
+	}
+	// Build the tree by playing each column up from its leaf.
+	for i := range t.tree {
+		t.tree[i] = -1
+	}
+	for c := 0; c < k; c++ {
+		winner := c
+		for node := (k + c) / 2; node >= 1; node /= 2 {
+			if t.tree[node] == -1 {
+				t.tree[node] = winner
+				winner = -1
+				break
+			}
+			if t.beats(t.tree[node], winner) {
+				winner, t.tree[node] = t.tree[node], winner
+			}
+		}
+		if winner != -1 {
+			t.tree[0] = winner
+		}
+	}
+	return t, nil
+}
+
+// beats reports whether source a's head wins (is less than) source b's;
+// exhausted sources always lose.
+func (t *sourceTree[K, V]) beats(a, b int) bool {
+	if !t.live[a] {
+		return false
+	}
+	if !t.live[b] {
+		return true
+	}
+	return t.less(t.heads[a].Key, t.heads[b].Key)
+}
+
+// pop removes and returns the globally smallest head, refilling from its
+// source and replaying the tree. ok=false when every source is dry.
+func (t *sourceTree[K, V]) pop() (kv.Pair[K, V], bool, error) {
+	w := t.tree[0]
+	if !t.live[w] {
+		var zero kv.Pair[K, V]
+		return zero, false, nil
+	}
+	out := t.heads[w]
+	p, ok, err := t.srcs[w].Next()
+	if err != nil {
+		var zero kv.Pair[K, V]
+		return zero, false, err
+	}
+	t.heads[w], t.live[w] = p, ok
+	// Replay w from its leaf to the root.
+	k := len(t.srcs)
+	winner := w
+	for node := (k + w) / 2; node >= 1; node /= 2 {
+		if t.beats(t.tree[node], winner) {
+			winner, t.tree[node] = t.tree[node], winner
+		}
+	}
+	t.tree[0] = winner
+	return out, true, nil
+}
+
+// MergeSources merges key-sorted sources into out in a single streaming
+// loser-tree round, grouping equal keys as they surface and applying
+// reduce to each multi-value group — so reduce output never needs all
+// runs resident. Keys repeat across sources when the spill layer wrote
+// partial combiner state for the same key into different runs; reduce
+// must therefore be associative and accept already-reduced values.
+// Groups of one value pass through un-reduced, matching the in-memory
+// merge path, which never re-reduces.
+func MergeSources[K any, V any](srcs []Source[K, V], less kv.Less[K], reduce func(K, []V) V, out []kv.Pair[K, V]) ([]kv.Pair[K, V], error) {
+	if len(srcs) == 0 {
+		return out, nil
+	}
+	tree, err := newSourceTree(srcs, less)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		groupKey  K
+		groupVals []V
+		inGroup   bool
+	)
+	flush := func() {
+		if !inGroup {
+			return
+		}
+		v := groupVals[0]
+		if len(groupVals) > 1 {
+			v = reduce(groupKey, groupVals)
+		}
+		out = append(out, kv.Pair[K, V]{Key: groupKey, Val: v})
+		groupVals = groupVals[:0]
+		inGroup = false
+	}
+	for {
+		p, ok, err := tree.pop()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		// Keys arrive globally sorted: a new group starts whenever the
+		// key order strictly advances.
+		if inGroup && less(groupKey, p.Key) {
+			flush()
+		}
+		if !inGroup {
+			groupKey = p.Key
+			inGroup = true
+		}
+		groupVals = append(groupVals, p.Val)
+	}
+	flush()
+	return out, nil
+}

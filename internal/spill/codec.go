@@ -1,0 +1,87 @@
+// Package spill is the memory-budgeted out-of-core layer for the
+// persistent intermediate container (§III-C). SupMR keeps combiner
+// state resident across all ingest rounds; when the intermediate set
+// does not fit the job's memory budget, this package drains the
+// container into key-sorted runs written through the simulated storage
+// substrate — bandwidth-accounted against the same devices serving
+// ingest, scheduled on the execution pool's IO lane so writes overlap
+// the next map round — and later streams those runs back into the merge
+// phase, so the job still finishes in a single p-way merge round.
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec serializes one key or value type for run files. Append encodes
+// v onto dst and returns the extended slice; Decode parses exactly the
+// bytes one Append produced (run framing carries the length). Decode
+// must not retain p — the reader reuses its buffer between records.
+type Codec[T any] struct {
+	Append func(dst []byte, v T) []byte
+	Decode func(p []byte) (T, error)
+}
+
+// CodecFor resolves the codec for T from its dynamic type. The
+// supported set covers every key/value type the bundled applications
+// use: string, []byte, int, int64, uint64, float64. Other types return
+// an error — the budget path refuses to start rather than failing at
+// the first spill.
+func CodecFor[T any]() (Codec[T], error) {
+	var zero T
+	var c Codec[T]
+	switch any(zero).(type) {
+	case string:
+		c.Append = func(dst []byte, v T) []byte { return append(dst, any(v).(string)...) }
+		c.Decode = func(p []byte) (T, error) { return any(string(p)).(T), nil }
+	case []byte:
+		c.Append = func(dst []byte, v T) []byte { return append(dst, any(v).([]byte)...) }
+		c.Decode = func(p []byte) (T, error) {
+			return any(append([]byte(nil), p...)).(T), nil
+		}
+	case int:
+		c.Append = func(dst []byte, v T) []byte {
+			return binary.LittleEndian.AppendUint64(dst, uint64(any(v).(int)))
+		}
+		c.Decode = func(p []byte) (T, error) {
+			u, err := fixed64(p)
+			return any(int(u)).(T), err
+		}
+	case int64:
+		c.Append = func(dst []byte, v T) []byte {
+			return binary.LittleEndian.AppendUint64(dst, uint64(any(v).(int64)))
+		}
+		c.Decode = func(p []byte) (T, error) {
+			u, err := fixed64(p)
+			return any(int64(u)).(T), err
+		}
+	case uint64:
+		c.Append = func(dst []byte, v T) []byte {
+			return binary.LittleEndian.AppendUint64(dst, any(v).(uint64))
+		}
+		c.Decode = func(p []byte) (T, error) {
+			u, err := fixed64(p)
+			return any(u).(T), err
+		}
+	case float64:
+		c.Append = func(dst []byte, v T) []byte {
+			return binary.LittleEndian.AppendUint64(dst, math.Float64bits(any(v).(float64)))
+		}
+		c.Decode = func(p []byte) (T, error) {
+			u, err := fixed64(p)
+			return any(math.Float64frombits(u)).(T), err
+		}
+	default:
+		return c, fmt.Errorf("spill: no codec for type %T; the memory budget supports string, []byte, int, int64, uint64 and float64 keys/values", zero)
+	}
+	return c, nil
+}
+
+func fixed64(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("spill: fixed-width field is %d bytes, want 8", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}

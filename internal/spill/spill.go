@@ -1,0 +1,225 @@
+package spill
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"supmr/internal/container"
+	"supmr/internal/exec"
+	"supmr/internal/kv"
+	"supmr/internal/metrics"
+	"supmr/internal/sortalgo"
+)
+
+// Spiller drives the budget for one job: it decides when the container
+// has outgrown its memory budget, drains it into a globally key-sorted
+// slice (partial reduce — the same key may accumulate again in later
+// rounds), writes that slice to the store asynchronously on the pool's
+// IO lane, and finally exposes every written run as a streaming
+// sortalgo.Source for the external merge.
+type Spiller[K comparable, V any] struct {
+	store  *Store
+	budget int64
+	less   kv.Less[K]
+	reduce func(K, []V) V
+	kc     Codec[K]
+	vc     Codec[V]
+
+	pending *exec.Handle
+	mu      sync.Mutex
+	runs    []*Run
+}
+
+// NewSpiller builds the spill driver for app with the given budget in
+// bytes. It fails up front when no codec exists for the app's key or
+// value type, or when the budget is not positive.
+func NewSpiller[K comparable, V any](store *Store, budget int64, app kv.App[K, V]) (*Spiller[K, V], error) {
+	if store == nil {
+		return nil, fmt.Errorf("spill: spiller requires a store")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("spill: memory budget must be positive, got %d", budget)
+	}
+	kc, err := CodecFor[K]()
+	if err != nil {
+		return nil, fmt.Errorf("spill: key: %w", err)
+	}
+	vc, err := CodecFor[V]()
+	if err != nil {
+		return nil, fmt.Errorf("spill: value: %w", err)
+	}
+	return &Spiller[K, V]{
+		store:  store,
+		budget: budget,
+		less:   app.Less,
+		reduce: app.Reduce,
+		kc:     kc,
+		vc:     vc,
+	}, nil
+}
+
+// Budget returns the configured budget in bytes.
+func (sp *Spiller[K, V]) Budget() int64 { return sp.budget }
+
+// Over reports whether the container's resident bytes exceed the
+// budget — the check the pipeline runs between ingest rounds.
+func (sp *Spiller[K, V]) Over(c container.Container[K, V]) bool {
+	return c.SizeBytes() > sp.budget
+}
+
+// Drain empties the container into one globally key-sorted slice and
+// resets it, returning the drained memory to the next map rounds. Each
+// partition is reduced (partial reduce: reduce must be associative and
+// tolerate re-reducing its own output, which every combiner-style app
+// does) and sorted on the pool's compute workers under the "spill"
+// phase label, then the disjoint sorted partitions merge into one run.
+func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool *exec.Pool) ([]kv.Pair[K, V], error) {
+	parts := c.Partitions()
+	runs := make([][]kv.Pair[K, V], parts)
+	_, err := pool.ForEach("spill", metrics.StateUser, parts, func(p int) error {
+		r := c.Reduce(p, sp.reduce, nil)
+		kv.SortPairs(r, sp.less)
+		runs[p] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Reset()
+	nonEmpty := runs[:0]
+	for _, r := range runs {
+		if len(r) > 0 {
+			nonEmpty = append(nonEmpty, r)
+		}
+	}
+	if len(nonEmpty) == 1 {
+		return nonEmpty[0], nil
+	}
+	// Partitions hold disjoint key sets, so this is a pure merge; run it
+	// as one pool task to keep it on (and attributed to) the pool.
+	total := 0
+	for _, r := range nonEmpty {
+		total += len(r)
+	}
+	var merged []kv.Pair[K, V]
+	_, err = pool.ForEach("spill", metrics.StateUser, 1, func(int) error {
+		srcs := make([]sortalgo.Source[K, V], len(nonEmpty))
+		for i, r := range nonEmpty {
+			srcs[i] = sortalgo.NewSliceSource(r)
+		}
+		var mErr error
+		merged, mErr = sortalgo.MergeSources(srcs, sp.less, sp.reduce, make([]kv.Pair[K, V], 0, total))
+		return mErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// SpillAsync writes the drained pairs as one run on the pool's IO lane
+// and returns immediately; the write queues behind any in-flight
+// prefetch and executes while the next map round computes, showing up
+// as IO-wait on the IO worker. At most one spill write may be in
+// flight: callers Join before the next SpillAsync and before merging.
+func (sp *Spiller[K, V]) SpillAsync(pairs []kv.Pair[K, V], pool *exec.Pool) {
+	if sp.pending != nil {
+		panic("spill: SpillAsync with a spill write already in flight; Join first")
+	}
+	sp.pending = pool.GoIO("spill", metrics.StateIOWait, func() error {
+		return sp.writeRun(pairs)
+	})
+}
+
+// Join waits for the in-flight spill write, if any.
+func (sp *Spiller[K, V]) Join() error {
+	if sp.pending == nil {
+		return nil
+	}
+	h := sp.pending
+	sp.pending = nil
+	return h.Wait()
+}
+
+// writeRun encodes pairs into one run file.
+func (sp *Spiller[K, V]) writeRun(pairs []kv.Pair[K, V]) error {
+	w, err := sp.store.NewRun()
+	if err != nil {
+		return err
+	}
+	var kbuf, vbuf []byte
+	for _, p := range pairs {
+		kbuf = sp.kc.Append(kbuf[:0], p.Key)
+		vbuf = sp.vc.Append(vbuf[:0], p.Val)
+		if err := w.WriteRecord(kbuf, vbuf); err != nil {
+			return err
+		}
+	}
+	run, err := w.Close()
+	if err != nil {
+		return err
+	}
+	sp.mu.Lock()
+	sp.runs = append(sp.runs, run)
+	sp.mu.Unlock()
+	return nil
+}
+
+// RunCount returns the number of completed runs.
+func (sp *Spiller[K, V]) RunCount() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.runs)
+}
+
+// BytesSpilled returns the total payload bytes across completed runs.
+func (sp *Spiller[K, V]) BytesSpilled() int64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	var n int64
+	for _, r := range sp.runs {
+		n += r.size
+	}
+	return n
+}
+
+// Sources returns one streaming source per completed run, in spill
+// order, for the external merge. Callers must Join first.
+func (sp *Spiller[K, V]) Sources() []sortalgo.Source[K, V] {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	srcs := make([]sortalgo.Source[K, V], len(sp.runs))
+	for i, r := range sp.runs {
+		srcs[i] = &runSource[K, V]{r: sp.store.OpenRun(r), kc: sp.kc, vc: sp.vc}
+	}
+	return srcs
+}
+
+// runSource adapts a RunReader into a sortalgo.Source, decoding records
+// with the spiller's codecs.
+type runSource[K comparable, V any] struct {
+	r  *RunReader
+	kc Codec[K]
+	vc Codec[V]
+}
+
+func (s *runSource[K, V]) Next() (kv.Pair[K, V], bool, error) {
+	var zero kv.Pair[K, V]
+	key, val, err := s.r.ReadRecord()
+	if err == io.EOF {
+		return zero, false, nil
+	}
+	if err != nil {
+		return zero, false, err
+	}
+	k, err := s.kc.Decode(key)
+	if err != nil {
+		return zero, false, err
+	}
+	v, err := s.vc.Decode(val)
+	if err != nil {
+		return zero, false, err
+	}
+	return kv.Pair[K, V]{Key: k, Val: v}, true, nil
+}

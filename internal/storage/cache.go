@@ -33,9 +33,10 @@ type cacheEntry struct {
 
 // CacheStats counts cache behaviour.
 type CacheStats struct {
-	Hits      int64 // block lookups served from cache
-	Misses    int64 // block lookups that reserved device time
-	Evictions int64
+	Hits          int64 // block lookups served from cache
+	Misses        int64 // block lookups that reserved device time
+	Evictions     int64
+	Invalidations int64 // blocks dropped because a write covered them
 }
 
 // NewCache wraps dev with an LRU block cache of capacity blocks of
@@ -167,6 +168,48 @@ func (c *Cache) Reserve(off, n int64) time.Duration {
 		c.insert(b)
 	}
 	flush(last + 1)
+	c.mu.Unlock()
+	return deadline
+}
+
+// ReserveWrite invalidates every cached block overlapping [off, off+n)
+// and forwards the write to the underlying device. A writer — the spill
+// layer rewriting a run region, most importantly — must not leave stale
+// blocks behind: a subsequent read of the written range has to pay
+// device time again rather than being served from pre-write cache
+// state. The invalidation and the device reservation happen under one
+// lock acquisition relative to concurrent Reserve calls on this cache,
+// so a reader can never re-insert a covered block between the
+// invalidation and the write reservation.
+func (c *Cache) ReserveWrite(off, n int64) time.Duration {
+	if n <= 0 {
+		return c.dev.Clock().Now()
+	}
+	first := off / c.blockSize
+	last := (off + n - 1) / c.blockSize
+	c.mu.Lock()
+	for b := first; b <= last; b++ {
+		e, ok := c.blocks[b]
+		if !ok {
+			continue
+		}
+		// Unlink from the LRU list and drop the block.
+		if e.prev != nil {
+			e.prev.next = e.next
+		}
+		if e.next != nil {
+			e.next.prev = e.prev
+		}
+		if c.head == e {
+			c.head = e.next
+		}
+		if c.tail == e {
+			c.tail = e.prev
+		}
+		delete(c.blocks, b)
+		c.stats.Invalidations++
+	}
+	deadline := ReserveWrite(c.dev, off, n)
 	c.mu.Unlock()
 	return deadline
 }

@@ -26,10 +26,32 @@ type Device interface {
 
 // DeviceStats are cumulative counters for a device.
 type DeviceStats struct {
-	BytesRead int64         // total payload bytes served
-	Reads     int64         // number of read requests
-	Seeks     int64         // requests that paid a seek penalty
-	BusyTime  time.Duration // total time the device was occupied
+	BytesRead    int64         // total payload bytes served to readers
+	Reads        int64         // number of read requests
+	BytesWritten int64         // total payload bytes accepted from writers
+	Writes       int64         // number of write requests
+	Seeks        int64         // requests that paid a seek penalty
+	BusyTime     time.Duration // total time the device was occupied
+}
+
+// Writer is implemented by devices that model a write path: ReserveWrite
+// books service time for writing n bytes at offset off, exactly as
+// Reserve does for reads (same bandwidth, same FIFO queue, same seek
+// accounting), and returns the completion deadline. The spill layer
+// writes intermediate runs through it so spill IO is bandwidth-accounted
+// against the same device serving ingest.
+type Writer interface {
+	ReserveWrite(off, n int64) time.Duration
+}
+
+// ReserveWrite books write service time on dev, falling back to the read
+// path for devices that do not model writes separately (the timing is
+// identical; only the stats attribution differs).
+func ReserveWrite(dev Device, off, n int64) time.Duration {
+	if w, ok := dev.(Writer); ok {
+		return w.ReserveWrite(off, n)
+	}
+	return dev.Reserve(off, n)
 }
 
 // DiskConfig describes a simulated disk.
@@ -80,8 +102,20 @@ func (d *Disk) Name() string { return d.cfg.Name }
 // completion deadline. n == 0 reserves no time and returns the current
 // deadline horizon.
 func (d *Disk) Reserve(off, n int64) time.Duration {
+	return d.reserve(off, n, false)
+}
+
+// ReserveWrite books service time for writing n bytes at off. Writes
+// share the read path's FIFO queue and head position: a spill write
+// interleaved with ingest reads pays the same contention a real spindle
+// would.
+func (d *Disk) ReserveWrite(off, n int64) time.Duration {
+	return d.reserve(off, n, true)
+}
+
+func (d *Disk) reserve(off, n int64, write bool) time.Duration {
 	if n < 0 {
-		panic(fmt.Sprintf("storage: negative read size %d on disk %q", n, d.cfg.Name))
+		panic(fmt.Sprintf("storage: negative request size %d on disk %q", n, d.cfg.Name))
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -103,8 +137,13 @@ func (d *Disk) Reserve(off, n int64) time.Duration {
 		}
 		service += durationFor(n, d.cfg.Bandwidth)
 		d.nextOff = off + n
-		d.stats.Reads++
-		d.stats.BytesRead += n
+		if write {
+			d.stats.Writes++
+			d.stats.BytesWritten += n
+		} else {
+			d.stats.Reads++
+			d.stats.BytesRead += n
+		}
 		d.stats.BusyTime += service
 	}
 	d.busyTill = start + service
@@ -140,6 +179,15 @@ func (d *NullDevice) Reserve(off, n int64) time.Duration {
 	d.mu.Lock()
 	d.stats.Reads++
 	d.stats.BytesRead += n
+	d.mu.Unlock()
+	return d.clock.Now()
+}
+
+// ReserveWrite accounts the write and completes immediately.
+func (d *NullDevice) ReserveWrite(off, n int64) time.Duration {
+	d.mu.Lock()
+	d.stats.Writes++
+	d.stats.BytesWritten += n
 	d.mu.Unlock()
 	return d.clock.Now()
 }

@@ -56,8 +56,18 @@ func (r *RAID0) StripeUnit() int64 { return r.stripeUnit }
 // Reserve decomposes [off, off+n) into stripe units, reserves the mapped
 // extent on each member, and returns the latest member deadline.
 func (r *RAID0) Reserve(off, n int64) time.Duration {
+	return r.reserve(off, n, false)
+}
+
+// ReserveWrite decomposes a write the same way, reserving the write path
+// of each member disk.
+func (r *RAID0) ReserveWrite(off, n int64) time.Duration {
+	return r.reserve(off, n, true)
+}
+
+func (r *RAID0) reserve(off, n int64, write bool) time.Duration {
 	if n < 0 {
-		panic(fmt.Sprintf("storage: negative read size %d on RAID0", n))
+		panic(fmt.Sprintf("storage: negative request size %d on RAID0", n))
 	}
 	if n == 0 {
 		return r.clock.Now()
@@ -96,7 +106,13 @@ func (r *RAID0) Reserve(off, n int64) time.Duration {
 		if !e.used {
 			continue
 		}
-		if d := r.members[i].Reserve(e.off, e.n); d > deadline {
+		var d time.Duration
+		if write {
+			d = r.members[i].ReserveWrite(e.off, e.n)
+		} else {
+			d = r.members[i].Reserve(e.off, e.n)
+		}
+		if d > deadline {
 			deadline = d
 		}
 	}
@@ -110,6 +126,8 @@ func (r *RAID0) Stats() DeviceStats {
 		s := m.Stats()
 		total.BytesRead += s.BytesRead
 		total.Reads += s.Reads
+		total.BytesWritten += s.BytesWritten
+		total.Writes += s.Writes
 		total.Seeks += s.Seeks
 		if s.BusyTime > total.BusyTime {
 			total.BusyTime = s.BusyTime // array busy ~ slowest member

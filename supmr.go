@@ -35,6 +35,7 @@ import (
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
 	"supmr/internal/sortalgo"
+	"supmr/internal/spill"
 	"supmr/internal/storage"
 	"supmr/internal/tuner"
 )
@@ -161,6 +162,20 @@ type Config struct {
 	// multi-file inputs (RunFiles): small files coalesce up to
 	// ChunkBytes while oversized files are split at ChunkBytes.
 	HybridChunks bool
+	// MemoryBudget caps the intermediate container's resident bytes.
+	// When positive (SupMR runtime only), the pipeline checks the
+	// container size between ingest rounds and drains it to key-sorted
+	// runs on SpillDevice whenever it exceeds the budget; the merge
+	// phase streams the runs back in its single p-way round, so output
+	// is identical to an unbudgeted run. Zero means unbudgeted. Requires
+	// a container whose footprint can actually be released (hash or
+	// key-range; the array container is rejected) and codec-supported
+	// key/value types (string, []byte, int, int64, uint64, float64).
+	MemoryBudget int64
+	// SpillDevice charges the spill runs' IO time; point it at the
+	// ingest device so spill traffic contends for the same bandwidth.
+	// Defaults to an infinitely fast device on the config clock.
+	SpillDevice Device
 }
 
 // Report is the outcome of a run: globally key-sorted output pairs,
@@ -174,7 +189,15 @@ type Report[K comparable, V any] struct {
 	// Markers are phase-boundary annotations for the trace (present when
 	// tracing was enabled); render with Trace.AnnotatedASCII.
 	Markers []metrics.Marker
+	// SpillBytes samples cumulative bytes spilled over the job timeline,
+	// one point per run written (empty when no memory budget was set or
+	// nothing spilled).
+	SpillBytes []metrics.SeriesPoint
 }
+
+// Stats re-exports the execution statistics type found in
+// Report.Stats, including the spill counters SpilledRuns/SpilledBytes.
+type Stats = mapreduce.Stats
 
 func (c Config) clock() storage.Clock {
 	if c.Clock != nil {
@@ -258,8 +281,28 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		res *mapreduce.Result[K, V]
 		err error
 	)
+	var store *spill.Store
+	if cfg.MemoryBudget > 0 {
+		if cfg.Runtime != RuntimeSupMR {
+			return nil, errors.New("supmr: MemoryBudget requires RuntimeSupMR (the traditional runtime ingests everything up front; bounding the container would not bound the job)")
+		}
+		dev := cfg.SpillDevice
+		if dev == nil {
+			dev = storage.NewNullDevice(clk)
+		}
+		store, err = spill.NewStore(spill.StoreConfig{Device: dev})
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+	}
 	if cfg.Runtime == RuntimeSupMR {
-		co := core.Options{Options: ro, ResetEachRound: cfg.ResetEachRound}
+		co := core.Options{
+			Options:        ro,
+			ResetEachRound: cfg.ResetEachRound,
+			MemoryBudget:   cfg.MemoryBudget,
+			SpillStore:     store,
+		}
 		if cfg.AdaptiveChunks {
 			initial := cfg.ChunkBytes
 			if initial <= 0 {
@@ -279,6 +322,9 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		return nil, err
 	}
 	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats}
+	if store != nil {
+		rep.SpillBytes = store.Series()
+	}
 	if rec != nil {
 		bucket := cfg.TraceBucket
 		if bucket <= 0 {

@@ -385,6 +385,42 @@ func BenchmarkExecutorSpawnVsPool(b *testing.B) {
 	b.Run("PersistentPool", func(b *testing.B) { run(b, true) })
 }
 
+// MapHotPath: the zero-allocation map path claim, measured. Each
+// iteration is one steady-state map wave over 1 MiB of text against a
+// persistent container (a warmup wave interns the vocabulary and warms
+// the pooled locals first — the SupMR ingest-round shape, §III-C). The
+// flat combiner (bytes fast path, arena-interned keys, pooled locals)
+// should report orders of magnitude fewer allocs/op than the map-backed
+// combiner and higher MB/s; ci.sh gates on the flat allocs/op figure.
+func BenchmarkMapHotPath(b *testing.B) {
+	const size = 1 << 20
+	text := make([]byte, size)
+	workload.TextGen{Seed: 7}.Fill()(0, text)
+	job := WordCountJob()
+	run := func(b *testing.B, cont Container[string, int64]) {
+		pool := exec.NewLocal(4)
+		defer pool.Close()
+		opts := mapreduce.Options{Splits: 16, Pool: pool}
+		wave := func() {
+			if _, _, err := mapreduce.MapWaveTimed[string, int64](job, text, cont, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wave() // warmup: intern the vocabulary, warm pooled locals
+		b.ReportAllocs()
+		b.SetBytes(size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wave()
+		}
+		if cont.Len() == 0 {
+			b.Fatal("empty container")
+		}
+	}
+	b.Run("FlatCombiner", func(b *testing.B) { run(b, WordCountContainer(64)) })
+	b.Run("MapCombiner", func(b *testing.B) { run(b, WordCountMapContainer(64)) })
+}
+
 // AblationChunkSize: the fine-vs-coarse granularity trade-off of
 // Conclusion 2 at fixed input size and bandwidth.
 func BenchmarkAblationChunkSize(b *testing.B) {

@@ -27,10 +27,28 @@ go test -race -count=1 \
     ./internal/exec/ \
     ./internal/mapreduce/ \
     ./internal/core/ \
+    ./internal/container/ \
     ./internal/sortalgo/ \
     ./internal/spill/ \
     ./internal/apps/ \
     .
+
+echo "== map hot path allocation gate =="
+# A steady-state flat-combiner map wave must stay (near) allocation-free.
+# Measured ~22 allocs/op; the gate allows generous headroom for GC and
+# scheduler noise while still catching any per-key allocation regression
+# (the map-backed path runs ~200k allocs/op on the same input).
+bench_out=$(go test -run '^$' -bench '^BenchmarkMapHotPath$' -benchmem -benchtime 10x .)
+echo "$bench_out"
+flat_allocs=$(echo "$bench_out" | awk '$1 ~ /FlatCombiner/ { print $(NF-1) }')
+if [[ -z "$flat_allocs" ]]; then
+    echo "could not parse FlatCombiner allocs/op" >&2
+    exit 1
+fi
+if (( flat_allocs > 2000 )); then
+    echo "flat combiner map wave allocates $flat_allocs objs/op (limit 2000)" >&2
+    exit 1
+fi
 
 echo "== race-mode SupMR pipeline run =="
 go run -race ./cmd/supmr -app wordcount -runtime supmr \

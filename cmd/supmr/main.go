@@ -47,6 +47,8 @@ func main() {
 		bucketStr = flag.String("bucket", "100ms", "trace bucket width")
 		seed      = flag.Int64("seed", 1, "workload generation seed")
 	)
+	flatComb := onOffFlag(true)
+	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
 	flag.Parse()
 
 	if *energy {
@@ -63,6 +65,7 @@ func main() {
 		filesPer: *filesPer, fileSize: parseSize(*fileSize), trace: *trace,
 		contexts: *contexts, bucket: parseDur(*bucketStr), seed: *seed,
 		adaptive: *adaptive, hybrid: *hybrid, energy: *energy, pattern: *pattern,
+		flatComb: bool(flatComb),
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "supmr: interrupted")
@@ -81,6 +84,7 @@ type runOpts struct {
 	fileSize                 int64
 	trace, adaptive, hybrid  bool
 	energy                   bool
+	flatComb                 bool
 	contexts                 int
 	bucket                   time.Duration
 	seed                     int64
@@ -156,16 +160,17 @@ func run(ctx context.Context, o runOpts) error {
 	var (
 		times  fmt.Stringer
 		stats  *supmr.Stats
+		allocs fmt.Stringer
 		tr     interface{ ASCII(int) string }
 		report func()
 	)
 	switch app {
 	case "wordcount":
-		rep, err := runWordCount(cfg, dev, size, files, fileSize, seed)
+		rep, err := runWordCount(cfg, dev, size, files, fileSize, seed, o.flatComb)
 		if err != nil {
 			return err
 		}
-		times, stats = &rep.Times, &rep.Stats
+		times, stats, allocs = &rep.Times, &rep.Stats, rep.Allocs
 		report = func() {
 			fmt.Printf("distinct words: %d  occurrences kept: %d  map waves: %d\n",
 				len(rep.Pairs), rep.Stats.IntermediateN, rep.Stats.MapWaves)
@@ -236,11 +241,15 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		rep, err := supmr.RunFile[string, int64](job, f, job.NewContainer(), cfg)
+		cont := job.NewContainer()
+		if !o.flatComb {
+			cont = job.NewMapContainer()
+		}
+		rep, err := supmr.RunFile[string, int64](job, f, cont, cfg)
 		if err != nil {
 			return err
 		}
-		times, stats = &rep.Times, &rep.Stats
+		times, stats, allocs = &rep.Times, &rep.Stats, rep.Allocs
 		report = func() {
 			for _, p := range rep.Pairs {
 				fmt.Printf("  %-16s %d matching lines\n", p.Key, p.Val)
@@ -294,6 +303,11 @@ func run(ctx context.Context, o runOpts) error {
 
 	fmt.Printf("app=%s runtime=%s size=%d chunk=%d bw=%d\n", app, rt, size, chunkSz, bw)
 	fmt.Println(times.String())
+	if allocs != nil {
+		if s := allocs.String(); s != "" {
+			fmt.Println("allocs:", s)
+		}
+	}
 	report()
 	if stats != nil && stats.SpilledRuns > 0 {
 		fmt.Printf("spill: %d runs, %d bytes written, merged in %d round(s) (budget %d)\n",
@@ -313,9 +327,12 @@ func run(ctx context.Context, o runOpts) error {
 	return nil
 }
 
-func runWordCount(cfg supmr.Config, dev supmr.Device, size int64, files int, fileSize int64, seed int64) (*supmr.Report[string, int64], error) {
+func runWordCount(cfg supmr.Config, dev supmr.Device, size int64, files int, fileSize int64, seed int64, flatComb bool) (*supmr.Report[string, int64], error) {
 	job := supmr.WordCountJob()
 	cont := supmr.WordCountContainer(64)
+	if !flatComb {
+		cont = supmr.WordCountMapContainer(64)
+	}
 	if files > 0 {
 		inputs, err := supmr.TextFiles("wc", files, fileSize, seed, dev)
 		if err != nil {
@@ -329,6 +346,31 @@ func runWordCount(cfg supmr.Config, dev supmr.Device, size int64, files int, fil
 	}
 	return supmr.RunFile[string, int64](job, f, cont, cfg)
 }
+
+// onOffFlag is a boolean flag that also accepts on/off, so the ablation
+// reads naturally as -flatcombiner=off.
+type onOffFlag bool
+
+func (f *onOffFlag) String() string {
+	if bool(*f) {
+		return "on"
+	}
+	return "off"
+}
+
+func (f *onOffFlag) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "on", "true", "1", "yes":
+		*f = true
+	case "off", "false", "0", "no":
+		*f = false
+	default:
+		return fmt.Errorf("invalid value %q (want on or off)", s)
+	}
+	return nil
+}
+
+func (f *onOffFlag) IsBoolFlag() bool { return true }
 
 // parseSize parses "64", "64k", "4m", "2g" into bytes.
 func parseSize(s string) int64 {

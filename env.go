@@ -202,9 +202,16 @@ func GrepJob(patterns ...string) apps.Grep { return apps.Grep{Patterns: patterns
 // (array container over six statistic cells; Fit solves the model).
 func LinearRegressionJob() apps.LinearRegression { return apps.LinearRegression{} }
 
-// WordCountContainer returns the container word count uses.
+// WordCountContainer returns the container word count uses (the flat
+// combiner).
 func WordCountContainer(shards int) Container[string, int64] {
 	return WordCountJob().NewContainer(shards)
+}
+
+// WordCountMapContainer returns word count's previous map-backed
+// combining container — the -flatcombiner=off ablation path.
+func WordCountMapContainer(shards int) Container[string, int64] {
+	return WordCountJob().NewMapContainer(shards)
 }
 
 // SortContainer returns the unlocked container sort uses.

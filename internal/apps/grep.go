@@ -20,6 +20,7 @@ type Grep struct {
 
 var _ kv.App[string, int64] = Grep{}
 var _ kv.Combiner[int64] = Grep{}
+var _ kv.BytesApp[int64] = Grep{}
 
 // Map scans each line for each pattern, emitting (pattern, 1) per
 // matching line.
@@ -44,6 +45,29 @@ func (g Grep) Map(split []byte, emit kv.Emitter[string, int64]) {
 	}
 }
 
+// MapBytes is the zero-allocation twin of Map: pattern keys are emitted
+// as []byte, so matches avoid string handling entirely on the hot path.
+func (g Grep) MapBytes(split []byte, emit kv.BytesEmitter[int64]) {
+	pats := make([][]byte, len(g.Patterns))
+	for i, p := range g.Patterns {
+		pats[i] = []byte(p)
+	}
+	for len(split) > 0 {
+		nl := bytes.IndexByte(split, '\n')
+		var line []byte
+		if nl < 0 {
+			line, split = split, nil
+		} else {
+			line, split = split[:nl], split[nl+1:]
+		}
+		for _, p := range pats {
+			if bytes.Contains(line, p) {
+				emit.EmitBytes(p, 1)
+			}
+		}
+	}
+}
+
 // Reduce sums match counts per pattern.
 func (Grep) Reduce(_ string, vs []int64) int64 {
 	var s int64
@@ -62,7 +86,14 @@ func (Grep) Less(a, b string) bool { return a < b }
 // Boundary returns the newline record boundary.
 func (Grep) Boundary() chunk.Boundary { return chunk.NewlineBoundary{} }
 
-// NewContainer returns a small hash container (a handful of patterns).
+// NewContainer returns a small flat combining container (a handful of
+// patterns).
 func (g Grep) NewContainer() container.Container[string, int64] {
+	return container.NewFlatHash[int64](8, g.Combine)
+}
+
+// NewMapContainer returns the previous map-backed combining container,
+// kept for the -flatcombiner=off ablation and differential tests.
+func (g Grep) NewMapContainer() container.Container[string, int64] {
 	return container.NewHash[string, int64](8, container.StringHasher, g.Combine)
 }

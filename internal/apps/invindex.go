@@ -35,11 +35,15 @@ func (ix *InvertedIndex) Map(split []byte, emit kv.Emitter[string, []string]) {
 	}
 	seen := make(map[string]bool)
 	workload.Tokenize(split, func(w []byte) {
-		word := string(w)
-		if !seen[word] {
-			seen[word] = true
-			emit.Emit(word, files)
+		// Allocation-free lookup (the compiler elides the conversion);
+		// a string is materialized only the first time a word appears
+		// in this split.
+		if seen[string(w)] {
+			return
 		}
+		word := string(w)
+		seen[word] = true
+		emit.Emit(word, files)
 	})
 }
 

@@ -22,11 +22,21 @@ type WordCount struct{}
 
 var _ kv.App[string, int64] = WordCount{}
 var _ kv.Combiner[int64] = WordCount{}
+var _ kv.BytesApp[int64] = WordCount{}
 
 // Map tokenizes the split and emits (word, 1) pairs.
 func (WordCount) Map(split []byte, emit kv.Emitter[string, int64]) {
 	workload.Tokenize(split, func(w []byte) {
 		emit.Emit(string(w), 1)
+	})
+}
+
+// MapBytes is the zero-allocation twin of Map: tokens flow from the
+// tokenizer into the emitter as []byte views of the split, with no
+// per-word string materialization.
+func (WordCount) MapBytes(split []byte, emit kv.BytesEmitter[int64]) {
+	workload.Tokenize(split, func(w []byte) {
+		emit.EmitBytes(w, 1)
 	})
 }
 
@@ -50,8 +60,15 @@ func (WordCount) Less(a, b string) bool { return a < b }
 func (WordCount) Boundary() chunk.Boundary { return chunk.NewlineBoundary{} }
 
 // NewContainer returns the container §V-B prescribes for word count: the
-// default hash container with a combiner, which shrinks the huge input
-// set to a vocabulary-sized intermediate set.
+// flat combining container (open addressing over arena-interned keys),
+// which shrinks the huge input set to a vocabulary-sized intermediate
+// set without per-word allocation on the map hot path.
 func (w WordCount) NewContainer(shards int) container.Container[string, int64] {
+	return container.NewFlatHash[int64](shards, w.Combine)
+}
+
+// NewMapContainer returns the previous map-backed combining container,
+// kept for the -flatcombiner=off ablation and differential tests.
+func (w WordCount) NewMapContainer(shards int) container.Container[string, int64] {
 	return container.NewHash[string, int64](shards, container.StringHasher, w.Combine)
 }

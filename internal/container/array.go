@@ -98,6 +98,21 @@ func (a *Array[V]) Len() int {
 	return n
 }
 
+// PartitionLen counts occupied cells of stripe p, so the reduce phase
+// can presize its output buffer.
+func (a *Array[V]) PartitionLen(p int) int {
+	lo, hi := a.stripeRange(p)
+	a.mu[p].Lock()
+	defer a.mu[p].Unlock()
+	n := 0
+	for i := lo; i < hi; i++ {
+		if a.present[i] {
+			n++
+		}
+	}
+	return n
+}
+
 func (a *Array[V]) stripeRange(s int) (lo, hi int) {
 	per := (a.width + a.stripes - 1) / a.stripes
 	lo = s * per

@@ -56,6 +56,14 @@ type Container[K comparable, V any] interface {
 	Reset()
 }
 
+// PartitionSizer is an optional Container extension: PartitionLen
+// reports the number of entries Reduce would produce for partition p,
+// so the reduce phase can presize its output buffers instead of growing
+// them from nil. It is only meaningful after the map phase completes.
+type PartitionSizer interface {
+	PartitionLen(p int) int
+}
+
 // Hasher maps a key to a 64-bit hash for shard selection.
 type Hasher[K comparable] func(K) uint64
 
@@ -63,6 +71,11 @@ var stringSeed = maphash.MakeSeed()
 
 // StringHasher hashes string keys with runtime maphash.
 func StringHasher(s string) uint64 { return maphash.String(stringSeed, s) }
+
+// BytesHasher hashes a byte slice to the same value StringHasher gives
+// the equivalent string, so byte-keyed fast paths and string-keyed slow
+// paths agree on shard placement.
+func BytesHasher(b []byte) uint64 { return maphash.Bytes(stringSeed, b) }
 
 // Uint64Hasher mixes an integer key (splitmix64 finalizer).
 func Uint64Hasher(x uint64) uint64 {

@@ -1,0 +1,266 @@
+package container
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"supmr/internal/workload"
+)
+
+func TestFlatHashCounts(t *testing.T) {
+	f := NewFlatHash[int64](8, sumInt64)
+	l := f.NewLocal()
+	for i := 0; i < 10; i++ {
+		l.Emit("a", 1)
+	}
+	l.Emit("b", 5)
+	l.Flush()
+	got := collect[string, int64](f, reduceSum)
+	if got["a"] != 10 || got["b"] != 5 {
+		t.Errorf("counts = %v", got)
+	}
+	if f.Len() != 2 {
+		t.Errorf("Len = %d, want 2", f.Len())
+	}
+}
+
+func TestFlatHashRequiresCombiner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFlatHash(nil combiner) should panic")
+		}
+	}()
+	NewFlatHash[int64](8, nil)
+}
+
+func TestFlatHashShardRounding(t *testing.T) {
+	if p := NewFlatHash[int64](5, sumInt64).Partitions(); p != 8 {
+		t.Errorf("5 shards should round to 8, got %d", p)
+	}
+	if p := NewFlatHash[int64](0, sumInt64).Partitions(); p != 1 {
+		t.Errorf("0 shards should become 1, got %d", p)
+	}
+}
+
+// Differential: for randomized emissions spread over many locals and
+// multiple unflushed "rounds", the flat container and the map-backed
+// hash container must reduce to identical key→count maps.
+func TestFlatHashMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	flat := NewFlatHash[int64](8, sumInt64)
+	ref := NewHash[string, int64](8, StringHasher, sumInt64)
+	for round := 0; round < 5; round++ {
+		fl, rl := flat.NewLocal(), ref.NewLocal()
+		for i := 0; i < 3000; i++ {
+			key := fmt.Sprintf("key-%d", rng.Intn(400))
+			if rng.Intn(2) == 0 {
+				fl.(*flatLocal[int64]).EmitBytes([]byte(key), 1)
+			} else {
+				fl.Emit(key, 1)
+			}
+			rl.Emit(key, 1)
+			if rng.Intn(500) == 0 { // rotate locals mid-stream
+				fl.Flush()
+				rl.Flush()
+				fl, rl = flat.NewLocal(), ref.NewLocal()
+			}
+		}
+		fl.Flush()
+		rl.Flush()
+	}
+	got := collect[string, int64](flat, reduceSum)
+	want := collect[string, int64](ref, reduceSum)
+	if len(got) != len(want) {
+		t.Fatalf("distinct keys: flat %d, map %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %q: flat %d, map %d", k, got[k], v)
+		}
+	}
+	if flat.Len() != ref.Len() {
+		t.Errorf("Len: flat %d, map %d", flat.Len(), ref.Len())
+	}
+}
+
+// Growth: push enough distinct keys through one local to force several
+// index doublings (512 initial slots → 10k keys crosses four rehashes)
+// and verify nothing is lost or double-counted.
+func TestFlatLocalGrowthRehash(t *testing.T) {
+	const n = 10_000
+	f := NewFlatHash[int64](4, sumInt64)
+	l := f.NewLocal()
+	for i := 0; i < n; i++ {
+		l.Emit(fmt.Sprintf("key-%06d", i), 1)
+		l.Emit(fmt.Sprintf("key-%06d", i), 2) // merge path after insert
+	}
+	l.Flush()
+	got := collect[string, int64](f, reduceSum)
+	if len(got) != n {
+		t.Fatalf("distinct keys = %d, want %d", len(got), n)
+	}
+	for k, v := range got {
+		if v != 3 {
+			t.Fatalf("key %q = %d, want 3", k, v)
+		}
+	}
+}
+
+// Steady state: once a pooled local's table and arena are warm and the
+// global shards hold the vocabulary, a full NewLocal→emit→Flush round
+// must not allocate.
+func TestFlatHashSteadyStateZeroAlloc(t *testing.T) {
+	f := NewFlatHash[int64](8, sumInt64)
+	keys := make([][]byte, 300)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%03d", i))
+	}
+	round := func() {
+		l := f.NewLocal().(*flatLocal[int64])
+		for rep := 0; rep < 4; rep++ {
+			for _, k := range keys {
+				l.EmitBytes(k, 1)
+			}
+		}
+		l.Flush()
+	}
+	round() // warm the pooled local and intern the vocabulary
+	if allocs := testing.AllocsPerRun(10, round); allocs > 2 {
+		t.Errorf("steady-state round allocates %.0f objects, want <= 2", allocs)
+	}
+}
+
+func TestFlatHashEmptyKey(t *testing.T) {
+	f := NewFlatHash[int64](4, sumInt64)
+	l := f.NewLocal().(*flatLocal[int64])
+	l.EmitBytes(nil, 1)
+	l.EmitBytes([]byte{}, 2)
+	l.Emit("", 3)
+	l.Emit("x", 1)
+	l.Flush()
+	got := collect[string, int64](f, reduceSum)
+	if got[""] != 6 {
+		t.Errorf("empty key = %d, want 6", got[""])
+	}
+	if got["x"] != 1 || f.Len() != 2 {
+		t.Errorf("counts = %v, Len = %d", got, f.Len())
+	}
+}
+
+// EmitBytes keys may alias caller memory that is reused after the call;
+// the container must have copied them.
+func TestFlatHashEmitBytesDoesNotRetainCallerBytes(t *testing.T) {
+	f := NewFlatHash[int64](4, sumInt64)
+	l := f.NewLocal().(*flatLocal[int64])
+	buf := []byte("alpha")
+	l.EmitBytes(buf, 1)
+	copy(buf, "XXXXX")
+	l.EmitBytes([]byte("alpha"), 1)
+	l.Flush()
+	got := collect[string, int64](f, reduceSum)
+	if got["alpha"] != 2 || len(got) != 1 {
+		t.Errorf("counts = %v, want alpha=2 only", got)
+	}
+}
+
+func TestFlatHashConcurrentLocals(t *testing.T) {
+	f := NewFlatHash[int64](16, sumInt64)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := f.NewLocal()
+			for i := 0; i < perWorker; i++ {
+				l.Emit(fmt.Sprintf("key-%d", i%50), 1)
+			}
+			l.Flush()
+		}()
+	}
+	wg.Wait()
+	got := collect[string, int64](f, reduceSum)
+	var total int64
+	for _, v := range got {
+		total += v
+	}
+	if total != workers*perWorker {
+		t.Errorf("total = %d, want %d", total, workers*perWorker)
+	}
+	if len(got) != 50 {
+		t.Errorf("distinct keys = %d, want 50", len(got))
+	}
+}
+
+func TestFlatHashSizeBytes(t *testing.T) {
+	f := NewFlatHash[int64](4, sumInt64)
+	if f.SizeBytes() != 0 {
+		t.Fatalf("empty SizeBytes = %d", f.SizeBytes())
+	}
+	l := f.NewLocal()
+	for i := 0; i < 100; i++ {
+		l.Emit(fmt.Sprintf("key-%03d", i), 1)
+	}
+	l.Flush()
+	size := f.SizeBytes()
+	if size <= 0 {
+		t.Fatalf("SizeBytes = %d after 100 keys", size)
+	}
+	// Re-emitting the same vocabulary merges in place: no new keys, no
+	// growth for a fixed-size value type.
+	l = f.NewLocal()
+	for i := 0; i < 100; i++ {
+		l.Emit(fmt.Sprintf("key-%03d", i), 1)
+	}
+	l.Flush()
+	if got := f.SizeBytes(); got != size {
+		t.Errorf("SizeBytes grew %d -> %d on merge-only flush", size, got)
+	}
+	f.Reset()
+	if f.SizeBytes() != 0 || f.Len() != 0 {
+		t.Errorf("Reset left SizeBytes=%d Len=%d", f.SizeBytes(), f.Len())
+	}
+}
+
+func TestFlatHashPartitionBounds(t *testing.T) {
+	f := NewFlatHash[int64](4, sumInt64)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range partition should panic")
+		}
+	}()
+	f.Reduce(99, reduceSum, nil)
+}
+
+// Fuzz: tokenizer output fed through the flat bytes path must reduce
+// identically to strings fed through the map-backed container.
+func FuzzFlatCombiner(f *testing.F) {
+	f.Add([]byte("the quick brown fox the lazy dog the end"))
+	f.Add([]byte(""))
+	f.Add([]byte("a a a a a a a a"))
+	f.Add([]byte("x\ny\tz x\x00y"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flat := NewFlatHash[int64](4, sumInt64)
+		ref := NewHash[string, int64](4, StringHasher, sumInt64)
+		fl := flat.NewLocal().(*flatLocal[int64])
+		rl := ref.NewLocal()
+		workload.Tokenize(data, func(w []byte) {
+			fl.EmitBytes(w, 1)
+			rl.Emit(string(w), 1)
+		})
+		fl.Flush()
+		rl.Flush()
+		got := collect[string, int64](flat, reduceSum)
+		want := collect[string, int64](ref, reduceSum)
+		if len(got) != len(want) {
+			t.Fatalf("distinct keys: flat %d, map %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("key %q: flat %d, map %d", k, got[k], v)
+			}
+		}
+	})
+}

@@ -116,6 +116,18 @@ func (h *Hash[K, V]) Len() int {
 	return total
 }
 
+// PartitionLen reports the distinct keys currently in partition p, so
+// the reduce phase can presize its output buffer.
+func (h *Hash[K, V]) PartitionLen(p int) int {
+	s := &h.shards[p]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.combine != nil {
+		return len(s.vals)
+	}
+	return len(s.list)
+}
+
 // NewLocal returns a thread-local combiner map for one map worker.
 func (h *Hash[K, V]) NewLocal() Local[K, V] {
 	if h.combine != nil {
@@ -138,26 +150,62 @@ func (l *hashLocalCombine[K, V]) Emit(key K, val V) {
 	}
 }
 
-// Flush merges the local map into the global shards.
+// Flush merges the local map into the global shards, batched per shard:
+// entries are grouped by destination shard first (one pass over the
+// local map plus a counting sort), then each shard's whole batch merges
+// under a single lock acquisition instead of one lock round-trip per
+// key.
 func (l *hashLocalCombine[K, V]) Flush() {
 	p := l.parent
-	mask := uint64(len(p.shards) - 1)
+	n := len(l.vals)
+	if n == 0 {
+		l.vals = nil
+		return
+	}
+	nsh := len(p.shards)
+	mask := uint64(nsh - 1)
+	ents := make([]kv.Pair[K, V], 0, n)
+	shardOf := make([]uint32, 0, n)
+	starts := make([]int, nsh+1)
+	for k, v := range l.vals {
+		s := uint32(p.hasher(k) & mask)
+		ents = append(ents, kv.Pair[K, V]{Key: k, Val: v})
+		shardOf = append(shardOf, s)
+		starts[s+1]++
+	}
+	for s := 1; s <= nsh; s++ {
+		starts[s] += starts[s-1]
+	}
+	order := make([]int32, n)
+	fill := append([]int(nil), starts[:nsh]...)
+	for i, s := range shardOf {
+		order[fill[s]] = int32(i)
+		fill[s]++
+	}
+
 	entry := p.combinedEntryBytes()
 	var added int64
-	for k, v := range l.vals {
-		s := &p.shards[p.hasher(k)&mask]
-		s.mu.Lock()
-		if old, ok := s.vals[k]; ok {
-			merged := p.combine(old, v)
-			s.vals[k] = merged
-			if p.dynV != nil {
-				added += p.dynV(merged) - p.dynV(old)
-			}
-		} else {
-			s.vals[k] = v
-			added += entry + dynOf(p.dynK, k) + dynOf(p.dynV, v)
+	for s := 0; s < nsh; s++ {
+		lo, hi := starts[s], starts[s+1]
+		if lo == hi {
+			continue
 		}
-		s.mu.Unlock()
+		sh := &p.shards[s]
+		sh.mu.Lock()
+		for _, i := range order[lo:hi] {
+			k, v := ents[i].Key, ents[i].Val
+			if old, ok := sh.vals[k]; ok {
+				merged := p.combine(old, v)
+				sh.vals[k] = merged
+				if p.dynV != nil {
+					added += p.dynV(merged) - p.dynV(old)
+				}
+			} else {
+				sh.vals[k] = v
+				added += entry + dynOf(p.dynK, k) + dynOf(p.dynV, v)
+			}
+		}
+		sh.mu.Unlock()
 	}
 	p.bytes.Add(added)
 	l.vals = nil
@@ -173,27 +221,68 @@ func (l *hashLocalList[K, V]) Emit(key K, val V) {
 	l.list[key] = append(l.list[key], val)
 }
 
-// Flush appends local value lists into the global shards.
+// Flush appends local value lists into the global shards, batched per
+// shard: one lock acquisition per destination shard rather than per
+// key, with the slice-growth byte charge computed once per batch
+// outside the lock (only the new-key check needs shard state).
 func (l *hashLocalList[K, V]) Flush() {
 	p := l.parent
-	mask := uint64(len(p.shards) - 1)
-	entry := p.listEntryBytes()
+	n := len(l.list)
+	if n == 0 {
+		l.list = nil
+		return
+	}
+	nsh := len(p.shards)
+	mask := uint64(nsh - 1)
+	type listEnt struct {
+		k  K
+		vs []V
+	}
+	ents := make([]listEnt, 0, n)
+	shardOf := make([]uint32, 0, n)
+	starts := make([]int, nsh+1)
+	// One pass over the local map: shard routing plus the batch's value
+	// byte charge, which does not depend on global state.
 	valSize := shallowSize[V]()
 	var added int64
 	for k, vs := range l.list {
-		s := &p.shards[p.hasher(k)&mask]
-		s.mu.Lock()
-		if _, ok := s.list[k]; !ok {
-			added += entry + dynOf(p.dynK, k)
-		}
-		s.list[k] = append(s.list[k], vs...)
-		s.mu.Unlock()
+		s := uint32(p.hasher(k) & mask)
+		ents = append(ents, listEnt{k: k, vs: vs})
+		shardOf = append(shardOf, s)
+		starts[s+1]++
 		added += int64(len(vs)) * valSize
 		if p.dynV != nil {
 			for _, v := range vs {
 				added += p.dynV(v)
 			}
 		}
+	}
+	for s := 1; s <= nsh; s++ {
+		starts[s] += starts[s-1]
+	}
+	order := make([]int32, n)
+	fill := append([]int(nil), starts[:nsh]...)
+	for i, s := range shardOf {
+		order[fill[s]] = int32(i)
+		fill[s]++
+	}
+
+	entry := p.listEntryBytes()
+	for s := 0; s < nsh; s++ {
+		lo, hi := starts[s], starts[s+1]
+		if lo == hi {
+			continue
+		}
+		sh := &p.shards[s]
+		sh.mu.Lock()
+		for _, i := range order[lo:hi] {
+			k := ents[i].k
+			if _, ok := sh.list[k]; !ok {
+				added += entry + dynOf(p.dynK, k)
+			}
+			sh.list[k] = append(sh.list[k], ents[i].vs...)
+		}
+		sh.mu.Unlock()
 	}
 	p.bytes.Add(added)
 	l.list = nil

@@ -110,6 +110,23 @@ func (l *keyRangeLocal[K, V]) Flush() {
 	l.buf = nil
 }
 
+// PartitionLen reports the number of pairs in partition p (keys are
+// unique by contract, so pairs equal reduce outputs), letting the
+// reduce phase presize its output buffer.
+func (c *KeyRange[K, V]) PartitionLen(p int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := c.partitions
+	if c.total < parts {
+		parts = c.total
+	}
+	if p < 0 || p >= parts {
+		return 0
+	}
+	lo, hi := c.segment(p, parts)
+	return hi - lo
+}
+
 // segment returns the logical-array range [lo, hi) of partition p.
 func (c *KeyRange[K, V]) segment(p, parts int) (lo, hi int) {
 	lo = p * c.total / parts

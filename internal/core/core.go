@@ -20,6 +20,12 @@
 // joined — never abandoned mid-device-wait — when a round fails or the
 // job is cancelled), and map/reduce/merge run on the pool's compute
 // workers with panic isolation and cancellation.
+//
+// Persistence (§III-C) applies at two tiers: the global intermediate
+// container accumulates across rounds (runMappers never resets it), and
+// containers that pool their worker-local accumulators (the flat
+// combiner) carry local tables and arenas from round to round, so
+// steady-state rounds combine without allocating.
 package core
 
 import (

@@ -26,6 +26,32 @@ type EmitFunc[K any, V any] func(key K, val V)
 // Emit calls f(key, val).
 func (f EmitFunc[K, V]) Emit(key K, val V) { f(key, val) }
 
+// BytesEmitter is the allocation-free fast path for byte-keyed
+// workloads: container locals that can consume keys as raw byte slices
+// implement it alongside Emitter. The key is only valid for the
+// duration of the call — it typically aliases the input split — so
+// implementations must copy any bytes they retain.
+type BytesEmitter[V any] interface {
+	EmitBytes(key []byte, val V)
+}
+
+// BytesEmitFunc adapts a function to the BytesEmitter interface.
+type BytesEmitFunc[V any] func(key []byte, val V)
+
+// EmitBytes calls f(key, val).
+func (f BytesEmitFunc[V]) EmitBytes(key []byte, val V) { f(key, val) }
+
+// BytesApp is an optional extension of App[string, V]: applications
+// whose keys are substrings of the input implement MapBytes so the map
+// hot path can emit token slices directly, without materializing a
+// string per emission. The runtime uses it only when the destination
+// local also implements BytesEmitter; MapBytes must emit exactly the
+// pairs Map would (with keys as their byte representations), so the two
+// paths produce identical job output.
+type BytesApp[V any] interface {
+	MapBytes(split []byte, emit BytesEmitter[V])
+}
+
 // Less is a strict weak ordering over keys, used by the reduce and merge
 // phases to produce globally sorted output.
 type Less[K any] func(a, b K) bool

@@ -134,8 +134,19 @@ func MapWaveTimed[K comparable, V any](app kv.App[K, V], data []byte, cont conta
 	pool, release := opts.pool()
 	defer release()
 	splits := chunk.SplitBuffer(data, opts.Splits, opts.Boundary)
+	// Bytes fast path: when the app can map straight from []byte keys and
+	// the container's local can accept them, skip the per-key string
+	// materialization entirely (the local interns keys into its arena).
+	ba, baOK := any(app).(kv.BytesApp[V])
 	busy, err := pool.ForEach("map", metrics.StateUser, len(splits), func(i int) error {
 		local := cont.NewLocal()
+		if baOK {
+			if be, ok := any(local).(kv.BytesEmitter[V]); ok {
+				ba.MapBytes(splits[i], be)
+				local.Flush()
+				return nil
+			}
+		}
 		app.Map(splits[i], local)
 		local.Flush()
 		return nil
@@ -158,8 +169,15 @@ func ReducePhaseTimed[K comparable, V any](app kv.App[K, V], cont container.Cont
 	defer release()
 	parts := cont.Partitions()
 	runs := make([][]kv.Pair[K, V], parts)
+	sizer, _ := any(cont).(container.PartitionSizer)
 	busy, err := pool.ForEach("reduce", metrics.StateUser, parts, func(p int) error {
-		runs[p] = cont.Reduce(p, app.Reduce, nil)
+		var out []kv.Pair[K, V]
+		if sizer != nil {
+			if n := sizer.PartitionLen(p); n > 0 {
+				out = make([]kv.Pair[K, V], 0, n)
+			}
+		}
+		runs[p] = cont.Reduce(p, app.Reduce, out)
 		return nil
 	})
 	if err != nil {

@@ -20,7 +20,7 @@
 package sortalgo
 
 import (
-	"sort"
+	"slices"
 
 	"supmr/internal/exec"
 	"supmr/internal/kv"
@@ -130,8 +130,19 @@ func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.P
 		p = total
 	}
 
-	// Sample keys across runs and choose p-1 splitters.
-	var samples []K
+	// Sample keys across runs and choose p-1 splitters. The sample count
+	// is known exactly from the run lengths, so the slice is allocated
+	// once; slices.SortFunc sorts without the interface boxing and
+	// reflection-based swaps of sort.Slice.
+	nSamples := 0
+	for _, r := range rs {
+		step := len(r) / samplesPerRun
+		if step == 0 {
+			step = 1
+		}
+		nSamples += (len(r) + step - 1) / step
+	}
+	samples := make([]K, 0, nSamples)
 	for _, r := range rs {
 		step := len(r) / samplesPerRun
 		if step == 0 {
@@ -141,7 +152,15 @@ func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.P
 			samples = append(samples, r[i].Key)
 		}
 	}
-	sort.Slice(samples, func(i, j int) bool { return less(samples[i], samples[j]) })
+	slices.SortFunc(samples, func(a, b K) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		}
+		return 0
+	})
 	splitters := make([]K, 0, p-1)
 	for i := 1; i < p; i++ {
 		splitters = append(splitters, samples[i*len(samples)/p])

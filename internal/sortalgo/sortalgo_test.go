@@ -276,3 +276,41 @@ func TestLoserTreeMergeDirect(t *testing.T) {
 		checkMerged(t, got, want, fmt.Sprintf("losertree k=%d", k))
 	}
 }
+
+// Regression: duplicate-heavy runs make nearly every sampled splitter
+// the same key, so uncorrected lower-bound cuts could go non-monotone;
+// the clamp must keep every run's cut sequence ordered and the merge
+// exact. Exercised across worker counts so the splitter count varies.
+func TestPWayMergeDuplicateHeavySplitters(t *testing.T) {
+	const total, runs = 6000, 12
+	rng := rand.New(rand.NewSource(99))
+	rs := make([][]kv.Pair[uint64, int], runs)
+	var all []uint64
+	idx := 0
+	for r := range rs {
+		n := total / runs
+		run := make([]kv.Pair[uint64, int], n)
+		for i := range run {
+			// ~95% of keys are the single value 7; the rest spread thinly
+			// on both sides so every splitter lands on the duplicate.
+			k := uint64(7)
+			if rng.Intn(20) == 0 {
+				k = uint64(rng.Intn(15))
+			}
+			run[i] = kv.Pair[uint64, int]{Key: k, Val: idx}
+			all = append(all, k)
+			idx++
+		}
+		kv.SortPairs(run, u64Less)
+		rs[r] = run
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, p := range []int{1, 2, 4, 8} {
+		cp := make([][]kv.Pair[uint64, int], len(rs))
+		for i := range rs {
+			cp[i] = append([]kv.Pair[uint64, int](nil), rs[i]...)
+		}
+		got := pway(t, cp, p)
+		checkMerged(t, got, all, fmt.Sprintf("dup-heavy p=%d", p))
+	}
+}

@@ -185,7 +185,13 @@ type Report[K comparable, V any] struct {
 	Pairs []Pair[K, V]
 	Times metrics.PhaseTimes
 	Stats mapreduce.Stats
-	Trace *metrics.Trace
+	// Allocs attributes heap allocations (object count and bytes) to each
+	// phase via ReadMemStats deltas at phase boundaries. Process-wide and
+	// approximate — concurrent background allocation lands in whichever
+	// phase is open — but it makes the map hot path's allocation
+	// behaviour visible per run.
+	Allocs metrics.PhaseAllocs
+	Trace  *metrics.Trace
 	// Markers are phase-boundary annotations for the trace (present when
 	// tracing was enabled); render with Trace.AnnotatedASCII.
 	Markers []metrics.Marker
@@ -253,7 +259,7 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		return nil, errors.New("supmr: nil container")
 	}
 	clk := cfg.clock()
-	timer := metrics.NewTimer(clk.Now)
+	timer := metrics.NewTimer(clk.Now).WithAllocs()
 	var rec *metrics.UtilRecorder
 	var markers *metrics.MarkerLog
 	if cfg.TraceContexts > 0 {
@@ -321,7 +327,7 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats}
+	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats, Allocs: timer.Allocs()}
 	if store != nil {
 		rep.SpillBytes = store.Series()
 	}
@@ -437,6 +443,13 @@ func StreamFiles(files []Input, cfg Config) (Stream, error) {
 // hash into shards; combine (optional) folds values at insertion.
 func NewHashContainer[K comparable, V any](shards int, hash func(K) uint64, combine func(a, b V) V) Container[K, V] {
 	return container.NewHash[K, V](shards, hash, combine)
+}
+
+// NewFlatHashContainer returns the flat combining container for string
+// keys: open addressing over arena-interned keys, zero steady-state
+// allocation on the map hot path (the container behind -flatcombiner).
+func NewFlatHashContainer[V any](shards int, combine func(a, b V) V) Container[string, V] {
+	return container.NewFlatHash[V](shards, combine)
 }
 
 // NewArrayContainer returns the array container for dense int keys in

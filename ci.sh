@@ -30,8 +30,15 @@ go test -race -count=1 \
     ./internal/container/ \
     ./internal/sortalgo/ \
     ./internal/spill/ \
+    ./internal/faults/ \
     ./internal/apps/ \
     .
+
+echo "== race-mode chaos gate =="
+# The fault-injection invariant under the race detector: every seeded
+# plan either recovers to byte-identical output or fails with a wrapped
+# injected error, without leaking goroutines.
+go test -race -count=1 -run 'TestChaos' .
 
 echo "== map hot path allocation gate =="
 # A steady-state flat-combiner map wave must stay (near) allocation-free.
@@ -57,5 +64,34 @@ go run -race ./cmd/supmr -app wordcount -runtime supmr \
 echo "== race-mode budget-constrained pipeline run =="
 go run -race ./cmd/supmr -app wordcount -runtime supmr \
     -size 2m -chunk 128k -bw 0 -workers 4 -budget 64k
+
+echo "== faulted CLI run recovers with retries =="
+# Built (not `go run`) so the exit code and stderr are the command's own.
+supmr_bin=$(mktemp -d)/supmr
+go build -o "$supmr_bin" ./cmd/supmr
+"$supmr_bin" -app wordcount -runtime supmr \
+    -size 1m -chunk 128k -bw 0 -workers 4 \
+    -faults seed=1,read-err-every=5 -retries 4
+
+echo "== faulted CLI run must fail cleanly =="
+# A permanent ingest fault has to surface as exit 1 with one wrapped
+# error line on stderr — no panic, no exit 0.
+set +e
+fault_err=$("$supmr_bin" -app wordcount -runtime supmr \
+    -size 1m -chunk 128k -bw 0 -workers 4 \
+    -faults seed=1,read-err-every=2,permanent 2>&1 >/dev/null)
+fault_rc=$?
+set -e
+rm -rf "$(dirname "$supmr_bin")"
+if [[ "$fault_rc" -eq 0 ]]; then
+    echo "faulted run exited 0, want a failure" >&2
+    exit 1
+fi
+if [[ $(echo "$fault_err" | grep -c .) -ne 1 ]] || ! echo "$fault_err" | grep -q '^supmr: .*injected fault'; then
+    echo "faulted run stderr not a single wrapped error line:" >&2
+    echo "$fault_err" >&2
+    exit 1
+fi
+echo "failed as expected: $fault_err"
 
 echo "CI OK"

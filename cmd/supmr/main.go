@@ -46,6 +46,8 @@ func main() {
 		contexts  = flag.Int("contexts", 4, "hardware contexts to normalize the trace to")
 		bucketStr = flag.String("bucket", "100ms", "trace bucket width")
 		seed      = flag.Int64("seed", 1, "workload generation seed")
+		faultsStr = flag.String("faults", "", "deterministic fault plan, e.g. seed=42,read-err-every=100,short-read=0.05,latency=2ms,latency-prob=0.1 (keys: seed, read-err[-every], write-err[-every], short-read[-every], latency[-prob|-every], permanent[-every], max)")
+		retries   = flag.String("retries", "", "retry policy for transient faults: attempt count (\"4\") or attempts=N,base=DUR,max=DUR,budget=N")
 	)
 	flatComb := onOffFlag(true)
 	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
@@ -65,7 +67,7 @@ func main() {
 		filesPer: *filesPer, fileSize: parseSize(*fileSize), trace: *trace,
 		contexts: *contexts, bucket: parseDur(*bucketStr), seed: *seed,
 		adaptive: *adaptive, hybrid: *hybrid, energy: *energy, pattern: *pattern,
-		flatComb: bool(flatComb),
+		flatComb: bool(flatComb), faults: *faultsStr, retries: *retries,
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "supmr: interrupted")
@@ -88,6 +90,7 @@ type runOpts struct {
 	contexts                 int
 	bucket                   time.Duration
 	seed                     int64
+	faults, retries          string
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -117,6 +120,20 @@ func run(ctx context.Context, o runOpts) error {
 		Clock:          clock,
 		AdaptiveChunks: o.adaptive,
 		HybridChunks:   o.hybrid,
+	}
+	if o.faults != "" {
+		plan, err := cliutil.ParseFaultPlan(o.faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = supmr.NewFaultInjector(plan, clock)
+	}
+	if o.retries != "" {
+		policy, err := cliutil.ParseRetryPolicy(o.retries)
+		if err != nil {
+			return err
+		}
+		cfg.Retry = policy
 	}
 	switch rt {
 	case "supmr":
@@ -312,6 +329,9 @@ func run(ctx context.Context, o runOpts) error {
 	if stats != nil && stats.SpilledRuns > 0 {
 		fmt.Printf("spill: %d runs, %d bytes written, merged in %d round(s) (budget %d)\n",
 			stats.SpilledRuns, stats.SpilledBytes, stats.MergeRounds, o.budget)
+	}
+	if stats != nil && stats.Faults.Any() {
+		fmt.Println("faults:", stats.Faults.String())
 	}
 	if trace && tr != nil {
 		fmt.Println()

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain re-execs the test binary as the supmr command when asked:
+// the error-path test below needs real exit codes and stderr, which
+// calling run() in-process cannot observe.
+func TestMain(m *testing.M) {
+	if os.Getenv("SUPMR_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestPermanentFaultFailsCleanly pins the CLI's error path: a fault
+// plan with a permanent ingest fault must make the command exit
+// non-zero with a single wrapped error line on stderr — no panic, no
+// hang, no partial-success exit 0.
+func TestPermanentFaultFailsCleanly(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0],
+		"-app", "wordcount", "-runtime", "supmr", "-size", "256k", "-chunk", "32k", "-bw", "0",
+		"-faults", "seed=3,read-err-every=2,permanent")
+	cmd.Env = append(os.Environ(), "SUPMR_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+
+	err := cmd.Run()
+	if ctx.Err() != nil {
+		t.Fatalf("command hung past the watchdog; stderr so far:\n%s", stderr.String())
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want a non-zero exit, got err=%v, stderr:\n%s", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	out := stderr.String()
+	if strings.Contains(out, "panic") || strings.Contains(stdout.String(), "panic") {
+		t.Fatalf("command panicked:\n%s%s", stdout.String(), out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly one stderr line, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "supmr: ") {
+		t.Fatalf("stderr line not prefixed with the command name: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "injected fault") {
+		t.Fatalf("stderr does not surface the injected fault: %q", lines[0])
+	}
+}
+
+// TestFaultedRunRecoversWithRetries is the success twin: the same
+// command with a sparser transient plan and retries must exit zero and
+// report the fault counters on stdout.
+func TestFaultedRunRecoversWithRetries(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0],
+		"-app", "wordcount", "-runtime", "supmr", "-size", "256k", "-chunk", "32k", "-bw", "0",
+		"-faults", "seed=1,read-err-every=5", "-retries", "4")
+	cmd.Env = append(os.Environ(), "SUPMR_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("recovering run failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if ctx.Err() != nil {
+		t.Fatal("command hung past the watchdog")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "faults: injected=") {
+		t.Fatalf("stdout does not report fault counters:\n%s", out)
+	}
+	if !strings.Contains(out, "recovered=") {
+		t.Fatalf("fault counter line lacks recovery stats:\n%s", out)
+	}
+}
+
+// TestBadFaultPlanRejected covers flag validation: a malformed plan
+// must fail fast with a parse error, before any job runs.
+func TestBadFaultPlanRejected(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0],
+		"-app", "wordcount", "-size", "64k", "-bw", "0", "-faults", "read-err=1.5")
+	cmd.Env = append(os.Environ(), "SUPMR_RUN_MAIN=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 for a bad plan, got %v; stderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "probability") {
+		t.Fatalf("stderr does not explain the bad probability: %s", stderr.String())
+	}
+}

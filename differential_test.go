@@ -1,0 +1,154 @@
+package supmr
+
+// Randomized differential testing across the two runtimes: for every
+// application and every compatible container, the traditional runtime
+// and the SupMR pipeline must produce byte-identical output over the
+// same randomly generated input. The runtimes share only the app and
+// container code, so agreement here pins down the pipeline's
+// correctness (chunking, persistent container, p-way merge) against
+// the straightforward ingest-everything baseline.
+//
+// Exclusions, by construction rather than by bug:
+//   - kmeans: an iterative driver over many SupMR jobs, not one job.
+//   - OpenMP sort: not a kv.App; it has its own comparison tests.
+//   - invindex over RunFiles: the app attributes words to chunk file
+//     names, and the two runtimes chunk multi-file input differently,
+//     so only the single-buffer (RunBytes) case is comparable.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"supmr/internal/workload"
+)
+
+// renderPairs flattens any output for byte-exact comparison.
+func renderPairs[K comparable, V any](pairs []Pair[K, V]) string {
+	var b strings.Builder
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%v=%v\n", p.Key, p.Val)
+	}
+	return b.String()
+}
+
+// diffRun executes the job under both runtimes over data and fails on
+// any output difference. mkCont builds a fresh container per run.
+func diffRun[K comparable, V any](t *testing.T, job Job[K, V], mkCont func() Container[K, V], data []byte, cfg Config) {
+	t.Helper()
+	cfg.Workers = 4
+	cfg.Runtime = RuntimeTraditional
+	trad, err := RunBytes(job, data, mkCont(), cfg)
+	if err != nil {
+		t.Fatalf("traditional: %v", err)
+	}
+	cfg.Runtime = RuntimeSupMR
+	sup, err := RunBytes(job, data, mkCont(), cfg)
+	if err != nil {
+		t.Fatalf("supmr: %v", err)
+	}
+	if sup.Stats.MapWaves < 2 {
+		t.Fatalf("supmr ran %d map waves; the differential run must be multi-chunk", sup.Stats.MapWaves)
+	}
+	a, b := renderPairs(trad.Pairs), renderPairs(sup.Pairs)
+	if a != b {
+		t.Fatalf("outputs differ: traditional %d pairs/%d bytes, supmr %d pairs/%d bytes",
+			len(trad.Pairs), len(a), len(sup.Pairs), len(b))
+	}
+	if len(trad.Pairs) == 0 {
+		t.Fatal("no output; the comparison is vacuous")
+	}
+}
+
+func TestDifferentialRuntimes(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		seed := seed
+		text := genText(t, 128<<10, seed)
+		cfg := Config{ChunkBytes: 16 << 10}
+
+		t.Run(fmt.Sprintf("seed%d/wordcount-flat", seed), func(t *testing.T) {
+			diffRun[string, int64](t, WordCountJob(),
+				func() Container[string, int64] { return WordCountContainer(16) }, text, cfg)
+		})
+		t.Run(fmt.Sprintf("seed%d/wordcount-map", seed), func(t *testing.T) {
+			diffRun[string, int64](t, WordCountJob(),
+				func() Container[string, int64] { return WordCountMapContainer(16) }, text, cfg)
+		})
+		t.Run(fmt.Sprintf("seed%d/grep-flat", seed), func(t *testing.T) {
+			job := GrepJob("ba", "zo", "nowhere-to-be-found")
+			diffRun[string, int64](t, job,
+				func() Container[string, int64] { return job.NewContainer() }, text, cfg)
+		})
+		t.Run(fmt.Sprintf("seed%d/grep-map", seed), func(t *testing.T) {
+			job := GrepJob("ba", "zo")
+			diffRun[string, int64](t, job,
+				func() Container[string, int64] { return job.NewMapContainer() }, text, cfg)
+		})
+		t.Run(fmt.Sprintf("seed%d/histogram", seed), func(t *testing.T) {
+			job := HistogramJob()
+			diffRun[int, int64](t, job,
+				func() Container[int, int64] { return job.NewContainer(8) }, text, cfg)
+		})
+		t.Run(fmt.Sprintf("seed%d/linreg", seed), func(t *testing.T) {
+			job := LinearRegressionJob()
+			lrCfg := cfg
+			lrCfg.Boundary = FixedRecords(2)
+			diffRun[int, float64](t, job,
+				func() Container[int, float64] { return job.NewContainer() }, text, lrCfg)
+		})
+		t.Run(fmt.Sprintf("seed%d/invindex", seed), func(t *testing.T) {
+			mk := func() Container[string, []string] { return InvertedIndexJob().NewContainer(16) }
+			// Fresh job per run: the app carries per-run chunk attribution
+			// state (set_data), so sharing one instance would leak file
+			// names across runs.
+			diffCfg := cfg
+			diffCfg.Workers = 4
+			diffCfg.Runtime = RuntimeTraditional
+			trad, err := RunBytes[string, []string](InvertedIndexJob(), text, mk(), diffCfg)
+			if err != nil {
+				t.Fatalf("traditional: %v", err)
+			}
+			diffCfg.Runtime = RuntimeSupMR
+			sup, err := RunBytes[string, []string](InvertedIndexJob(), text, mk(), diffCfg)
+			if err != nil {
+				t.Fatalf("supmr: %v", err)
+			}
+			if a, b := renderPairs(trad.Pairs), renderPairs(sup.Pairs); a != b {
+				t.Fatalf("outputs differ: traditional %d pairs, supmr %d pairs", len(trad.Pairs), len(sup.Pairs))
+			}
+		})
+		t.Run(fmt.Sprintf("seed%d/sort", seed), func(t *testing.T) {
+			const records = 1200
+			tera := make([]byte, records*100)
+			workload.TeraGen{Seed: uint64(seed)}.Fill()(0, tera)
+			job := SortJob()
+			sortCfg := cfg
+			sortCfg.Boundary = CRLFRecords
+			sortCfg.ChunkBytes = 20 << 10
+			diffRun[string, uint64](t, job,
+				func() Container[string, uint64] { return SortContainer() }, tera, sortCfg)
+		})
+	}
+}
+
+// TestDifferentialSortHashContainer covers sort's second compatible
+// container (hash-partitioned) against the key-range default under the
+// SupMR runtime: the container choice must not change the output.
+func TestDifferentialSortHashContainer(t *testing.T) {
+	const records = 800
+	tera := make([]byte, records*100)
+	workload.TeraGen{Seed: 23}.Fill()(0, tera)
+	job := SortJob()
+	cfg := Config{Runtime: RuntimeSupMR, Workers: 4, ChunkBytes: 20 << 10, Boundary: CRLFRecords}
+	keyrange, err := RunBytes[string, uint64](job, tera, SortContainer(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := RunBytes[string, uint64](job, tera, job.NewHashContainer(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderPairs(keyrange.Pairs), renderPairs(hashed.Pairs); a != b {
+		t.Fatalf("containers disagree: keyrange %d pairs, hash %d pairs", len(keyrange.Pairs), len(hashed.Pairs))
+	}
+}

@@ -112,6 +112,12 @@ type HDFSConfig struct {
 	// AccessBW, when positive, gives every datanode a dedicated access
 	// port of this bandwidth behind the shared uplink (star topology).
 	AccessBW float64
+	// Faults, when set, injects the injector's fault plan into the
+	// cluster: datanode disks become fallible (sites "hdfs-dn0", ...)
+	// and the shared link takes latency spikes (site "hdfs-link").
+	// Share the job's injector (Config.Faults) so the fault cap and
+	// counters are global.
+	Faults *FaultInjector
 }
 
 // NewHDFS builds the case study's storage: nodes datanodes behind one
@@ -123,16 +129,27 @@ func NewHDFS(cfg HDFSConfig, clock Clock) (*HDFS, error) {
 		DiskBW:    cfg.DiskBW,
 		Clock:     clock,
 	}
+	if inj := cfg.Faults; inj != nil {
+		hc.WrapDevice = func(site string, dev Device) Device {
+			return inj.WrapDevice("hdfs-"+site, dev)
+		}
+	}
 	if cfg.AccessBW > 0 {
 		top, err := netsim.NewStarTopology(cfg.Nodes, cfg.AccessBW, cfg.LinkBW, cfg.Latency, clock)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Faults != nil {
+			top.Uplink().SetDelayer(cfg.Faults.LinkDelayer("hdfs-link"))
 		}
 		hc.Topology = top
 	} else {
 		link, err := netsim.NewLink(cfg.LinkBW, cfg.Latency, clock)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Faults != nil {
+			link.SetDelayer(cfg.Faults.LinkDelayer("hdfs-link"))
 		}
 		hc.Link = link
 	}

@@ -1,0 +1,101 @@
+package supmr
+
+import (
+	"fmt"
+
+	"supmr/internal/chunk"
+	"supmr/internal/faults"
+	"supmr/internal/metrics"
+	"supmr/internal/spill"
+)
+
+// This file exposes the deterministic fault-injection and retry layer
+// (internal/faults) through the public API: a FaultPlan reproducible
+// from a single seed, an injector shared across a job's substrates, and
+// a RetryPolicy for the ingest and spill paths.
+
+// FaultPlan describes one deterministic fault schedule: read/write
+// errors, short reads, torn spill writes and latency spikes, each with
+// every-Nth and probability triggers, all seeded from FaultPlan.Seed.
+type FaultPlan = faults.Plan
+
+// FaultInjector applies a FaultPlan to the job's substrates. Build one
+// with NewFaultInjector and set it on Config.Faults (and, for HDFS
+// inputs, HDFSConfig.Faults) so all sites share the plan's global
+// fault cap and counters.
+type FaultInjector = faults.Injector
+
+// RetryPolicy retries transient injected faults with capped
+// exponential backoff on the job clock. Set it on Config.Retry.
+type RetryPolicy = faults.RetryPolicy
+
+// FaultStats counts injected faults and retry outcomes; see
+// Report.Stats.Faults.
+type FaultStats = metrics.FaultStats
+
+// ErrInjectedFault is the sentinel every injected fault wraps. A job
+// that fails because of (possibly exhausted retries over) injected
+// faults returns an error matching errors.Is(err, ErrInjectedFault).
+var ErrInjectedFault = faults.ErrInjected
+
+// NewFaultInjector builds the injector for plan. Pass the job clock
+// (cfg.Clock) so latency spikes land on the same timeline as device
+// waits; nil falls back to a private virtual clock.
+func NewFaultInjector(plan FaultPlan, clock Clock) *FaultInjector {
+	return faults.New(plan, clock)
+}
+
+// faultCounters returns the job's shared fault/retry counters: the
+// injector's when fault injection is on, nil otherwise (retry code
+// accepts a nil counter set and runs uncounted).
+func (c Config) faultCounters() *faults.Counters {
+	if c.Faults != nil {
+		return c.Faults.Counters()
+	}
+	return nil
+}
+
+// wrapInput applies the config's fault injection and retry policy to
+// one ingest source: faults inject innermost, retries wrap outermost
+// so transient read errors are absorbed before the chunker sees them.
+func (c Config) wrapInput(f chunk.Input) chunk.Input {
+	if c.Faults != nil {
+		f = c.Faults.WrapInput(f)
+	}
+	if c.Retry.Enabled() {
+		f = faults.WithRetry(f, c.Retry, c.clock(), c.faultCounters())
+	}
+	return f
+}
+
+// wrapInputs applies wrapInput to a file set, leaving the caller's
+// slice untouched. Nil entries pass through for the stream
+// constructors to reject with their usual errors.
+func (c Config) wrapInputs(files []Input) []Input {
+	if c.Faults == nil && !c.Retry.Enabled() {
+		return files
+	}
+	wrapped := make([]Input, len(files))
+	for i, f := range files {
+		if f == nil {
+			continue
+		}
+		wrapped[i] = c.wrapInput(f)
+	}
+	return wrapped
+}
+
+// faultBacking wraps every spill run's payload with the injector so
+// run writes can tear and run read-back can fail.
+type faultBacking struct {
+	inj   *faults.Injector
+	inner spill.Backing
+}
+
+func (b faultBacking) NewRun(id int) (spill.RunData, error) {
+	data, err := b.inner.NewRun(id)
+	if err != nil {
+		return nil, err
+	}
+	return b.inj.WrapBlockFile(fmt.Sprintf("run%d", id), data), nil
+}

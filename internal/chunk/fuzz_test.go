@@ -86,6 +86,85 @@ func FuzzSplitBuffer(f *testing.F) {
 	})
 }
 
+// crlfRecords cuts data into its \r\n-terminated records; the tail
+// after the last terminator (if any) is one final unterminated record.
+func crlfRecords(data []byte) [][]byte {
+	var recs [][]byte
+	start := 0
+	for i := 1; i < len(data); i++ {
+		if data[i] == '\n' && data[i-1] == '\r' {
+			recs = append(recs, data[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		recs = append(recs, data[start:])
+	}
+	return recs
+}
+
+// FuzzInterFileCRLFRecords is the record-level invariant for CRLF
+// inter-file chunking: no record is ever dropped, duplicated, or split
+// across chunks. Byte coverage plus every non-final chunk ending
+// exactly at a record boundary (Complete — which a chunk ending in a
+// bare \r fails) implies each record lands whole in exactly one chunk;
+// the per-chunk record recount makes the claim direct.
+func FuzzInterFileCRLFRecords(f *testing.F) {
+	f.Add([]byte("aaaa\r\nbb\r\ncccccc\r\n"), int64(5))
+	f.Add([]byte("x\r\r\n\r\ny"), int64(2))             // bare \r inside a record
+	f.Add([]byte("unterminated tail record"), int64(7)) // no CRLF at all
+	f.Add([]byte("a\nb\nc\r\n"), int64(3))              // lone \n is not a terminator
+	f.Add(bytes.Repeat([]byte("rec\r\n"), 64), int64(9))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSize int64) {
+		if chunkSize <= 0 || chunkSize > int64(len(data))+10 {
+			chunkSize = int64(len(data)%89) + 1
+		}
+		file := storage.BytesFile("f", data, storage.NewNullDevice(storage.NewFakeClock()))
+		s, err := NewInterFile(file, chunkSize, CRLFBoundary{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		var chunks [][]byte
+		for {
+			c, err := s.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, c.Data...)
+			chunks = append(chunks, c.Data)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("coverage broken: %d bytes in, %d out (records dropped or duplicated)", len(data), len(got))
+		}
+		b := CRLFBoundary{}
+		for i, c := range chunks[:max(0, len(chunks)-1)] {
+			if !b.Complete(c) {
+				t.Fatalf("chunk %d of %d does not end at a record boundary (record split): trailing %q",
+					i, len(chunks), c[max(0, len(c)-3):])
+			}
+		}
+		// Recount: the records of the chunks, concatenated in order, must
+		// be exactly the records of the input.
+		want := crlfRecords(data)
+		var have [][]byte
+		for _, c := range chunks {
+			have = append(have, crlfRecords(c)...)
+		}
+		if len(have) != len(want) {
+			t.Fatalf("record count changed: %d in input, %d across chunks", len(want), len(have))
+		}
+		for i := range want {
+			if !bytes.Equal(want[i], have[i]) {
+				t.Fatalf("record %d differs: input %q, chunked %q", i, want[i], have[i])
+			}
+		}
+	})
+}
+
 // FuzzCRLFBoundary checks the two-byte terminator logic never splits a
 // \r\n pair across chunks.
 func FuzzCRLFBoundary(f *testing.F) {

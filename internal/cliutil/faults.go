@@ -1,0 +1,165 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"supmr/internal/faults"
+)
+
+// ParseFaultPlan parses the -faults flag: comma-separated key=value
+// settings, e.g.
+//
+//	seed=42,read-err-every=100,short-read=0.05,latency=2ms,latency-prob=0.1
+//
+// Keys: seed, read-err (probability), read-err-every, write-err,
+// write-err-every, short-read, short-read-every, latency (duration),
+// latency-prob, latency-every, permanent (bare or =bool),
+// permanent-every, max (fault cap).
+func ParseFaultPlan(s string) (faults.Plan, error) {
+	var p faults.Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, fmt.Errorf("cliutil: empty fault plan")
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = parseInt(key, val, hasVal)
+		case "read-err":
+			p.ReadErrProb, err = parseProb(key, val, hasVal)
+		case "read-err-every":
+			p.ReadErrEvery, err = parseInt(key, val, hasVal)
+		case "write-err":
+			p.WriteErrProb, err = parseProb(key, val, hasVal)
+		case "write-err-every":
+			p.WriteErrEvery, err = parseInt(key, val, hasVal)
+		case "short-read":
+			p.ShortReadProb, err = parseProb(key, val, hasVal)
+		case "short-read-every":
+			p.ShortReadEvery, err = parseInt(key, val, hasVal)
+		case "latency":
+			if !hasVal {
+				return p, fmt.Errorf("cliutil: fault setting %s needs a duration", key)
+			}
+			p.Latency, err = ParseDuration(val)
+		case "latency-prob":
+			p.LatencyProb, err = parseProb(key, val, hasVal)
+		case "latency-every":
+			p.LatencyEvery, err = parseInt(key, val, hasVal)
+		case "permanent":
+			p.Permanent = true
+			if hasVal {
+				p.Permanent, err = strconv.ParseBool(val)
+				if err != nil {
+					err = fmt.Errorf("cliutil: bad bool %q for permanent", val)
+				}
+			}
+		case "permanent-every":
+			p.PermanentEvery, err = parseInt(key, val, hasVal)
+		case "max":
+			p.MaxFaults, err = parseInt(key, val, hasVal)
+		default:
+			return p, fmt.Errorf("cliutil: unknown fault setting %q", key)
+		}
+		if err != nil {
+			return p, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// ParseRetryPolicy parses the -retries flag: either a bare attempt
+// count ("4") or key=value settings attempts=N,base=DUR,max=DUR,
+// budget=N. Backoff defaults: base 1ms, max 50ms.
+func ParseRetryPolicy(s string) (faults.RetryPolicy, error) {
+	p := faults.RetryPolicy{
+		BaseDelay: faults.DefaultBaseDelay,
+		MaxDelay:  faults.DefaultMaxDelay,
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, fmt.Errorf("cliutil: empty retry policy")
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 {
+			return p, fmt.Errorf("cliutil: retry attempts must be at least 1, got %d", n)
+		}
+		p.MaxAttempts = n
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "attempts":
+			var n int64
+			n, err = parseInt(key, val, hasVal)
+			p.MaxAttempts = int(n)
+		case "base":
+			if !hasVal {
+				return p, fmt.Errorf("cliutil: retry setting %s needs a duration", key)
+			}
+			p.BaseDelay, err = ParseDuration(val)
+		case "max":
+			if !hasVal {
+				return p, fmt.Errorf("cliutil: retry setting %s needs a duration", key)
+			}
+			p.MaxDelay, err = ParseDuration(val)
+		case "budget":
+			p.Budget, err = parseInt(key, val, hasVal)
+		default:
+			return p, fmt.Errorf("cliutil: unknown retry setting %q", key)
+		}
+		if err != nil {
+			return p, err
+		}
+	}
+	if p.MaxAttempts < 1 {
+		return p, fmt.Errorf("cliutil: retry policy needs attempts>=1, got %d", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 || p.Budget < 0 {
+		return p, fmt.Errorf("cliutil: negative retry setting in %q", s)
+	}
+	return p, nil
+}
+
+func parseInt(key, val string, hasVal bool) (int64, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("cliutil: setting %s needs a value", key)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad integer %q for %s", val, key)
+	}
+	return n, nil
+}
+
+func parseProb(key, val string, hasVal bool) (float64, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("cliutil: setting %s needs a value", key)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad probability %q for %s", val, key)
+	}
+	return v, nil
+}

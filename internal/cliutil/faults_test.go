@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"testing"
+	"time"
+
+	"supmr/internal/faults"
+)
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("seed=42,read-err-every=100,short-read=0.05,latency=2ms,latency-prob=0.1,write-err=0.2,permanent-every=3,max=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Plan{
+		Seed:           42,
+		ReadErrEvery:   100,
+		ShortReadProb:  0.05,
+		Latency:        2 * time.Millisecond,
+		LatencyProb:    0.1,
+		WriteErrProb:   0.2,
+		PermanentEvery: 3,
+		MaxFaults:      7,
+	}
+	if p != want {
+		t.Fatalf("plan = %+v, want %+v", p, want)
+	}
+}
+
+func TestParseFaultPlanPermanentForms(t *testing.T) {
+	p, err := ParseFaultPlan("seed=1,read-err-every=2,permanent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Permanent {
+		t.Fatal("bare permanent not set")
+	}
+	p, err = ParseFaultPlan("read-err=0.5,permanent=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Permanent {
+		t.Fatal("permanent=false set the flag")
+	}
+}
+
+func TestParseFaultPlanRejects(t *testing.T) {
+	for _, s := range []string{
+		"",                  // empty
+		"read-err=1.5",      // probability out of range
+		"bogus-key=1",       // unknown key
+		"read-err-every",    // missing value
+		"latency=sideways",  // bad duration
+		"read-err-every=-3", // negative
+		"permanent=maybe",   // bad bool
+	} {
+		if _, err := ParseFaultPlan(s); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseRetryPolicyBareCount(t *testing.T) {
+	p, err := ParseRetryPolicy("4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxAttempts != 4 || p.BaseDelay != faults.DefaultBaseDelay || p.MaxDelay != faults.DefaultMaxDelay {
+		t.Fatalf("policy = %+v", p)
+	}
+	if !p.Enabled() {
+		t.Fatal("policy not enabled")
+	}
+}
+
+func TestParseRetryPolicyKeyed(t *testing.T) {
+	p, err := ParseRetryPolicy("attempts=3,base=500us,max=4ms,budget=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.RetryPolicy{MaxAttempts: 3, BaseDelay: 500 * time.Microsecond, MaxDelay: 4 * time.Millisecond, Budget: 10}
+	if p != want {
+		t.Fatalf("policy = %+v, want %+v", p, want)
+	}
+}
+
+func TestParseRetryPolicyRejects(t *testing.T) {
+	for _, s := range []string{"", "0", "-2", "base=1ms", "attempts=1,frobs=2", "attempts=abc"} {
+		if _, err := ParseRetryPolicy(s); err == nil {
+			t.Errorf("ParseRetryPolicy(%q) accepted", s)
+		}
+	}
+}

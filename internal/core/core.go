@@ -38,6 +38,7 @@ import (
 	"supmr/internal/chunk"
 	"supmr/internal/container"
 	"supmr/internal/exec"
+	"supmr/internal/faults"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
@@ -85,6 +86,13 @@ type Options struct {
 	// SpillStore receives the spilled runs; required when MemoryBudget
 	// is positive.
 	SpillStore *spill.Store
+	// Retry bounds transient-fault retries on spill-run writes (ingest
+	// reads retry inside the input wrappers; see internal/faults). The
+	// zero policy disables retries.
+	Retry faults.RetryPolicy
+	// FaultCounters accumulates retry outcomes for the report; nil runs
+	// uncounted.
+	FaultCounters *faults.Counters
 }
 
 // Result aliases the runtime result type.
@@ -137,6 +145,7 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 		if err != nil {
 			return nil, err
 		}
+		spiller.SetRetry(opts.Retry, opts.FaultCounters)
 	}
 
 	// prefetch starts reading the next chunk on the pool's dedicated IO

@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"sync/atomic"
+
+	"supmr/internal/metrics"
+)
+
+// Counters accumulate fault-injection and retry activity across a job.
+// All methods are safe for concurrent use; a nil *Counters is a valid
+// no-op receiver so retry code can run uncounted.
+type Counters struct {
+	injected      atomic.Int64
+	transient     atomic.Int64
+	permanent     atomic.Int64
+	shortReads    atomic.Int64
+	latencySpikes atomic.Int64
+	retried       atomic.Int64
+	recovered     atomic.Int64
+}
+
+// NewCounters returns an empty counter set (for retry policies running
+// without an injector).
+func NewCounters() *Counters { return &Counters{} }
+
+// Retry records one retry attempt.
+func (c *Counters) Retry() {
+	if c != nil {
+		c.retried.Add(1)
+	}
+}
+
+// Recover records one operation that succeeded after at least one
+// retry.
+func (c *Counters) Recover() {
+	if c != nil {
+		c.recovered.Add(1)
+	}
+}
+
+// Snapshot copies the counters into the metrics type reports carry.
+func (c *Counters) Snapshot() metrics.FaultStats {
+	if c == nil {
+		return metrics.FaultStats{}
+	}
+	return metrics.FaultStats{
+		Injected:      c.injected.Load(),
+		Transient:     c.transient.Load(),
+		Permanent:     c.permanent.Load(),
+		ShortReads:    c.shortReads.Load(),
+		LatencySpikes: c.latencySpikes.Load(),
+		Retried:       c.retried.Load(),
+		Recovered:     c.recovered.Load(),
+	}
+}

@@ -1,0 +1,340 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"supmr/internal/storage"
+)
+
+// trace records the visible outcome of one wrapped read for the
+// determinism comparison.
+type trace struct {
+	n    int
+	err  string
+	perm bool
+}
+
+func readAll(t *testing.T, in Input, reads int, size int) []trace {
+	t.Helper()
+	var out []trace
+	p := make([]byte, size)
+	for i := 0; i < reads; i++ {
+		n, err := in.ReadAt(p, int64(i*size)%in.Size())
+		tr := trace{n: n}
+		if err != nil && !errors.Is(err, io.EOF) {
+			tr.err = err.Error()
+			var f *Fault
+			if errors.As(err, &f) {
+				tr.perm = f.Permanent
+			}
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// Same seed + plan must reproduce the same fault sequence exactly;
+// changing the seed must (for this plan) change it.
+func TestInjectorDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789abcdef"), 256)
+	plan := Plan{Seed: 42, ReadErrProb: 0.3, ShortReadProb: 0.3, LatencyProb: 0.2, Latency: time.Millisecond}
+	run := func(seed int64) []trace {
+		p := plan
+		p.Seed = seed
+		inj := New(p, storage.NewFakeClock())
+		f := storage.BytesFile("input", data, storage.NewNullDevice(storage.NewFakeClock()))
+		return readAll(t, inj.WrapInput(f), 64, 64)
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(run(43)) {
+		t.Fatal("different seeds produced an identical fault sequence")
+	}
+}
+
+// The site name is part of the seed: two sites under one injector see
+// independent schedules, and per-site schedules do not depend on the
+// order sites are first touched.
+func TestInjectorPerSiteStreams(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 4096)
+	mk := func() (*Injector, Input, Input) {
+		inj := New(Plan{Seed: 7, ReadErrProb: 0.5}, nil)
+		dev := storage.NewNullDevice(storage.NewFakeClock())
+		return inj, inj.WrapInput(storage.BytesFile("a", data, dev)), inj.WrapInput(storage.BytesFile("b", data, dev))
+	}
+	inj1, a1, b1 := mk()
+	_ = inj1
+	ta1 := readAll(t, a1, 32, 16)
+	tb1 := readAll(t, b1, 32, 16)
+	// Second injector: touch b first, then a. Per-site traces must match.
+	_, a2, b2 := mk()
+	tb2 := readAll(t, b2, 32, 16)
+	ta2 := readAll(t, a2, 32, 16)
+	if fmt.Sprint(ta1) != fmt.Sprint(ta2) || fmt.Sprint(tb1) != fmt.Sprint(tb2) {
+		t.Fatal("per-site schedules depend on site touch order")
+	}
+	if fmt.Sprint(ta1) == fmt.Sprint(tb1) {
+		t.Fatal("distinct sites share one schedule")
+	}
+}
+
+func TestEveryNthReadFails(t *testing.T) {
+	data := bytes.Repeat([]byte("y"), 1024)
+	inj := New(Plan{Seed: 1, ReadErrEvery: 3}, nil)
+	in := inj.WrapInput(storage.BytesFile("f", data, storage.NewNullDevice(storage.NewFakeClock())))
+	p := make([]byte, 8)
+	for i := 1; i <= 9; i++ {
+		_, err := in.ReadAt(p, 0)
+		wantErr := i%3 == 0
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Fatalf("read %d: err=%v, want failure=%v", i, err, wantErr)
+		}
+		if wantErr {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("read %d: error %v does not wrap ErrInjected", i, err)
+			}
+			if !IsTransient(err) {
+				t.Fatalf("read %d: default fault should be transient", i)
+			}
+		}
+	}
+	if got := inj.Counters().Snapshot(); got.Injected != 3 || got.Transient != 3 || got.Permanent != 0 {
+		t.Fatalf("counters = %+v, want 3 transient injections", got)
+	}
+}
+
+func TestPermanentFaultsNotTransient(t *testing.T) {
+	inj := New(Plan{Seed: 1, ReadErrEvery: 1, Permanent: true}, nil)
+	in := inj.WrapInput(storage.BytesFile("f", []byte("abc"), storage.NewNullDevice(storage.NewFakeClock())))
+	_, err := in.ReadAt(make([]byte, 2), 0)
+	if err == nil || IsTransient(err) {
+		t.Fatalf("want a permanent fault, got %v", err)
+	}
+	if got := inj.Counters().Snapshot(); got.Permanent != 1 {
+		t.Fatalf("counters = %+v, want Permanent=1", got)
+	}
+}
+
+func TestShortReadDeliversPrefix(t *testing.T) {
+	data := []byte("0123456789abcdef")
+	inj := New(Plan{Seed: 1, ShortReadEvery: 1}, nil)
+	in := inj.WrapInput(storage.BytesFile("f", data, storage.NewNullDevice(storage.NewFakeClock())))
+	p := make([]byte, 8)
+	n, err := in.ReadAt(p, 0)
+	if err != nil || n != 4 {
+		t.Fatalf("short read: n=%d err=%v, want n=4 (half) and nil", n, err)
+	}
+	if !bytes.Equal(p[:n], data[:4]) {
+		t.Fatalf("short read delivered wrong bytes %q", p[:n])
+	}
+}
+
+func TestLatencySpikeSleepsOnClock(t *testing.T) {
+	clk := storage.NewFakeClock()
+	inj := New(Plan{Seed: 1, Latency: 5 * time.Millisecond, LatencyEvery: 2}, clk)
+	in := inj.WrapInput(storage.BytesFile("f", bytes.Repeat([]byte("z"), 64), storage.NewNullDevice(clk)))
+	p := make([]byte, 4)
+	before := clk.Now()
+	in.ReadAt(p, 0) // op 1: no spike
+	if clk.Now() != before {
+		t.Fatalf("unexpected sleep on op 1")
+	}
+	in.ReadAt(p, 0) // op 2: spike
+	if got := clk.Now() - before; got != 5*time.Millisecond {
+		t.Fatalf("spike advanced clock by %v, want 5ms", got)
+	}
+	if got := inj.Counters().Snapshot(); got.LatencySpikes != 1 {
+		t.Fatalf("counters = %+v, want LatencySpikes=1", got)
+	}
+}
+
+func TestMaxFaultsCapsInjection(t *testing.T) {
+	inj := New(Plan{Seed: 1, ReadErrEvery: 1, MaxFaults: 2}, nil)
+	in := inj.WrapInput(storage.BytesFile("f", bytes.Repeat([]byte("q"), 64), storage.NewNullDevice(storage.NewFakeClock())))
+	p := make([]byte, 4)
+	var fails int
+	for i := 0; i < 10; i++ {
+		if _, err := in.ReadAt(p, 0); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("injected %d faults, want MaxFaults cap of 2", fails)
+	}
+}
+
+// The device wrapper: TryReserve carries injected errors, the plain
+// Reserve path never errors (spikes only), and the wrapped device
+// still satisfies storage.FallibleDevice.
+func TestWrapDevice(t *testing.T) {
+	clk := storage.NewFakeClock()
+	inner := storage.NewNullDevice(clk)
+	inj := New(Plan{Seed: 1, ReadErrEvery: 2}, clk)
+	dev := inj.WrapDevice("disk0", inner)
+	fd, ok := dev.(storage.FallibleDevice)
+	if !ok {
+		t.Fatal("wrapped device is not a FallibleDevice")
+	}
+	if _, err := fd.TryReserve(0, 100); err != nil {
+		t.Fatalf("op 1 failed: %v", err)
+	}
+	if _, err := fd.TryReserve(100, 100); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2: err=%v, want injected fault", err)
+	}
+	// The infallible path cannot fail even on a trigger op.
+	dev.Reserve(0, 10) // op 3
+	dev.Reserve(0, 10) // op 4: every-2nd trigger, but canFail=false
+	if got := inj.Counters().Snapshot(); got.Injected != 1 {
+		t.Fatalf("counters = %+v; infallible Reserve must not spend faults", got)
+	}
+}
+
+// Torn writes: an injected write error lands a prefix of the payload
+// before failing, so retry-by-rewrite is genuinely exercised.
+func TestWrapBlockFileTornWrite(t *testing.T) {
+	var sink memBlock
+	inj := New(Plan{Seed: 1, WriteErrEvery: 1}, nil)
+	f := inj.WrapBlockFile("run0", &sink)
+	n, err := f.WriteAt([]byte("0123456789"), 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err=%v, want injected write fault", err)
+	}
+	if n != 5 || !bytes.Equal(sink.buf, []byte("01234")) {
+		t.Fatalf("torn write landed %d bytes %q, want the 5-byte prefix", n, sink.buf)
+	}
+}
+
+type memBlock struct{ buf []byte }
+
+func (m *memBlock) WriteAt(p []byte, off int64) (int, error) {
+	if need := off + int64(len(p)); need > int64(len(m.buf)) {
+		grown := make([]byte, need)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	return copy(m.buf[off:], p), nil
+}
+func (m *memBlock) ReadAt(p []byte, off int64) (int, error) { return copy(p, m.buf[off:]), nil }
+func (m *memBlock) Close() error                            { return nil }
+
+func TestRetrierRecoversTransient(t *testing.T) {
+	clk := storage.NewFakeClock()
+	ctr := NewCounters()
+	r := NewRetrier(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond}, clk, ctr)
+	attempts := 0
+	err := r.Do(func() error {
+		attempts++
+		if attempts < 3 {
+			return &Fault{Site: "s", Op: "read", Seq: int64(attempts)}
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("err=%v attempts=%d, want recovery on attempt 3", err, attempts)
+	}
+	// Backoff: 1ms then 2ms on the virtual clock.
+	if got := clk.Now(); got != 3*time.Millisecond {
+		t.Fatalf("backoff slept %v, want 3ms", got)
+	}
+	if s := ctr.Snapshot(); s.Retried != 2 || s.Recovered != 1 {
+		t.Fatalf("counters = %+v, want Retried=2 Recovered=1", s)
+	}
+}
+
+func TestRetrierGivesUpAndWraps(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3}, nil, nil)
+	attempts := 0
+	err := r.Do(func() error {
+		attempts++
+		return &Fault{Site: "s", Op: "read", Seq: int64(attempts)}
+	})
+	if attempts != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempts=%d err=%v, want 3 attempts and a wrapped injected error", attempts, err)
+	}
+}
+
+func TestRetrierPermanentFailsFast(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 5}, nil, nil)
+	attempts := 0
+	err := r.Do(func() error {
+		attempts++
+		return &Fault{Site: "s", Op: "read", Seq: 1, Permanent: true}
+	})
+	if attempts != 1 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempts=%d err=%v, want a single attempt", attempts, err)
+	}
+}
+
+func TestRetrierBudget(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 10, Budget: 2}, nil, nil)
+	attempts := 0
+	err := r.Do(func() error {
+		attempts++
+		return &Fault{Site: "s", Op: "read", Seq: int64(attempts)}
+	})
+	if attempts != 3 || err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempts=%d err=%v, want budget exhaustion after 2 retries", attempts, err)
+	}
+}
+
+func TestNilRetrierRunsOnce(t *testing.T) {
+	var r *Retrier
+	attempts := 0
+	sentinel := errors.New("boom")
+	if err := r.Do(func() error { attempts++; return sentinel }); err != sentinel || attempts != 1 {
+		t.Fatalf("nil retrier: attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestWithRetryInput(t *testing.T) {
+	data := bytes.Repeat([]byte("w"), 256)
+	inj := New(Plan{Seed: 1, ReadErrEvery: 2}, nil)
+	ctr := inj.Counters()
+	in := WithRetry(inj.WrapInput(storage.BytesFile("f", data, storage.NewNullDevice(storage.NewFakeClock()))),
+		RetryPolicy{MaxAttempts: 3}, nil, ctr)
+	p := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		if _, err := in.ReadAt(p, 0); err != nil {
+			t.Fatalf("read %d not recovered: %v", i, err)
+		}
+	}
+	s := ctr.Snapshot()
+	if s.Recovered == 0 || s.Retried == 0 {
+		t.Fatalf("counters = %+v, want recovered retries", s)
+	}
+}
+
+func TestDelayCapsAndDoubles(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{ReadErrProb: 1.5}).Validate(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if err := (Plan{Latency: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if err := (Plan{ReadErrEvery: 3, ShortReadProb: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if (Plan{}).Active() {
+		t.Fatal("zero plan reported active")
+	}
+	if !(Plan{ReadErrEvery: 1}).Active() {
+		t.Fatal("error plan reported inactive")
+	}
+}

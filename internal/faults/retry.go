@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"supmr/internal/storage"
+)
+
+// RetryPolicy bounds how hard the runtime fights transient faults:
+// capped exponential backoff on the job clock, transient injected
+// faults only (permanent faults and genuine errors fail immediately),
+// with an optional per-site retry budget. The zero policy disables
+// retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per operation
+	// (first try included). <= 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// subsequent retry. Zero retries immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = uncapped).
+	MaxDelay time.Duration
+	// Budget caps the total retries per Retrier (per wrapped site);
+	// 0 = unlimited.
+	Budget int64
+}
+
+// Default backoff bounds for callers (the CLI) that configure only an
+// attempt count.
+const (
+	DefaultBaseDelay = time.Millisecond
+	DefaultMaxDelay  = 50 * time.Millisecond
+)
+
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Delay returns the deterministic backoff before retry number `retry`
+// (0-based): BaseDelay << retry, capped at MaxDelay. No jitter — the
+// schedule must reproduce exactly for a given plan.
+func (p RetryPolicy) Delay(retry int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// Retrier applies a RetryPolicy at one site. A nil *Retrier runs
+// operations once with no retry, so callers can hold one
+// unconditionally. Safe for concurrent use; the budget is shared
+// across a Retrier's operations.
+type Retrier struct {
+	policy RetryPolicy
+	clock  storage.Clock
+	ctr    *Counters
+	used   atomic.Int64
+}
+
+// NewRetrier builds a retrier. clock provides the backoff timeline
+// (pass the job/device clock so sleeps are virtual under a FakeClock);
+// nil means no backoff sleeps. ctr may be nil.
+func NewRetrier(p RetryPolicy, clock storage.Clock, ctr *Counters) *Retrier {
+	return &Retrier{policy: p, clock: clock, ctr: ctr}
+}
+
+// Do runs op, retrying transient injected faults per the policy. The
+// terminal error always wraps the last attempt's fault, so errors.Is
+// (err, ErrInjected) holds whether retries were exhausted, the budget
+// ran out, or the fault was permanent.
+func (r *Retrier) Do(op func() error) error {
+	if r == nil || !r.policy.Enabled() {
+		return op()
+	}
+	for retry := 0; ; retry++ {
+		err := op()
+		if err == nil {
+			if retry > 0 {
+				r.ctr.Recover()
+			}
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		if retry+1 >= r.policy.MaxAttempts {
+			return fmt.Errorf("faults: gave up after %d attempts: %w", retry+1, err)
+		}
+		if b := r.policy.Budget; b > 0 && r.used.Add(1) > b {
+			return fmt.Errorf("faults: retry budget %d exhausted: %w", b, err)
+		}
+		if d := r.policy.Delay(retry); d > 0 && r.clock != nil {
+			r.clock.SleepUntil(r.clock.Now() + d)
+		}
+		r.ctr.Retry()
+	}
+}
+
+// WithRetry wraps an ingest source so transient ReadAt faults retry
+// per the policy. Positional reads are idempotent — the chunkers
+// advance their offsets only after a read fully succeeds — which is
+// what makes retrying at this layer safe.
+func WithRetry(f Input, p RetryPolicy, clock storage.Clock, ctr *Counters) Input {
+	if !p.Enabled() {
+		return f
+	}
+	return &retryInput{inner: f, r: NewRetrier(p, clock, ctr)}
+}
+
+type retryInput struct {
+	inner Input
+	r     *Retrier
+}
+
+func (f *retryInput) Name() string { return f.inner.Name() }
+func (f *retryInput) Size() int64  { return f.inner.Size() }
+
+func (f *retryInput) ReadAt(p []byte, off int64) (n int, err error) {
+	err = f.r.Do(func() error {
+		var e error
+		n, e = f.inner.ReadAt(p, off)
+		return e
+	})
+	return n, err
+}

@@ -33,6 +33,10 @@ type Config struct {
 	// topology (per-datanode access ports behind one uplink). Link is
 	// ignored when Topology is non-nil.
 	Topology *netsim.StarTopology
+	// WrapDevice, when set, wraps each datanode's disk before use — the
+	// fault-injection / instrumentation seam. site is the datanode name
+	// ("dn0", "dn1", ...).
+	WrapDevice func(site string, dev storage.Device) storage.Device
 }
 
 // Cluster is the simulated HDFS: namenode metadata plus datanodes.
@@ -47,7 +51,7 @@ type Cluster struct {
 // DataNode owns a local disk serving block reads.
 type DataNode struct {
 	id   int
-	disk *storage.Disk
+	disk storage.Device
 }
 
 // NewCluster builds the cluster.
@@ -70,14 +74,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, files: make(map[string]*File)}
 	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("dn%d", i)
 		disk, err := storage.NewDisk(storage.DiskConfig{
-			Name:      fmt.Sprintf("dn%d", i),
+			Name:      name,
 			Bandwidth: cfg.DiskBW,
 		}, cfg.Clock)
 		if err != nil {
 			return nil, err
 		}
-		c.nodes = append(c.nodes, &DataNode{id: i, disk: disk})
+		var dev storage.Device = disk
+		if cfg.WrapDevice != nil {
+			dev = cfg.WrapDevice(name, dev)
+		}
+		c.nodes = append(c.nodes, &DataNode{id: i, disk: dev})
 	}
 	return c, nil
 }
@@ -208,8 +217,13 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		}
 		node := f.cluster.nodes[f.NodeFor(b)]
 		// The datanode reads from its local block file; model the block's
-		// bytes as a contiguous extent on that node's disk.
-		if d := node.disk.Reserve(b*bs+inBlock, take); d > diskDeadline {
+		// bytes as a contiguous extent on that node's disk. A failed
+		// reservation (fault injection) fails the whole block fetch.
+		d, err := storage.TryReserve(node.disk, b*bs+inBlock, take)
+		if err != nil {
+			return 0, fmt.Errorf("hdfs: fetch block %d of %q from dn%d: %w", b, f.name, node.id, err)
+		}
+		if d > diskDeadline {
 			diskDeadline = d
 		}
 		cur += take
@@ -273,7 +287,11 @@ func (f *File) CopyToLocal(dst storage.Device, progress func(done int64)) (*stor
 				take = rest
 			}
 			node := f.cluster.nodes[f.NodeFor(b)]
-			if d := node.disk.Reserve(b*bs+inBlock, take); d > diskDeadline {
+			d, err := storage.TryReserve(node.disk, b*bs+inBlock, take)
+			if err != nil {
+				return nil, fmt.Errorf("hdfs: copy block %d of %q from dn%d: %w", b, f.name, node.id, err)
+			}
+			if d > diskDeadline {
 				diskDeadline = d
 			}
 			cur += take

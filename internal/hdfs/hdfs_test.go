@@ -2,7 +2,9 @@ package hdfs
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -251,5 +253,70 @@ func TestTopologyValidation(t *testing.T) {
 		Nodes: 2, BlockSize: 1024, DiskBW: 1, Clock: clock,
 	}); err == nil {
 		t.Error("cluster without network accepted")
+	}
+}
+
+// flakyDN makes TryReserve fail at one datanode while plain Reserve
+// stays infallible, mimicking the fault injector's wrapped device.
+type flakyDN struct {
+	storage.Device
+	fail error
+}
+
+func (d *flakyDN) TryReserve(off, n int64) (time.Duration, error) {
+	if d.fail != nil {
+		return 0, d.fail
+	}
+	return d.Device.Reserve(off, n), nil
+}
+
+func TestWrapDeviceFaultFailsBlockFetch(t *testing.T) {
+	clock := storage.NewRealClock()
+	link, err := netsim.NewLink(1<<30, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	var sites []string
+	c, err := NewCluster(Config{
+		Nodes: 3, BlockSize: 1024, DiskBW: 1 << 30, Link: link, Clock: clock,
+		WrapDevice: func(site string, dev storage.Device) storage.Device {
+			sites = append(sites, site)
+			if site == "dn1" {
+				return &flakyDN{Device: dev, fail: wantErr}
+			}
+			return dev
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 || sites[0] != "dn0" || sites[2] != "dn2" {
+		t.Fatalf("wrap hook saw sites %v", sites)
+	}
+	f, err := c.Create("f", 4096, func(off int64, p []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 lives on dn0: reads confined to it still succeed.
+	buf := make([]byte, 512)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read on healthy node failed: %v", err)
+	}
+	// Block 1 lives on dn1: the fetch must fail with the wrapped cause
+	// and name the block and node.
+	_, err = f.ReadAt(buf, 1024)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("read over faulty node: err = %v, want wrapped %v", err, wantErr)
+	}
+	for _, frag := range []string{"hdfs:", "block 1", "dn1"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+	// CopyToLocal crosses every node and must fail the same way.
+	dst := storage.NewNullDevice(clock)
+	if _, err := f.CopyToLocal(dst, nil); !errors.Is(err, wantErr) {
+		t.Fatalf("CopyToLocal: err = %v, want wrapped %v", err, wantErr)
 	}
 }

@@ -107,6 +107,9 @@ type Stats struct {
 	// Tasks is the executor's per-phase task instrumentation: task
 	// counts, queue-wait and busy durations keyed by phase label.
 	Tasks map[string]metrics.TaskStats
+	// Faults counts injected faults and retry outcomes when fault
+	// injection or retries were configured (see internal/faults).
+	Faults metrics.FaultStats
 }
 
 // Result is the job output: globally sorted pairs plus measurements.
@@ -222,11 +225,26 @@ func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], o
 // seconds. A nil pool reads inline without instrumentation.
 // Cancellation of the pool's context is observed between chunks.
 func Ingest(input chunk.Stream, p *exec.Pool) ([]byte, error) {
-	read := func(ctxErr func() error) ([]byte, error) {
+	c, err := IngestChunk(input, p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Data, nil
+}
+
+// IngestChunk is Ingest preserving chunk metadata: the whole input
+// arrives as one chunk whose Files lists every source file once, in
+// first-seen order, so chunk-aware applications (set_data) get the
+// same attribution under the traditional runtime as under SupMR's
+// whole-input stream.
+func IngestChunk(input chunk.Stream, p *exec.Pool) (*chunk.Chunk, error) {
+	read := func(ctxErr func() error) (*chunk.Chunk, error) {
 		var buf []byte
 		if total := input.TotalBytes(); total > 0 {
 			buf = make([]byte, 0, total)
 		}
+		var names []string
+		seen := make(map[string]bool)
 		for {
 			if ctxErr != nil {
 				if err := ctxErr(); err != nil {
@@ -241,22 +259,28 @@ func Ingest(input chunk.Stream, p *exec.Pool) ([]byte, error) {
 				return nil, fmt.Errorf("mapreduce: ingest failed: %w", err)
 			}
 			buf = append(buf, ch.Data...)
+			for _, n := range ch.Files {
+				if !seen[n] {
+					seen[n] = true
+					names = append(names, n)
+				}
+			}
 		}
-		return buf, nil
+		return &chunk.Chunk{Data: buf, Files: names}, nil
 	}
 	if p == nil {
 		return read(nil)
 	}
-	var buf []byte
+	var c *chunk.Chunk
 	h := p.GoIO("ingest", metrics.StateIOWait, func() error {
 		var err error
-		buf, err = read(p.Err)
+		c, err = read(p.Err)
 		return err
 	})
 	if err := h.Wait(); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	return c, nil
 }
 
 // Run executes a complete traditional MapReduce job: ingest everything,
@@ -278,10 +302,17 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	}
 
 	timer.StartPhase(metrics.PhaseRead)
-	data, err := Ingest(input, pool)
+	ch, err := IngestChunk(input, pool)
 	timer.EndPhase(metrics.PhaseRead)
 	if err != nil {
 		return nil, err
+	}
+	data := ch.Data
+	// The set_data() callback (core.ChunkAware, matched structurally to
+	// avoid importing core): the traditional runtime's single chunk is
+	// the whole input.
+	if ca, ok := any(app).(interface{ SetData(*chunk.Chunk) }); ok {
+		ca.SetData(ch)
 	}
 
 	timer.StartPhase(metrics.PhaseMap)

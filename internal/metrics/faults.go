@@ -1,0 +1,27 @@
+package metrics
+
+import "fmt"
+
+// FaultStats summarizes the fault-injection layer's activity for one
+// run: how many errors were injected (split into transient and
+// permanent), how many degraded-service events fired (short reads,
+// latency spikes), and what the retry policy did about it. Zero when no
+// fault plan was configured.
+type FaultStats struct {
+	Injected      int64 // error faults injected (read + write)
+	Transient     int64 // injected errors marked retryable
+	Permanent     int64 // injected errors marked non-retryable
+	ShortReads    int64 // reads truncated to a prefix (no error)
+	LatencySpikes int64 // extra service delays injected
+	Retried       int64 // retry attempts issued by the retry policy
+	Recovered     int64 // operations that succeeded after >=1 retry
+}
+
+// Any reports whether anything at all was injected or retried.
+func (s FaultStats) Any() bool { return s != (FaultStats{}) }
+
+// String renders the counters the way the CLI prints them.
+func (s FaultStats) String() string {
+	return fmt.Sprintf("injected=%d (transient=%d permanent=%d) short-reads=%d latency-spikes=%d retried=%d recovered=%d",
+		s.Injected, s.Transient, s.Permanent, s.ShortReads, s.LatencySpikes, s.Retried, s.Recovered)
+}

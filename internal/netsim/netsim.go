@@ -25,9 +25,19 @@ type Link struct {
 	latency  time.Duration
 	clock    storage.Clock
 
-	mu    sync.Mutex
-	flows int
-	stats LinkStats
+	mu      sync.Mutex
+	flows   int
+	stats   LinkStats
+	delayer Delayer
+}
+
+// Delayer injects extra per-transfer delay (degraded-wire simulation).
+// internal/faults provides an implementation structurally, so netsim
+// does not depend on it.
+type Delayer interface {
+	// TransferDelay returns the extra delay to charge a transfer of n
+	// bytes before it starts moving data.
+	TransferDelay(n int64) time.Duration
 }
 
 // LinkStats are cumulative transfer counters.
@@ -65,6 +75,14 @@ func (l *Link) Stats() LinkStats {
 	return l.stats
 }
 
+// SetDelayer installs a per-transfer delay hook. Set it during
+// topology construction, before traffic flows.
+func (l *Link) SetDelayer(d Delayer) {
+	l.mu.Lock()
+	l.delayer = d
+	l.mu.Unlock()
+}
+
 // quantum is the processor-sharing integration step: within each quantum
 // a flow receives capacity/flows bandwidth.
 const quantum = 2 * time.Millisecond
@@ -83,6 +101,7 @@ func (l *Link) Transfer(n int64) {
 	}
 	l.stats.Transfers++
 	l.stats.BytesMoved += n
+	delayer := l.delayer
 	l.mu.Unlock()
 
 	defer func() {
@@ -91,6 +110,11 @@ func (l *Link) Transfer(n int64) {
 		l.mu.Unlock()
 	}()
 
+	if delayer != nil {
+		if d := delayer.TransferDelay(n); d > 0 {
+			l.clock.SleepUntil(l.clock.Now() + d)
+		}
+	}
 	if l.latency > 0 {
 		l.clock.SleepUntil(l.clock.Now() + l.latency)
 	}

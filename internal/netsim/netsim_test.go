@@ -165,3 +165,47 @@ func TestStarTopologyValidation(t *testing.T) {
 		t.Error("accessors wrong")
 	}
 }
+
+// countingDelayer charges a fixed extra delay per transfer.
+type countingDelayer struct {
+	mu    sync.Mutex
+	d     time.Duration
+	calls int
+}
+
+func (c *countingDelayer) TransferDelay(int64) time.Duration {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.d
+}
+
+func TestLinkDelayerStretchesTransfers(t *testing.T) {
+	clock := storage.NewFakeClock()
+	mk := func(d Delayer) time.Duration {
+		l, err := NewLink(1e9, 0, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			l.SetDelayer(d)
+		}
+		start := clock.Now()
+		l.Transfer(1 << 20)
+		return clock.Now() - start
+	}
+	base := mk(nil)
+	cd := &countingDelayer{d: 5 * time.Millisecond}
+	slow := mk(cd)
+	if cd.calls != 1 {
+		t.Fatalf("delayer consulted %d times, want 1", cd.calls)
+	}
+	if got := slow - base; got < 5*time.Millisecond {
+		t.Fatalf("transfer stretched by %v, want >= 5ms", got)
+	}
+	// A zero-delay delayer must not add time.
+	cz := &countingDelayer{}
+	if same := mk(cz); same != base {
+		t.Fatalf("zero delayer changed transfer time: %v vs %v", same, base)
+	}
+}

@@ -166,14 +166,35 @@ func (r *RunReader) ensure(n int) error {
 		if rem := r.run.size - r.fetched; chunk > rem {
 			chunk = rem
 		}
-		dl := r.s.dev.Reserve(r.run.devOff+r.fetched, chunk)
+		dl, err := storage.TryReserve(r.s.dev, r.run.devOff+r.fetched, chunk)
+		if err != nil {
+			return fmt.Errorf("spill: read run %d: %w", r.run.id, err)
+		}
 		r.s.dev.Clock().SleepUntil(dl)
 		at := len(r.buf)
 		r.buf = append(r.buf, make([]byte, chunk)...)
-		if _, err := r.run.data.ReadAt(r.buf[at:], r.fetched); err != nil {
+		if err := readFull(r.run.data, r.buf[at:], r.fetched); err != nil {
 			return fmt.Errorf("spill: read run %d: %w", r.run.id, err)
 		}
 		r.fetched += chunk
+	}
+	return nil
+}
+
+// readFull fills buf from data at off, looping over short reads (a
+// degraded backing may deliver a prefix with a nil error).
+func readFull(data RunData, buf []byte, off int64) error {
+	for len(buf) > 0 {
+		n, err := data.ReadAt(buf, off)
+		if n > 0 {
+			buf = buf[n:]
+			off += int64(n)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		return io.ErrUnexpectedEOF
 	}
 	return nil
 }

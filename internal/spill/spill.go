@@ -7,6 +7,7 @@ import (
 
 	"supmr/internal/container"
 	"supmr/internal/exec"
+	"supmr/internal/faults"
 	"supmr/internal/kv"
 	"supmr/internal/metrics"
 	"supmr/internal/sortalgo"
@@ -27,6 +28,7 @@ type Spiller[K comparable, V any] struct {
 	vc     Codec[V]
 
 	pending *exec.Handle
+	retry   *faults.Retrier // nil: no retry
 	mu      sync.Mutex
 	runs    []*Run
 }
@@ -57,6 +59,16 @@ func NewSpiller[K comparable, V any](store *Store, budget int64, app kv.App[K, V
 		kc:     kc,
 		vc:     vc,
 	}, nil
+}
+
+// SetRetry configures transient-fault retries for run writes. Backoff
+// sleeps on the store device's clock so they land on the job timeline.
+// ctr (may be nil) accumulates retry outcomes for the report.
+func (sp *Spiller[K, V]) SetRetry(p faults.RetryPolicy, ctr *faults.Counters) {
+	if !p.Enabled() {
+		return
+	}
+	sp.retry = faults.NewRetrier(p, sp.store.Device().Clock(), ctr)
 }
 
 // Budget returns the configured budget in bytes.
@@ -142,8 +154,18 @@ func (sp *Spiller[K, V]) Join() error {
 	return h.Wait()
 }
 
-// writeRun encodes pairs into one run file.
+// writeRun encodes pairs into one run file, retrying transient faults
+// by rewriting the whole run: a torn write may have landed a prefix,
+// so each attempt starts a fresh RunWriter. A failed attempt's run is
+// simply abandoned — the store allocates its device extent only when
+// the writer Closes successfully, so abandoned attempts leave no holes
+// in the device address space and no entry in the run table (its
+// backing is released with the store).
 func (sp *Spiller[K, V]) writeRun(pairs []kv.Pair[K, V]) error {
+	return sp.retry.Do(func() error { return sp.writeRunOnce(pairs) })
+}
+
+func (sp *Spiller[K, V]) writeRunOnce(pairs []kv.Pair[K, V]) error {
 	w, err := sp.store.NewRun()
 	if err != nil {
 		return err

@@ -130,46 +130,76 @@ func (c *Cache) insert(block int64) {
 
 // Reserve charges device time only for the uncached blocks that overlap
 // [off, off+n) and marks all covered blocks cached. It implements
-// Device, so a Cache can stand wherever a Disk or RAID0 does.
+// Device, so a Cache can stand wherever a Disk or RAID0 does. Over a
+// fallible inner device (fault injection), read through TryReserve
+// instead — this infallible path has no way to report the failure.
 func (c *Cache) Reserve(off, n int64) time.Duration {
-	if n <= 0 {
+	d, err := c.TryReserve(off, n)
+	if err != nil {
+		// The failed blocks were not cached; all this error-less path
+		// can do is charge no time.
 		return c.dev.Clock().Now()
+	}
+	return d
+}
+
+// TryReserve is Reserve with the inner device's error path (it makes
+// Cache a FallibleDevice). A block becomes cached only after the
+// device reservation covering it succeeds: when a multi-block fill
+// fails partway, the blocks of the failed read are NOT retained, so a
+// later read cannot be served stale bytes for free — it pays device
+// time (and sees the error) again. Blocks whose reservations completed
+// before the failure stay cached; their data was served.
+func (c *Cache) TryReserve(off, n int64) (time.Duration, error) {
+	if n <= 0 {
+		return c.dev.Clock().Now(), nil
 	}
 	first := off / c.blockSize
 	last := (off + n - 1) / c.blockSize
 
 	deadline := c.dev.Clock().Now()
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Collect runs of consecutive missing blocks so the device sees
 	// large sequential requests, not per-block dribble.
 	var runStart int64 = -1
-	flush := func(endExclusive int64) {
+	flush := func(endExclusive int64) error {
 		if runStart < 0 {
-			return
+			return nil
 		}
 		devOff := runStart * c.blockSize
 		devN := (endExclusive - runStart) * c.blockSize
-		if d := c.dev.Reserve(devOff, devN); d > deadline {
+		d, err := TryReserve(c.dev, devOff, devN)
+		if err != nil {
+			return err
+		}
+		if d > deadline {
 			deadline = d
 		}
+		for b := runStart; b < endExclusive; b++ {
+			c.insert(b)
+		}
 		runStart = -1
+		return nil
 	}
 	for b := first; b <= last; b++ {
 		if e, ok := c.blocks[b]; ok {
 			c.stats.Hits++
 			c.touch(e)
-			flush(b)
+			if err := flush(b); err != nil {
+				return 0, err
+			}
 			continue
 		}
 		c.stats.Misses++
 		if runStart < 0 {
 			runStart = b
 		}
-		c.insert(b)
 	}
-	flush(last + 1)
-	c.mu.Unlock()
-	return deadline
+	if err := flush(last + 1); err != nil {
+		return 0, err
+	}
+	return deadline, nil
 }
 
 // ReserveWrite invalidates every cached block overlapping [off, off+n)

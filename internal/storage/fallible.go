@@ -1,0 +1,25 @@
+package storage
+
+import "time"
+
+// FallibleDevice is a Device whose read reservations can fail — the
+// seam the fault-injection layer (internal/faults) plugs into. Real
+// simulated devices never fail; wrappers that inject errors implement
+// TryReserve and return them there, leaving the plain Reserve path
+// (which has no error channel) for latency-only degradation.
+type FallibleDevice interface {
+	Device
+	// TryReserve is Reserve with an error path: it books service time
+	// for reading n bytes at off, or reports why the device could not.
+	TryReserve(off, n int64) (time.Duration, error)
+}
+
+// TryReserve books read service time on dev, surfacing reservation
+// failures from fallible devices. Infallible devices never fail; the
+// call degrades to dev.Reserve.
+func TryReserve(dev Device, off, n int64) (time.Duration, error) {
+	if fd, ok := dev.(FallibleDevice); ok {
+		return fd.TryReserve(off, n)
+	}
+	return dev.Reserve(off, n), nil
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// flakyDevice fails TryReserve for requests starting at the configured
+// offset — a stand-in for the fault-injection wrapper.
+type flakyDevice struct {
+	Device
+	failOff int64
+	errs    int
+}
+
+var errFlaky = errors.New("flaky device read failure")
+
+func (d *flakyDevice) TryReserve(off, n int64) (time.Duration, error) {
+	if off == d.failOff {
+		d.errs++
+		return 0, errFlaky
+	}
+	return d.Device.Reserve(off, n), nil
+}
+
+func TestTryReserveFallsBackToReserve(t *testing.T) {
+	clk := NewFakeClock()
+	dev := NewNullDevice(clk)
+	if _, err := TryReserve(dev, 0, 100); err != nil {
+		t.Fatalf("infallible device errored: %v", err)
+	}
+	if got := dev.Stats().Reads; got != 1 {
+		t.Fatalf("fallback did not reach Reserve: %d reads", got)
+	}
+}
+
+// A mid-fill failure must propagate out of the cache AND must not
+// retain the blocks of the failed read: a later read of that range has
+// to hit the device again instead of being served stale for free.
+func TestCacheMidFillFailureDoesNotRetainBlocks(t *testing.T) {
+	clk := NewFakeClock()
+	const bs = 16
+	flaky := &flakyDevice{Device: NewNullDevice(clk), failOff: 2 * bs}
+	c, err := NewCache(flaky, bs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm block 1 so the failing request [0,48) splits into two runs:
+	// [0,16) succeeds, [32,48) fails.
+	if _, err := c.TryReserve(bs, bs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TryReserve(0, 3*bs); !errors.Is(err, errFlaky) {
+		t.Fatalf("mid-fill failure did not propagate: %v", err)
+	}
+	if !c.Contains(0) {
+		t.Error("block 0 served before the failure should stay cached")
+	}
+	if c.Contains(2 * bs) {
+		t.Error("block 2 cached although its device read failed")
+	}
+	// A retry of the failed range must reach the device again.
+	before := flaky.errs
+	if _, err := c.TryReserve(2*bs, bs); !errors.Is(err, errFlaky) {
+		t.Fatalf("retry of failed range: %v", err)
+	}
+	if flaky.errs != before+1 {
+		t.Error("retry of the failed range was served from cache")
+	}
+}
+
+// The error must also surface through File.ReadAt — the path ingest
+// actually takes.
+func TestFileReadAtPropagatesDeviceFailure(t *testing.T) {
+	clk := NewFakeClock()
+	flaky := &flakyDevice{Device: NewNullDevice(clk), failOff: 0}
+	f := BytesFile("in", []byte("0123456789"), flaky)
+	if _, err := f.ReadAt(make([]byte, 4), 0); !errors.Is(err, errFlaky) {
+		t.Fatalf("File.ReadAt swallowed the device failure: %v", err)
+	}
+}
+
+// The infallible Reserve path over a fallible inner device degrades to
+// charging no time — and still must not cache the failed blocks.
+func TestCacheReserveOverFallibleInner(t *testing.T) {
+	clk := NewFakeClock()
+	const bs = 16
+	flaky := &flakyDevice{Device: NewNullDevice(clk), failOff: 0}
+	c, err := NewCache(flaky, bs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reserve(0, bs)
+	if c.Contains(0) {
+		t.Error("failed block cached through the infallible Reserve path")
+	}
+}

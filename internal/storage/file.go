@@ -72,7 +72,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off+n > f.size {
 		n = f.size - off
 	}
-	deadline := f.dev.Reserve(f.base+off, n)
+	deadline, err := TryReserve(f.dev, f.base+off, n)
+	if err != nil {
+		return 0, fmt.Errorf("storage: read %q at %d: %w", f.name, off, err)
+	}
 	f.fill(off, p[:n])
 	f.dev.Clock().SleepUntil(deadline)
 	if n < int64(len(p)) {

@@ -176,6 +176,17 @@ type Config struct {
 	// ingest device so spill traffic contends for the same bandwidth.
 	// Defaults to an infinitely fast device on the config clock.
 	SpillDevice Device
+	// Faults, when set, injects the injector's deterministic fault plan
+	// into the job: ingest reads (RunFile/RunFiles/RunBytes inputs) and
+	// the spill path (device reservations and run payloads). HDFS-side
+	// faults are configured separately via HDFSConfig.Faults. Build with
+	// NewFaultInjector; share one injector per job.
+	Faults *FaultInjector
+	// Retry retries transient injected faults with capped exponential
+	// backoff on the job clock: ingest reads retry at the failed ReadAt
+	// and spill writes rewrite the whole torn run. Permanent faults and
+	// genuine errors fail immediately. The zero policy disables retries.
+	Retry RetryPolicy
 }
 
 // Report is the outcome of a run: globally key-sorted output pairs,
@@ -296,7 +307,14 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		if dev == nil {
 			dev = storage.NewNullDevice(clk)
 		}
-		store, err = spill.NewStore(spill.StoreConfig{Device: dev})
+		sc := spill.StoreConfig{Device: dev}
+		if cfg.Faults != nil {
+			// Site "spill" covers run-read reservations; each run's payload
+			// is its own "runN" site so torn writes hit individual runs.
+			sc.Device = cfg.Faults.WrapDevice("spill", dev)
+			sc.Backing = faultBacking{inj: cfg.Faults, inner: spill.MemBacking{}}
+		}
+		store, err = spill.NewStore(sc)
 		if err != nil {
 			return nil, err
 		}
@@ -308,6 +326,8 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 			ResetEachRound: cfg.ResetEachRound,
 			MemoryBudget:   cfg.MemoryBudget,
 			SpillStore:     store,
+			Retry:          cfg.Retry,
+			FaultCounters:  cfg.faultCounters(),
 		}
 		if cfg.AdaptiveChunks {
 			initial := cfg.ChunkBytes
@@ -328,6 +348,7 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		return nil, err
 	}
 	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats, Allocs: timer.Allocs()}
+	rep.Stats.Faults = cfg.faultCounters().Snapshot()
 	if store != nil {
 		rep.SpillBytes = store.Series()
 	}
@@ -386,6 +407,7 @@ func StreamFile(file Input, cfg Config) (Stream, error) {
 	if file == nil {
 		return nil, errors.New("supmr: nil input file")
 	}
+	file = cfg.wrapInput(file)
 	chunkBytes := cfg.ChunkBytes
 	if chunkBytes <= 0 && cfg.AdaptiveChunks && cfg.Runtime == RuntimeSupMR {
 		// No explicit size: start from the static advisor's pick and let
@@ -413,6 +435,7 @@ func StreamFile(file Input, cfg Config) (Stream, error) {
 // intra-file chunking by default, hybrid inter/intra-file chunking when
 // cfg.HybridChunks is set.
 func StreamFiles(files []Input, cfg Config) (Stream, error) {
+	files = cfg.wrapInputs(files)
 	var (
 		s   Stream
 		err error

@@ -72,7 +72,7 @@ func runChaosWC(text []byte, v chaosVariant, inj *FaultInjector, retry RetryPoli
 		cfg.MemoryBudget = v.budget
 		cfg.SpillDevice = NewFastDevice(clk)
 	}
-	rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(16), cfg)
+	rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(16), applyIngestEnv(cfg))
 	if err != nil {
 		return "", err
 	}
@@ -203,7 +203,7 @@ func TestChaosHDFS(t *testing.T) {
 			Clock:      clk,
 			Retry:      retry,
 		}
-		rep, err := RunFile[string, int64](WordCountJob(), f, WordCountContainer(16), cfg)
+		rep, err := RunFile[string, int64](WordCountJob(), f, WordCountContainer(16), applyIngestEnv(cfg))
 		stats := inj.Counters().Snapshot()
 		if err != nil {
 			return "", stats, err

@@ -40,6 +40,45 @@ echo "== race-mode chaos gate =="
 # injected error, without leaking goroutines.
 go test -race -count=1 -run 'TestChaos' .
 
+echo "== race-mode multi-lane chaos gate =="
+# The same chaos and differential invariants with the striped ingest
+# path switched on: 4 IO lanes and a depth-3 prefetch ring must not
+# change a single output byte or fault counter — striping may only
+# change when bytes arrive, never which bytes.
+SUPMR_IO_LANES=4 SUPMR_PREFETCH_DEPTH=3 \
+    go test -race -count=1 -run 'TestChaos|TestDifferential' .
+
+echo "== ingest lane throughput gate =="
+# The tentpole claim, gated: segmented reads across 4 IO lanes must
+# deliver >= 1.5x the serial virtual ingest throughput on the
+# stream-capped RAID (measured ~1.8x), and the 4-lane run must stay
+# bounded in allocs/op — the freelist recycles chunk buffers, so
+# steady-state ingest allocates O(depth), not O(chunks).
+bench_out=$(go test -run '^$' -bench '^BenchmarkIngestLanes$' -benchmem -benchtime 5x .)
+echo "$bench_out"
+lane_s() {
+    echo "$bench_out" | awk -v want="$1" \
+        '$1 ~ want { for (i = 2; i <= NF; i++) if ($i == "sim-ingest-s") print $(i-1) }'
+}
+lane1_s=$(lane_s "Lanes1")
+lane4_s=$(lane_s "Lanes4")
+if [[ -z "$lane1_s" || -z "$lane4_s" ]]; then
+    echo "could not parse sim-ingest-s from BenchmarkIngestLanes" >&2
+    exit 1
+fi
+if ! awk -v a="$lane1_s" -v b="$lane4_s" 'BEGIN { exit !(b > 0 && a / b >= 1.5) }'; then
+    echo "4-lane ingest only $(awk -v a="$lane1_s" -v b="$lane4_s" 'BEGIN { printf "%.2f", a/b }')x serial (want >= 1.5x)" >&2
+    exit 1
+fi
+lane4_allocs=$(echo "$bench_out" | awk '$1 ~ /Lanes4/ { print $(NF-1) }')
+if [[ -z "$lane4_allocs" ]] || (( lane4_allocs > 2000 )); then
+    echo "4-lane ingest allocates ${lane4_allocs:-?} objs/op (limit 2000)" >&2
+    exit 1
+fi
+
+echo "== ingest sweep artifact (BENCH_ingest.json) =="
+go run ./cmd/benchtable -ingest-json BENCH_ingest.json
+
 echo "== map hot path allocation gate =="
 # A steady-state flat-combiner map wave must stay (near) allocation-free.
 # Measured ~22 allocs/op; the gate allows generous headroom for GC and
@@ -60,6 +99,10 @@ fi
 echo "== race-mode SupMR pipeline run =="
 go run -race ./cmd/supmr -app wordcount -runtime supmr \
     -size 2m -chunk 128k -bw 0 -workers 4
+
+echo "== race-mode multi-lane pipeline run =="
+go run -race ./cmd/supmr -app wordcount -runtime supmr \
+    -size 2m -chunk 128k -bw 64m -workers 4 -io-lanes 4 -prefetch-depth 3
 
 echo "== race-mode budget-constrained pipeline run =="
 go run -race ./cmd/supmr -app wordcount -runtime supmr \

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,20 +25,29 @@ import (
 	"supmr"
 	"supmr/internal/metrics"
 	"supmr/internal/perfmodel"
+	"supmr/internal/storage"
 	"supmr/internal/workload"
 )
 
 func main() {
 	var (
-		app      = flag.String("app", "all", "wordcount | sort | all")
-		wcSize   = flag.Int64("wc-size", 24<<20, "scaled word count input bytes")
-		sortSize = flag.Int64("sort-size", 32<<20, "scaled sort input bytes")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		model    = flag.Bool("model", true, "print the paper-scale model table")
-		real     = flag.Bool("real", true, "run the scaled real executions")
+		app        = flag.String("app", "all", "wordcount | sort | all")
+		wcSize     = flag.Int64("wc-size", 24<<20, "scaled word count input bytes")
+		sortSize   = flag.Int64("sort-size", 32<<20, "scaled sort input bytes")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		model      = flag.Bool("model", true, "print the paper-scale model table")
+		real       = flag.Bool("real", true, "run the scaled real executions")
+		ingestJSON = flag.String("ingest-json", "", "write the multi-lane ingest sweep to this file and exit")
 	)
 	flag.Parse()
 
+	if *ingestJSON != "" {
+		if err := ingestSweep(*ingestJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtable:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *model {
 		fmt.Println("=== Table II at paper scale (calibrated performance model) ===")
 		fmt.Print(perfmodel.FormatComparison(perfmodel.ModelTable2()))
@@ -58,6 +68,104 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// ingestRow is one lane configuration of the striped-ingest sweep.
+type ingestRow struct {
+	Lanes        int     `json:"lanes"`
+	Depth        int     `json:"prefetch_depth"`
+	IngestSec    float64 `json:"sim_ingest_s"`
+	ThroughputMB float64 `json:"sim_throughput_mbps"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+	PrefetchHits int     `json:"prefetch_hits"`
+	StallSec     float64 `json:"ingest_stall_s"`
+	LaneBytes    []int64 `json:"lane_bytes,omitempty"`
+}
+
+// ingestSweep reruns BenchmarkIngestLanes's configuration — word count
+// over a 3-member RAID-0 whose members cap a single stream at a third
+// of their bandwidth — on a virtual clock, and writes the lane sweep as
+// JSON (the CI artifact BENCH_ingest.json). The virtual ReadMap seconds
+// isolate device time, so the speedup column is the striping gain
+// itself, not map overlap.
+func ingestSweep(path string) error {
+	const (
+		size     = 4 << 20
+		chunk    = 512 << 10
+		memberBW = 128 << 20
+	)
+	var rows []ingestRow
+	for _, cfg := range []struct{ lanes, depth int }{{1, 1}, {2, 3}, {4, 3}} {
+		clk := storage.NewFakeClock()
+		members := make([]*storage.Disk, 3)
+		for j := range members {
+			d, err := storage.NewDisk(storage.DiskConfig{
+				Name:            fmt.Sprintf("m%d", j),
+				Bandwidth:       memberBW,
+				StreamBandwidth: memberBW / 3,
+			}, clk)
+			if err != nil {
+				return err
+			}
+			members[j] = d
+		}
+		raid, err := storage.NewRAID0(members, 64<<10)
+		if err != nil {
+			return err
+		}
+		f, err := supmr.TextFile("in", size, 7, raid)
+		if err != nil {
+			return err
+		}
+		rep, err := supmr.RunFile[string, int64](supmr.WordCountJob(), f,
+			supmr.WordCountContainer(64), supmr.Config{
+				Runtime: supmr.RuntimeSupMR, ChunkBytes: chunk, Clock: clk,
+				IOLanes: cfg.lanes, PrefetchDepth: cfg.depth,
+			})
+		if err != nil {
+			return err
+		}
+		ingest := rep.Times.Get(metrics.PhaseReadMap).Seconds()
+		rows = append(rows, ingestRow{
+			Lanes:        cfg.lanes,
+			Depth:        cfg.depth,
+			IngestSec:    ingest,
+			ThroughputMB: float64(size) / 1e6 / ingest,
+			Speedup:      rows0Speedup(rows, ingest),
+			PrefetchHits: rep.Stats.PrefetchHits,
+			StallSec:     rep.Stats.IngestStall.Seconds(),
+			LaneBytes:    rep.Stats.IngestLaneBytes,
+		})
+	}
+	out := struct {
+		Benchmark  string      `json:"benchmark"`
+		InputBytes int64       `json:"input_bytes"`
+		ChunkBytes int64       `json:"chunk_bytes"`
+		Members    int         `json:"raid_members"`
+		MemberBW   int64       `json:"member_bw_bytes_per_s"`
+		StreamBW   int64       `json:"stream_bw_bytes_per_s"`
+		Rows       []ingestRow `json:"rows"`
+	}{"ingest-lanes", size, chunk, 3, memberBW, memberBW / 3, rows}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("lanes=%d depth=%d ingest=%.4fs throughput=%.1f MB/s speedup=%.2fx hits=%d stall=%.4fs\n",
+			r.Lanes, r.Depth, r.IngestSec, r.ThroughputMB, r.Speedup, r.PrefetchHits, r.StallSec)
+	}
+	return nil
+}
+
+// rows0Speedup relates a row's ingest time to the serial first row.
+func rows0Speedup(rows []ingestRow, ingest float64) float64 {
+	if len(rows) == 0 || ingest <= 0 {
+		return 1
+	}
+	return rows[0].IngestSec / ingest
 }
 
 // measureMapRate times the app's map phase on an in-memory sample to

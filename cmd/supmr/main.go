@@ -48,6 +48,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload generation seed")
 		faultsStr = flag.String("faults", "", "deterministic fault plan, e.g. seed=42,read-err-every=100,short-read=0.05,latency=2ms,latency-prob=0.1 (keys: seed, read-err[-every], write-err[-every], short-read[-every], latency[-prob|-every], permanent[-every], max)")
 		retries   = flag.String("retries", "", "retry policy for transient faults: attempt count (\"4\") or attempts=N,base=DUR,max=DUR,budget=N")
+		ioLanes   = flag.String("io-lanes", "1", "IO lanes for striped ingest: each chunk read splits into this many segments read in parallel (supmr runtime)")
+		prefetch  = flag.String("prefetch-depth", "1", "prefetch ring depth: ingest chunks kept in flight ahead of the map wave (supmr runtime)")
 	)
 	flatComb := onOffFlag(true)
 	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
@@ -68,6 +70,7 @@ func main() {
 		contexts: *contexts, bucket: parseDur(*bucketStr), seed: *seed,
 		adaptive: *adaptive, hybrid: *hybrid, energy: *energy, pattern: *pattern,
 		flatComb: bool(flatComb), faults: *faultsStr, retries: *retries,
+		ioLanes: parseCount(*ioLanes), prefetch: parseCount(*prefetch),
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "supmr: interrupted")
@@ -91,6 +94,7 @@ type runOpts struct {
 	bucket                   time.Duration
 	seed                     int64
 	faults, retries          string
+	ioLanes, prefetch        int
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -120,6 +124,8 @@ func run(ctx context.Context, o runOpts) error {
 		Clock:          clock,
 		AdaptiveChunks: o.adaptive,
 		HybridChunks:   o.hybrid,
+		IOLanes:        o.ioLanes,
+		PrefetchDepth:  o.prefetch,
 	}
 	if o.faults != "" {
 		plan, err := cliutil.ParseFaultPlan(o.faults)
@@ -333,6 +339,16 @@ func run(ctx context.Context, o runOpts) error {
 	if stats != nil && stats.Faults.Any() {
 		fmt.Println("faults:", stats.Faults.String())
 	}
+	if stats != nil && (o.ioLanes > 1 || o.prefetch > 1) {
+		fmt.Printf("ingest: %d prefetch hits, %s stalled", stats.PrefetchHits, stats.IngestStall.Round(time.Microsecond))
+		if len(stats.IngestLaneBytes) > 0 {
+			fmt.Printf(", lane bytes")
+			for i, b := range stats.IngestLaneBytes {
+				fmt.Printf(" %d:%s", i, cliutil.FormatBytes(b))
+			}
+		}
+		fmt.Println()
+	}
 	if trace && tr != nil {
 		fmt.Println()
 		fmt.Print(tr.ASCII(16))
@@ -395,6 +411,15 @@ func (f *onOffFlag) IsBoolFlag() bool { return true }
 // parseSize parses "64", "64k", "4m", "2g" into bytes.
 func parseSize(s string) int64 {
 	v, err := cliutil.ParseSize(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supmr:", err)
+		os.Exit(2)
+	}
+	return v
+}
+
+func parseCount(s string) int {
+	v, err := cliutil.ParseCount(s, 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "supmr:", err)
 		os.Exit(2)

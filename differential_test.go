@@ -36,6 +36,7 @@ func renderPairs[K comparable, V any](pairs []Pair[K, V]) string {
 // any output difference. mkCont builds a fresh container per run.
 func diffRun[K comparable, V any](t *testing.T, job Job[K, V], mkCont func() Container[K, V], data []byte, cfg Config) {
 	t.Helper()
+	cfg = applyIngestEnv(cfg)
 	cfg.Workers = 4
 	cfg.Runtime = RuntimeTraditional
 	trad, err := RunBytes(job, data, mkCont(), cfg)
@@ -101,7 +102,7 @@ func TestDifferentialRuntimes(t *testing.T) {
 			// Fresh job per run: the app carries per-run chunk attribution
 			// state (set_data), so sharing one instance would leak file
 			// names across runs.
-			diffCfg := cfg
+			diffCfg := applyIngestEnv(cfg)
 			diffCfg.Workers = 4
 			diffCfg.Runtime = RuntimeTraditional
 			trad, err := RunBytes[string, []string](InvertedIndexJob(), text, mk(), diffCfg)
@@ -139,7 +140,7 @@ func TestDifferentialSortHashContainer(t *testing.T) {
 	tera := make([]byte, records*100)
 	workload.TeraGen{Seed: 23}.Fill()(0, tera)
 	job := SortJob()
-	cfg := Config{Runtime: RuntimeSupMR, Workers: 4, ChunkBytes: 20 << 10, Boundary: CRLFRecords}
+	cfg := applyIngestEnv(Config{Runtime: RuntimeSupMR, Workers: 4, ChunkBytes: 20 << 10, Boundary: CRLFRecords})
 	keyrange, err := RunBytes[string, uint64](job, tera, SortContainer(), cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -102,7 +102,10 @@ type HDFS = hdfs.Cluster
 // HDFSFile is a file stored in the simulated HDFS.
 type HDFSFile = hdfs.File
 
-// HDFSConfig describes a simulated HDFS deployment.
+// HDFSConfig describes a simulated HDFS deployment. HDFS files serve
+// the two-phase reads of the multi-lane ingest path, so a job run with
+// Config.IOLanes > 1 fetches the blocks of each ingest chunk from
+// their datanodes in parallel instead of block-by-block.
 type HDFSConfig struct {
 	Nodes     int           // datanodes (case study: 32)
 	BlockSize int64         // HDFS block size (classic: 64 MB)

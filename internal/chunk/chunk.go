@@ -23,10 +23,29 @@ type Chunk struct {
 	Index int
 	Data  []byte
 	Files []string
+
+	backing []byte   // full pooled buffer backing Data
+	free    *Fetcher // freelist to return to on Release; nil when unpooled
 }
 
 // Size returns the chunk payload size.
 func (c *Chunk) Size() int64 { return int64(len(c.Data)) }
+
+// Release returns the chunk's buffer to its stream's freelist once the
+// consumer is done with the bytes — after the map wave that ran over
+// Data, or after copying Data elsewhere. Nil-safe and idempotent;
+// chunks from streams without a fetcher release as a no-op. After
+// Release, Data and Files must no longer be read: the buffer and the
+// chunk header are reused for a future chunk.
+func (c *Chunk) Release() {
+	if c == nil || c.free == nil {
+		return
+	}
+	f := c.free
+	c.free = nil
+	c.Data = nil
+	f.release(c)
+}
 
 // Input is any byte source chunkers can ingest from: a simulated local
 // file (storage.File), an HDFS file behind a network link (hdfs.File), or
@@ -142,9 +161,14 @@ type InterFile struct {
 	boundary  Boundary
 	off       int64  // next unread file offset
 	emitted   int64  // total bytes already emitted in chunks
-	carry     []byte // bytes read past the previous cut
+	carry     []byte // bytes read past the previous cut (persistent scratch)
 	index     int
+	fetcher   *Fetcher // optional multi-lane reads + buffer freelist
 }
+
+// SetFetcher installs the multi-lane fetcher subsequent Next calls read
+// and pool buffers through.
+func (c *InterFile) SetFetcher(f *Fetcher) { c.fetcher = f }
 
 // NewInterFile builds the inter-file chunker. chunkSize is the
 // user-specified nominal chunk size in bytes.
@@ -185,8 +209,8 @@ func (c *InterFile) fetch(buf []byte, want int64) ([]byte, error) {
 		return buf, nil
 	}
 	start := len(buf)
-	buf = append(buf, make([]byte, want)...)
-	if err := readFull(c.file, buf[start:], c.off); err != nil {
+	buf = growTo(buf, int(want))
+	if err := c.fetcher.fetchInto(c.file, buf[start:], c.off); err != nil {
 		return nil, fmt.Errorf("chunk: ingest of chunk %d failed: %w", c.index, err)
 	}
 	c.off += want
@@ -201,8 +225,9 @@ func (c *InterFile) Next() (*Chunk, error) {
 	if c.off >= size && len(c.carry) == 0 {
 		return nil, io.EOF
 	}
-	buf := c.carry
-	c.carry = nil
+	ch := c.fetcher.acquire(c.chunkSize + extendStep)
+	buf := append(ch.backing[:0], c.carry...)
+	c.carry = c.carry[:0]
 
 	// One read covering the nominal chunk plus the boundary-hunt margin.
 	if int64(len(buf)) < c.chunkSize+extendStep {
@@ -261,14 +286,18 @@ func (c *InterFile) Next() (*Chunk, error) {
 		}
 	}
 
-	// Carry the over-read remainder into the next chunk. Copy it: the
-	// chunk's data slice shares buf's backing array and is handed to
-	// mapper threads that run concurrently with the next ingest.
+	// Carry the over-read remainder into the next chunk. Copy it into the
+	// persistent carry scratch: the chunk's data slice shares buf's
+	// backing array and is handed to mapper threads that run concurrently
+	// with the next ingest.
 	if cut < len(buf) {
-		c.carry = append([]byte(nil), buf[cut:]...)
+		c.carry = append(c.carry[:0], buf[cut:]...)
 	}
 	c.emitted += int64(cut)
-	ch := &Chunk{Index: c.index, Data: buf[:cut:cut], Files: []string{c.file.Name()}}
+	ch.backing = buf
+	ch.Index = c.index
+	ch.Data = buf[:cut:cut]
+	ch.Files = append(ch.Files, c.file.Name())
 	c.index++
 	return ch, nil
 }
@@ -282,7 +311,12 @@ type IntraFile struct {
 	filesPerChunk int
 	next          int
 	index         int
+	fetcher       *Fetcher
 }
+
+// SetFetcher installs the multi-lane fetcher subsequent Next calls read
+// and pool buffers through.
+func (c *IntraFile) SetFetcher(f *Fetcher) { c.fetcher = f }
 
 // NewIntraFile builds the intra-file chunker.
 func NewIntraFile(files []Input, filesPerChunk int) (*IntraFile, error) {
@@ -320,22 +354,26 @@ func (c *IntraFile) Next() (*Chunk, error) {
 	if c.next >= len(c.files) {
 		return nil, io.EOF
 	}
-	// Allocate space equal to one file and grow dynamically, as the
-	// runtime described in §III-A1 does.
+	// Start from space equal to one file and grow in place, as the
+	// runtime described in §III-A1 does; the pooled buffer keeps its
+	// high-water capacity across chunks, so steady-state rounds reuse one
+	// allocation instead of re-growing per group.
 	first := c.files[c.next]
-	buf := make([]byte, 0, first.Size())
-	var names []string
+	ch := c.fetcher.acquire(first.Size())
+	buf := ch.backing[:0]
 	for k := 0; k < c.filesPerChunk && c.next < len(c.files); k++ {
 		f := c.files[c.next]
 		start := len(buf)
-		buf = append(buf, make([]byte, f.Size())...)
-		if err := readFull(f, buf[start:], 0); err != nil {
+		buf = growTo(buf, int(f.Size()))
+		if err := c.fetcher.fetchInto(f, buf[start:], 0); err != nil {
 			return nil, fmt.Errorf("chunk: ingest of file %q failed: %w", f.Name(), err)
 		}
-		names = append(names, f.Name())
+		ch.Files = append(ch.Files, f.Name())
 		c.next++
 	}
-	ch := &Chunk{Index: c.index, Data: buf, Files: names}
+	ch.backing = buf
+	ch.Index = c.index
+	ch.Data = buf
 	c.index++
 	return ch, nil
 }
@@ -372,8 +410,26 @@ func (c *WholeInput) Next() (*Chunk, error) {
 		}
 		buf = append(buf, ch.Data...)
 		names = append(names, ch.Files...)
+		ch.Release()
 	}
 	return &Chunk{Index: 0, Data: buf, Files: names}, nil
+}
+
+// growTo extends buf by n bytes, reallocating with amortized doubling
+// when capacity runs out. Unlike append(buf, make([]byte, n)...), it
+// never materializes a temporary n-byte slice.
+func growTo(buf []byte, n int) []byte {
+	need := len(buf) + n
+	if cap(buf) < need {
+		c := 2 * cap(buf)
+		if c < need {
+			c = need
+		}
+		nb := make([]byte, len(buf), c)
+		copy(nb, buf)
+		buf = nb
+	}
+	return buf[:need]
 }
 
 // readFull fills buf from f starting at off.
@@ -457,9 +513,19 @@ type Hybrid struct {
 	chunkSize int64
 	boundary  Boundary
 
-	next  int
-	cur   *InterFile // active splitter for an oversized file
-	index int
+	next    int
+	cur     *InterFile // active splitter for an oversized file
+	index   int
+	fetcher *Fetcher
+}
+
+// SetFetcher installs the multi-lane fetcher subsequent Next calls read
+// and pool buffers through; an active inter-file splitter inherits it.
+func (h *Hybrid) SetFetcher(f *Fetcher) {
+	h.fetcher = f
+	if h.cur != nil {
+		h.cur.SetFetcher(f)
+	}
 }
 
 // NewHybrid builds the hybrid chunker.
@@ -511,29 +577,32 @@ func (h *Hybrid) Next() (*Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
+		inter.SetFetcher(h.fetcher)
 		h.cur = inter
 		return h.Next()
 	}
 	// Coalesce small files until the nominal size is reached.
-	var buf []byte
-	var names []string
+	ch := h.fetcher.acquire(h.chunkSize)
+	buf := ch.backing[:0]
 	for h.next < len(h.files) {
 		g := h.files[h.next]
 		if g.Size() > h.chunkSize {
 			break // oversized file starts its own chunks
 		}
-		if len(names) > 0 && int64(len(buf))+g.Size() > h.chunkSize {
+		if len(ch.Files) > 0 && int64(len(buf))+g.Size() > h.chunkSize {
 			break
 		}
 		start := len(buf)
-		buf = append(buf, make([]byte, g.Size())...)
-		if err := readFull(g, buf[start:], 0); err != nil {
+		buf = growTo(buf, int(g.Size()))
+		if err := h.fetcher.fetchInto(g, buf[start:], 0); err != nil {
 			return nil, fmt.Errorf("chunk: hybrid ingest of %q failed: %w", g.Name(), err)
 		}
-		names = append(names, g.Name())
+		ch.Files = append(ch.Files, g.Name())
 		h.next++
 	}
-	c := &Chunk{Index: h.index, Data: buf, Files: names}
+	ch.backing = buf
+	ch.Index = h.index
+	ch.Data = buf
 	h.index++
-	return c, nil
+	return ch, nil
 }

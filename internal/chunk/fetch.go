@@ -1,0 +1,217 @@
+package chunk
+
+import (
+	"io"
+	"sync"
+)
+
+// IssueReader is the two-phase read contract of the multi-lane ingest
+// path, implemented by storage.File, hdfs.File and the fault/retry
+// wrappers in internal/faults. IssueReadAt books the read — device
+// reservations, fault-injection decisions, retry backoff — on the
+// calling goroutine, in call order; the returned wait completes the
+// transfer (filling p, sleeping out the device time) and may run on any
+// goroutine. A non-nil error means the read failed at issue and no wait
+// is returned.
+//
+// The split is what keeps segmented reads deterministic: the fetcher
+// issues every segment serially from the single ingest thread, so the
+// per-site operation order any fault plan sees is a pure function of
+// the input — independent of how many IO lanes execute the waits.
+type IssueReader interface {
+	IssueReadAt(p []byte, off int64) (wait func() (int, error), err error)
+}
+
+// Dispatch runs fn asynchronously on an IO lane and returns a join
+// function that blocks until fn has finished. bytes is the payload size
+// for per-lane throughput attribution. A non-nil join error (panic in
+// fn, pool shutdown) means fn's effects must be discarded. The SupMR
+// pipeline backs Dispatch with exec.Pool.GoIOSized.
+type Dispatch func(bytes int64, fn func()) (join func() error)
+
+// minSegment is the smallest read the fetcher will split off: segments
+// below this are not worth a lane round-trip.
+const minSegment = 4096
+
+// Fetcher gives chunkers striped multi-lane reads and a chunk-buffer
+// freelist. A nil *Fetcher (the default everywhere) degrades every
+// method to the original single-stream, freshly-allocated behaviour, so
+// streams carry one unconditionally.
+//
+// Buffer lifecycle: chunkers acquire a pooled chunk per Next, fill its
+// backing buffer, and emit it; the consumer calls Chunk.Release when
+// the map wave is done with the bytes, returning the buffer for a
+// future chunk. Steady-state ingest therefore allocates O(ring depth)
+// buffers, not O(chunks).
+type Fetcher struct {
+	lanes    int
+	dispatch Dispatch
+
+	mu   sync.Mutex
+	free []*Chunk
+}
+
+// NewFetcher builds a fetcher reading across lanes IO lanes through
+// dispatch. lanes <= 1 or a nil dispatch disables segmentation but
+// keeps the buffer freelist.
+func NewFetcher(lanes int, dispatch Dispatch) *Fetcher {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &Fetcher{lanes: lanes, dispatch: dispatch}
+}
+
+// Lanes returns the fetcher's lane count (1 for a nil fetcher).
+func (f *Fetcher) Lanes() int {
+	if f == nil {
+		return 1
+	}
+	return f.lanes
+}
+
+// acquire returns a pooled chunk whose backing buffer has at least
+// capHint capacity, allocating one when the freelist is empty.
+func (f *Fetcher) acquire(capHint int64) *Chunk {
+	if f == nil {
+		return &Chunk{}
+	}
+	f.mu.Lock()
+	var c *Chunk
+	if n := len(f.free); n > 0 {
+		c = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+	}
+	f.mu.Unlock()
+	if c == nil {
+		c = &Chunk{}
+	}
+	if int64(cap(c.backing)) < capHint {
+		c.backing = make([]byte, 0, capHint)
+	}
+	c.Data = nil
+	// Files gets a fresh slice per chunk, never a truncated reuse:
+	// applications may retain it past the map wave (the inverted index
+	// emits it into the container as posting lists).
+	c.Files = nil
+	c.free = f
+	return c
+}
+
+// release returns a chunk to the freelist (called via Chunk.Release).
+func (f *Fetcher) release(c *Chunk) {
+	f.mu.Lock()
+	f.free = append(f.free, c)
+	f.mu.Unlock()
+}
+
+// seg is one outstanding portion of a segmented read.
+type seg struct {
+	buf []byte
+	off int64
+}
+
+// fetchInto fills buf from in starting at off. With a single lane (or
+// no dispatch, or a nil fetcher) it is exactly the serial readFull;
+// otherwise buf is split into up to Lanes segments whose waits execute
+// concurrently across the IO lanes while every issue — including
+// short-read remainders — happens here, serially, in offset order.
+//
+// Error semantics mirror readFull: a read that made progress has its
+// remainder retried regardless of the error; a read that returned zero
+// bytes fails the fetch (io.ErrUnexpectedEOF when it reported no
+// error). When several segments fail in one round the lowest-offset
+// failure wins, which is the same error the serial path would have hit
+// first — and, like the serial path, segments past a failed issue are
+// never issued.
+func (f *Fetcher) fetchInto(in Input, buf []byte, off int64) error {
+	if f == nil || f.lanes <= 1 || f.dispatch == nil || len(buf) < 2*minSegment {
+		return readFull(in, buf, off)
+	}
+	ir, _ := in.(IssueReader)
+	if ir == nil {
+		// No issue/wait split: the input cannot guarantee a deterministic
+		// operation order under concurrency, so read it serially.
+		return readFull(in, buf, off)
+	}
+
+	work := splitSegments(buf, off, f.lanes)
+	for len(work) > 0 {
+		type flight struct {
+			s    seg
+			n    int
+			err  error
+			join func() error
+		}
+		// Fixed capacity: dispatched closures hold pointers into this
+		// slice, so it must never reallocate.
+		flights := make([]flight, 0, len(work))
+		var issueErr error
+		for _, s := range work {
+			wait, err := ir.IssueReadAt(s.buf, s.off)
+			if err != nil {
+				issueErr = err
+				break
+			}
+			flights = append(flights, flight{s: s})
+			fl := &flights[len(flights)-1]
+			fl.join = f.dispatch(int64(len(s.buf)), func() { fl.n, fl.err = wait() })
+		}
+		// Join every dispatched wait before touching buf or returning:
+		// segment waits write into the caller's buffer and must not
+		// outlive this call, error or not.
+		for i := range flights {
+			if jErr := flights[i].join(); jErr != nil {
+				flights[i].n, flights[i].err = 0, jErr
+			}
+		}
+		if issueErr != nil {
+			return issueErr
+		}
+		next := work[:0]
+		for i := range flights {
+			fl := &flights[i]
+			switch {
+			case fl.n >= len(fl.s.buf):
+				// Segment complete.
+			case fl.n > 0:
+				next = append(next, seg{buf: fl.s.buf[fl.n:], off: fl.s.off + int64(fl.n)})
+			case fl.err != nil:
+				return fl.err
+			default:
+				return io.ErrUnexpectedEOF
+			}
+		}
+		work = next
+	}
+	return nil
+}
+
+// splitSegments cuts [off, off+len(buf)) into at most lanes segments of
+// near-equal size, each at least minSegment bytes, in offset order.
+func splitSegments(buf []byte, off int64, lanes int) []seg {
+	n := len(buf)
+	if max := n / minSegment; lanes > max {
+		lanes = max
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	segs := make([]seg, 0, lanes)
+	start := 0
+	for i := 0; i < lanes; i++ {
+		end := n * (i + 1) / lanes
+		if end <= start {
+			continue
+		}
+		segs = append(segs, seg{buf: buf[start:end], off: off + int64(start)})
+		start = end
+	}
+	return segs
+}
+
+// FetcherAware is implemented by streams that can ingest through a
+// Fetcher; the SupMR pipeline installs one before the first Next.
+type FetcherAware interface {
+	SetFetcher(*Fetcher)
+}

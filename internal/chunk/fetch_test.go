@@ -1,0 +1,250 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// goDispatch runs waits on fresh goroutines — the concurrency shape of
+// the pool-backed dispatch, without needing a pool.
+func goDispatch(_ int64, fn func()) func() error {
+	done := make(chan struct{})
+	go func() { defer close(done); fn() }()
+	return func() error { <-done; return nil }
+}
+
+// laneInput is an in-memory IssueReader with a per-request byte cap
+// (forcing short-read remainder rounds) and a scheduled issue failure,
+// for exercising the segmented fetch without a storage device.
+type laneInput struct {
+	name    string
+	data    []byte
+	maxRead int // cap bytes served per request (0 = unlimited)
+	failAt  int // fail the k-th issue, 1-based (0 = never)
+	issues  int
+}
+
+func (l *laneInput) Name() string { return l.name }
+func (l *laneInput) Size() int64  { return int64(len(l.data)) }
+
+func (l *laneInput) ReadAt(p []byte, off int64) (int, error) {
+	w, err := l.IssueReadAt(p, off)
+	if err != nil {
+		return 0, err
+	}
+	return w()
+}
+
+func (l *laneInput) IssueReadAt(p []byte, off int64) (func() (int, error), error) {
+	l.issues++
+	if l.failAt > 0 && l.issues == l.failAt {
+		return nil, errors.New("issue failed")
+	}
+	if off >= int64(len(l.data)) {
+		return nil, io.EOF
+	}
+	n := len(p)
+	if rem := int(int64(len(l.data)) - off); n > rem {
+		n = rem
+	}
+	if l.maxRead > 0 && n > l.maxRead {
+		n = l.maxRead
+	}
+	q := p[:n]
+	return func() (int, error) {
+		copy(q, l.data[off:off+int64(n)])
+		return n, nil
+	}, nil
+}
+
+func laneData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	return data
+}
+
+func TestFetchIntoSegmentedMatchesSerial(t *testing.T) {
+	data := laneData(64 << 10)
+	for _, tc := range []struct {
+		name    string
+		lanes   int
+		maxRead int
+		off     int64
+		n       int
+	}{
+		{"whole-4-lanes", 4, 0, 0, 64 << 10},
+		{"offset-read", 4, 0, 1000, 40 << 10},
+		{"short-read-rounds", 4, 3000, 0, 64 << 10},
+		{"more-lanes-than-segments", 16, 0, 0, 9 << 10},
+		{"below-segmentation-floor", 4, 0, 5, 2 * minSegment / 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := &laneInput{name: "in", data: data, maxRead: tc.maxRead}
+			f := NewFetcher(tc.lanes, goDispatch)
+			buf := make([]byte, tc.n)
+			if err := f.fetchInto(in, buf, tc.off); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, data[tc.off:tc.off+int64(tc.n)]) {
+				t.Fatal("segmented fetch differs from the input bytes")
+			}
+		})
+	}
+}
+
+func TestFetchIntoStopsIssuingAfterIssueError(t *testing.T) {
+	// Serial-issue semantics: segments past a failed issue are never
+	// issued — exactly where a serial read would have stopped — so a
+	// fault plan sees the same per-site operation count at any lane
+	// count.
+	in := &laneInput{name: "in", data: laneData(32 << 10), failAt: 2}
+	f := NewFetcher(4, goDispatch)
+	err := f.fetchInto(in, make([]byte, 32<<10), 0)
+	if err == nil || !strings.Contains(err.Error(), "issue failed") {
+		t.Fatalf("err = %v, want the issue failure", err)
+	}
+	if in.issues != 2 {
+		t.Errorf("issued %d reads after a failure at issue 2, want exactly 2", in.issues)
+	}
+}
+
+func TestFetchIntoJoinErrorWins(t *testing.T) {
+	// A dispatch join error (lane panic, pool shutdown) must discard the
+	// segment's effects and fail the fetch, even though the wait itself
+	// reported success.
+	in := &laneInput{name: "in", data: laneData(32 << 10)}
+	boom := errors.New("lane died")
+	deadDispatch := func(_ int64, fn func()) func() error {
+		fn()
+		return func() error { return boom }
+	}
+	f := NewFetcher(4, deadDispatch)
+	if err := f.fetchInto(in, make([]byte, 32<<10), 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the join error", err)
+	}
+}
+
+// zeroInput's waits deliver no bytes and no error.
+type zeroInput struct{ laneInput }
+
+func (z *zeroInput) IssueReadAt(p []byte, off int64) (func() (int, error), error) {
+	return func() (int, error) { return 0, nil }, nil
+}
+
+func TestFetchIntoZeroProgressIsUnexpectedEOF(t *testing.T) {
+	z := &zeroInput{laneInput{name: "z", data: laneData(32 << 10)}}
+	f := NewFetcher(4, goDispatch)
+	if err := f.fetchInto(z, make([]byte, 32<<10), 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFreelistRecyclesBackingNeverFiles(t *testing.T) {
+	f := NewFetcher(1, nil)
+	c := f.acquire(1 << 10)
+	c.backing = c.backing[:cap(c.backing)]
+	c.Data = c.backing
+	c.Files = append(c.Files, "a.txt")
+	retained := c.Files // what an application keeps past the map wave
+	first := &c.backing[0]
+	c.Release()
+
+	c2 := f.acquire(512)
+	if &c2.backing[:1][0] != first {
+		t.Error("freelist did not recycle the backing buffer")
+	}
+	if c2.Data != nil {
+		t.Error("recycled chunk leaked Data")
+	}
+	// Files must be a fresh slice per chunk: applications may retain the
+	// previous chunk's slice past its map wave (the inverted index emits
+	// it into the container as posting-list values).
+	if c2.Files != nil {
+		t.Error("recycled chunk reused the Files slice")
+	}
+	c2.Files = append(c2.Files, "b.txt")
+	if retained[0] != "a.txt" {
+		t.Error("new chunk's Files overwrote a slice retained from the released chunk")
+	}
+
+	// Release is idempotent and nil-fetcher chunks are release-safe.
+	c2.Release()
+	c2.Release()
+	if got := len(f.free); got != 1 {
+		t.Errorf("double release grew the freelist to %d", got)
+	}
+	(&Chunk{}).Release()
+
+	var nilF *Fetcher
+	if nilF.Lanes() != 1 {
+		t.Error("nil fetcher lanes != 1")
+	}
+	if c := nilF.acquire(64); c == nil || c.free != nil {
+		t.Error("nil fetcher acquire broken")
+	}
+}
+
+func TestGrowTo(t *testing.T) {
+	buf := append(make([]byte, 0, 8), "abc"...)
+	grown := growTo(buf, 100)
+	if len(grown) != 103 {
+		t.Fatalf("len = %d, want 103", len(grown))
+	}
+	if string(grown[:3]) != "abc" {
+		t.Error("growTo lost the existing prefix")
+	}
+	// Within capacity: no reallocation.
+	big := make([]byte, 3, 256)
+	if g := growTo(big, 100); cap(g) != 256 || &g[0] != &big[0] {
+		t.Error("growTo reallocated within capacity")
+	}
+	// Doubling: repeated small growth must not reallocate every call.
+	var reallocs int
+	b := make([]byte, 0, 1)
+	for i := 0; i < 1024; i++ {
+		before := cap(b)
+		b = growTo(b, 1)
+		if cap(b) != before {
+			reallocs++
+		}
+	}
+	if reallocs > 12 {
+		t.Errorf("%d reallocations growing to 1 KiB byte-by-byte — not amortized", reallocs)
+	}
+}
+
+func TestInterFileWithFetcherRecyclesBuffers(t *testing.T) {
+	text := []byte(strings.Repeat("alpha beta gamma delta epsilon\n", 4000))
+	s, err := NewInterFile(memFile(t, "f", text), 16<<10, NewlineBoundary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFetcher(NewFetcher(4, goDispatch))
+	var got []byte
+	backings := map[*byte]bool{}
+	for {
+		c, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		backings[&c.backing[:1][0]] = true
+		got = append(got, c.Data...)
+		c.Release()
+	}
+	if !bytes.Equal(got, text) {
+		t.Fatal("fetcher-backed stream reassembly differs from the input")
+	}
+	// Serial consume-then-release must cycle O(1) buffers, not one per
+	// chunk (the stream also keeps a persistent carry scratch).
+	if len(backings) > 2 {
+		t.Errorf("%d distinct chunk buffers for %d bytes — freelist not recycling", len(backings), len(text))
+	}
+}

@@ -36,6 +36,19 @@ func ParseSize(s string) (int64, error) {
 	return int64(v * float64(mult)), nil
 }
 
+// ParseCount parses a small positive integer flag value (lane counts,
+// ring depths): plain digits, at least min.
+func ParseCount(s string, min int) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad count %q", s)
+	}
+	if v < min {
+		return 0, fmt.Errorf("cliutil: count %d below minimum %d", v, min)
+	}
+	return v, nil
+}
+
 // ParseDuration wraps time.ParseDuration with a friendlier error.
 func ParseDuration(s string) (time.Duration, error) {
 	d, err := time.ParseDuration(strings.TrimSpace(s))

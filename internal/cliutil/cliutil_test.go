@@ -63,3 +63,20 @@ func TestFormatSeconds(t *testing.T) {
 		t.Errorf("FormatSeconds = %q", got)
 	}
 }
+
+func TestParseCount(t *testing.T) {
+	if n, err := ParseCount(" 4 ", 1); err != nil || n != 4 {
+		t.Errorf("ParseCount(4) = %d, %v", n, err)
+	}
+	if n, err := ParseCount("1", 1); err != nil || n != 1 {
+		t.Errorf("ParseCount(1) = %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "x", "2.5", "-1", "0"} {
+		if _, err := ParseCount(bad, 1); err == nil {
+			t.Errorf("ParseCount(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseCount("2", 3); err == nil {
+		t.Error("count below minimum accepted")
+	}
+}

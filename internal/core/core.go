@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"supmr/internal/chunk"
@@ -93,6 +95,17 @@ type Options struct {
 	// FaultCounters accumulates retry outcomes for the report; nil runs
 	// uncounted.
 	FaultCounters *faults.Counters
+	// PrefetchDepth is the ingest ring depth d: the pipeline keeps up to
+	// d chunks in flight ahead of the map wave. The default (<= 1) is the
+	// paper's double buffering — one chunk ahead. Deeper rings absorb
+	// ingest jitter (a slow chunk hides behind buffered ones) at the cost
+	// of d resident chunk buffers.
+	PrefetchDepth int
+	// IOLanes is the number of IO lanes each chunk read fans out across:
+	// the read is split into up to IOLanes segments whose device waits
+	// overlap on the pool's IO workers. <= 1 keeps the single-stream
+	// read. Values above the pool's IO worker count are clamped.
+	IOLanes int
 }
 
 // Result aliases the runtime result type.
@@ -117,7 +130,7 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	ro := opts.Options
 	pool := ro.Pool
 	if pool == nil {
-		pool = exec.NewPool(nil, exec.Config{Workers: ro.Workers, Recorder: ro.Recorder})
+		pool = exec.NewPool(nil, exec.Config{Workers: ro.Workers, IOWorkers: opts.IOLanes, Recorder: ro.Recorder})
 		defer pool.Close()
 		ro.Pool = pool
 	}
@@ -148,18 +161,82 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 		spiller.SetRetry(opts.Retry, opts.FaultCounters)
 	}
 
-	// prefetch starts reading the next chunk on the pool's dedicated IO
-	// worker and returns the channel its result will arrive on. The
-	// result is relayed off the task handle, which always resolves —
-	// normal return, stream panic (as a *PanicError), cancellation, or
-	// refused submission — so the round loop can always join the read,
-	// and Close joins any read still parked in a device wait.
-	prefetch := func() <-chan ingestResult {
-		ch := make(chan ingestResult, 1)
-		res := new(ingestResult)
+	depth := opts.PrefetchDepth
+	if depth < 1 {
+		depth = 1
+	}
+	lanes := opts.IOLanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > pool.IOLanes() {
+		lanes = pool.IOLanes()
+	}
+
+	// Install the multi-lane fetcher whenever the stream supports it:
+	// even a single-lane job benefits from its chunk-buffer freelist
+	// (steady-state ingest allocates O(depth) buffers, not O(chunks)).
+	// Segment waits dispatch onto the pool's IO lanes; the issue side of
+	// every read runs on the pump goroutine below.
+	if fa, ok := input.(chunk.FetcherAware); ok {
+		var dispatch chunk.Dispatch
+		if lanes > 1 {
+			dispatch = func(bytes int64, fn func()) func() error {
+				h := pool.GoIOSized("ingest", metrics.StateIOWait, bytes, func() error { fn(); return nil })
+				return h.Wait
+			}
+		}
+		fa.SetFetcher(chunk.NewFetcher(lanes, dispatch))
+	}
+
+	resizable, _ := input.(chunk.Resizable)
+
+	// The prefetch ring: a pump goroutine owns every stream read — and
+	// therefore every fault decision and chunk-size resize — in strict
+	// serial order, keeping up to `depth` chunks in flight ahead of the
+	// map wave. The ring channel buffers depth-1 completed chunks; the
+	// chunk being read on the pump is the depth-th. With the default
+	// depth 1 the channel is unbuffered and the schedule is exactly the
+	// single-slot double buffering: the next read starts when the
+	// previous chunk is handed to the mappers.
+	//
+	// Shutdown: the pump exits after delivering a terminal result (EOF
+	// or error) or when stop closes; it always closes the ring, so the
+	// failure path can drain it to completion, releasing any chunks the
+	// mappers never consumed.
+	ring := make(chan ingestResult, depth-1)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	closeStop := func() { stopOnce.Do(func() { close(stop) }) }
+	defer closeStop()
+	var pendingResize atomic.Int64
+
+	readNext := func() (res ingestResult) {
+		start := pool.Now()
+		defer func() { res.dur = pool.Now() - start }()
+		if lanes > 1 {
+			// Multi-lane: Next runs here on the pump — issuing segment
+			// reads serially — while their device waits fan out across
+			// the IO lanes through the fetcher's dispatch.
+			if err := pool.Err(); err != nil {
+				return ingestResult{err: err}
+			}
+			c, err := input.Next()
+			switch {
+			case errors.Is(err, io.EOF):
+				return ingestResult{err: io.EOF}
+			case err != nil:
+				return ingestResult{err: fmt.Errorf("core: ingest failed: %w", err)}
+			}
+			return ingestResult{c: c}
+		}
+		// Single lane: the whole read is one task on the dedicated IO
+		// worker, exactly the single-slot pipeline, so device waits keep
+		// their IO-wait attribution. The handle always resolves — normal
+		// return, stream panic (as a *PanicError), cancellation, or
+		// refused submission — so the pump can always join the read, and
+		// Close joins any read still parked in a device wait.
 		h := pool.GoIO("ingest", metrics.StateIOWait, func() error {
-			start := pool.Now()
-			defer func() { res.dur = pool.Now() - start }()
 			if err := pool.Err(); err != nil {
 				return err
 			}
@@ -173,12 +250,38 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 			res.c = c
 			return nil
 		})
-		go func() {
-			res.err = h.Wait()
-			ch <- *res
-		}()
-		return ch
+		res.err = h.Wait()
+		return res
 	}
+
+	go func() {
+		defer close(ring)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Apply the tuner's latest resize before issuing the next
+			// read: a resize never tears a read already in flight, it
+			// only affects chunks not yet issued.
+			if resizable != nil {
+				if n := pendingResize.Swap(0); n > 0 {
+					resizable.SetChunkSize(n)
+				}
+			}
+			res := readNext()
+			select {
+			case ring <- res:
+				if res.err != nil {
+					return // EOF or terminal error: the ring is complete
+				}
+			case <-stop:
+				res.c.Release()
+				return
+			}
+		}
+	}()
 
 	var stats mapreduce.Stats
 	runMappers := func(c *chunk.Chunk) (time.Duration, error) {
@@ -201,13 +304,15 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	}
 
 	// fail aborts the job: the cancellation reaches the in-flight
-	// prefetch between stream reads, pending is drained so no ingest
-	// result is left unconsumed when the pool shuts down, and an
-	// in-flight spill write is joined so its run writer is not abandoned.
-	fail := func(err error, pending <-chan ingestResult) (*Result[K, V], error) {
+	// prefetch between stream reads, the pump is stopped and the ring
+	// drained — releasing every unconsumed chunk — so no ingest result
+	// is left behind when the pool shuts down, and an in-flight spill
+	// write is joined so its run writer is not abandoned.
+	fail := func(err error) (*Result[K, V], error) {
 		pool.Abort(err)
-		if pending != nil {
-			<-pending
+		closeStop()
+		for r := range ring {
+			r.c.Release()
 		}
 		if spiller != nil {
 			spiller.Join() // the job error wins; the write ran or was refused
@@ -216,30 +321,27 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 		return nil, err
 	}
 
-	resizable, _ := input.(chunk.Resizable)
-
-	// The ingest chunk pipeline (§III-B pseudo-code):
+	// The ingest chunk pipeline (§III-B pseudo-code, generalized from
+	// one prefetch slot to a ring of `depth`):
 	//   ingest 1st chunk
 	//   for each ingest chunk:
-	//     create thread to ingest next chunk
+	//     pump keeps up to `depth` chunk reads ahead
 	//     run mappers on previous chunk
-	//     destroy thread
 	//   run mappers on last chunk
 	timer.StartPhase(metrics.PhaseReadMap)
-	first := <-prefetch()
+	first := <-ring
 	if first.err != nil && !errors.Is(first.err, io.EOF) {
-		return fail(first.err, nil)
+		return fail(first.err)
 	}
 	cur := first.c
 	for cur != nil {
 		if err := pool.Err(); err != nil {
-			return fail(err, nil)
+			return fail(err)
 		}
 		// Budget check between ingest rounds: drain an over-budget
 		// container now — before this round's mappers refill it. The run
-		// write is scheduled below, after the next prefetch, so it queues
-		// behind the read on the IO lane and executes while the map round
-		// computes instead of delaying the chunk it double-buffers.
+		// write lands on an IO lane and executes while the map round
+		// computes (the pump keeps prefetching regardless).
 		var drained []kv.Pair[K, V]
 		if spiller != nil && spiller.Over(cont) {
 			timer.EndPhase(metrics.PhaseReadMap)
@@ -251,40 +353,59 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 			timer.EndPhase(metrics.PhaseSpill)
 			timer.StartPhase(metrics.PhaseReadMap)
 			if err != nil {
-				return fail(err, nil)
+				return fail(err)
 			}
 		}
-		nextCh := prefetch()
 		if len(drained) > 0 {
 			spiller.SpillAsync(drained, pool)
 		}
-		// Give the ingest task a scheduling slot so it reaches the
+		// Give the ingest pump a scheduling slot so it reaches the
 		// storage device (issuing its reservation and parking in the
 		// device wait) before the mappers monopolize the CPUs; on
 		// low-core machines it would otherwise start the read only
 		// after the map wave finishes, defeating the double-buffering.
 		runtime.Gosched()
 		mapDur, mapErr := runMappers(cur)
+		cur.Release() // the wave is done with the bytes; recycle the buffer
 		if mapErr != nil {
-			return fail(mapErr, nextCh)
+			return fail(mapErr)
 		}
-		r := <-nextCh
+		// Join the next chunk, counting how the ring performed: a chunk
+		// already buffered is a prefetch hit; otherwise the map workers
+		// sit idle for the stall time — the per-round slice of Fig. 1's
+		// ingest/compute utilization gap.
+		var r ingestResult
+		select {
+		case r = <-ring:
+			stats.PrefetchHits++
+		default:
+			stallStart := pool.Now()
+			r = <-ring
+			if d := pool.Now() - stallStart; d > 0 {
+				stats.IngestStall += d
+				timer.Mark("ingest stall")
+			}
+		}
 		if r.err != nil && !errors.Is(r.err, io.EOF) {
-			return fail(r.err, nil)
+			return fail(r.err)
 		}
 		// Feedback loop: fold this round's observation into the tuner
 		// and resize subsequent chunks. Durations are read off the job
 		// clock (pool.Now), so simulated devices feed the tuner their
-		// virtual timeline, not wall time.
+		// virtual timeline, not wall time. The resize is handed to the
+		// pump, which applies it before the next read it issues.
 		if opts.Tuner != nil && resizable != nil && r.c != nil {
 			if next := opts.Tuner.Next(r.c.Size(), r.dur, mapDur); next > 0 {
-				resizable.SetChunkSize(next)
+				pendingResize.Store(next)
 			}
 		}
 		cur = r.c
 	}
 	timer.EndPhase(metrics.PhaseReadMap)
 	stats.IntermediateN = cont.Len()
+	if lanes > 1 {
+		stats.IngestLaneBytes = pool.LaneBytes()
+	}
 
 	// Join the last spill write before reducing: the merge below must
 	// see every run complete. The residue still in the container is

@@ -461,3 +461,91 @@ func TestStableWorkerRegistrationAcrossRounds(t *testing.T) {
 			got, res.Stats.MapWaves)
 	}
 }
+
+// oscTuner swings the chunk size hard every round — worst case for a
+// resize landing while the prefetch ring holds reads in flight.
+type oscTuner struct{ round int }
+
+func (o *oscTuner) Next(int64, time.Duration, time.Duration) int64 {
+	o.round++
+	if o.round%2 == 0 {
+		return 4 << 10
+	}
+	return 24 << 10
+}
+
+func TestTunerResizeWithPrefetchRing(t *testing.T) {
+	// An aggressive tuner combined with a deep prefetch ring and
+	// multi-lane reads: SetChunkSize is applied by the pump before it
+	// issues a read, so a resize can only affect not-yet-issued chunks —
+	// never tear one mid-flight — and the job's output must match a
+	// defaults run exactly.
+	text := genText(t, 96<<10)
+	wc := wcApp{}
+	ref, err := Run[string, int64](wc, textStream(t, text, 8<<10), wc.NewContainer(16),
+		Options{Options: mapreduce.Options{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := exec.NewPool(nil, exec.Config{Workers: 2, IOWorkers: 2})
+	defer pool.Close()
+	got, err := Run[string, int64](wc, textStream(t, text, 8<<10), wc.NewContainer(16),
+		Options{
+			Options:       mapreduce.Options{Pool: pool},
+			Tuner:         &oscTuner{},
+			PrefetchDepth: 3,
+			IOLanes:       2,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pairs) != len(ref.Pairs) {
+		t.Fatalf("tuned ring run produced %d pairs, reference %d", len(got.Pairs), len(ref.Pairs))
+	}
+	for i, p := range got.Pairs {
+		if r := ref.Pairs[i]; p.Key != r.Key || p.Val != r.Val {
+			t.Fatalf("pair %d: got %q=%d, want %q=%d", i, p.Key, p.Val, r.Key, r.Val)
+		}
+	}
+	if got.Stats.MapWaves < 4 {
+		t.Fatalf("only %d map waves; the resize sweep needs a multi-round job", got.Stats.MapWaves)
+	}
+}
+
+func TestPrefetchRingCountsHitsAndStalls(t *testing.T) {
+	// On an instant device every chunk after the first is buffered by
+	// the time the map wave ends: all joins are prefetch hits, none
+	// stall.
+	text := genText(t, 64<<10)
+	wc := wcApp{}
+	res, err := Run[string, int64](wc, textStream(t, text, 8<<10), wc.NewContainer(16),
+		Options{Options: mapreduce.Options{Workers: 2}, PrefetchDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MapWaves < 2 {
+		t.Fatal("need a multi-chunk run")
+	}
+	if res.Stats.PrefetchHits+1 < res.Stats.MapWaves &&
+		res.Stats.PrefetchHits == 0 {
+		t.Errorf("prefetch ring reported %d hits over %d waves on an instant device",
+			res.Stats.PrefetchHits, res.Stats.MapWaves)
+	}
+}
+
+func TestPrefetchRingDrainsOnMidStreamError(t *testing.T) {
+	// A deep ring holds chunks the mappers never consume when ingest
+	// fails mid-stream; the failure path must drain and release them —
+	// observable as a prompt return with the wrapped stream error at
+	// every depth.
+	text := genText(t, 64<<10)
+	wc := wcApp{}
+	for _, depth := range []int{1, 2, 4, 8} {
+		s := &errStream{inner: textStream(t, text, 4<<10), failAt: 5}
+		_, err := Run[string, int64](wc, s, wc.NewContainer(8),
+			Options{Options: mapreduce.Options{Workers: 2}, PrefetchDepth: depth})
+		if err == nil || !strings.Contains(err.Error(), "mid-stream ingest failure") {
+			t.Errorf("depth %d: err = %v, want the mid-stream failure", depth, err)
+		}
+	}
+}

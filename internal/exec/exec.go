@@ -8,9 +8,9 @@
 //
 // The pool provides:
 //
-//   - a task-submission API (ForEach for data-parallel phases, GoIO for
-//     the single asynchronous ingest/prefetch lane) replacing the ad-hoc
-//     per-phase goroutine spawning;
+//   - a task-submission API (ForEach for data-parallel phases, GoIO /
+//     GoIOSized for the asynchronous ingest/prefetch lanes) replacing the
+//     ad-hoc per-phase goroutine spawning;
 //   - context.Context cancellation: a cancelled job stops dispatching
 //     tasks between iterations and surfaces context.Canceled;
 //   - panic isolation: a crashing task becomes a *PanicError naming the
@@ -21,9 +21,11 @@
 //     across phases — so utilization traces keep working unchanged.
 //
 // Workers are registered with the recorder at pool creation: ids
-// 0..Workers-1 are the compute workers and the final id is the
-// dedicated IO worker that serves GoIO tasks (the paper's ingest
-// thread), so device waits never compete with map tasks for a slot.
+// 0..Workers-1 are the compute workers and ids Workers..Workers+IOWorkers-1
+// are the dedicated IO lane workers that serve GoIO tasks (the paper's
+// ingest thread, generalized to k striped lanes), so device waits never
+// compete with map tasks for a slot. With the default single lane the
+// layout is exactly the original one: the final id is the IO worker.
 package exec
 
 import (
@@ -58,9 +60,14 @@ func (e *PanicError) Error() string {
 
 // Config configures a pool.
 type Config struct {
-	// Workers is the number of compute workers (default: NumCPU). One
-	// extra dedicated IO worker is always added for GoIO tasks.
+	// Workers is the number of compute workers (default: NumCPU).
+	// Dedicated IO workers are always added on top for GoIO tasks.
 	Workers int
+	// IOWorkers is the number of dedicated IO lane workers serving GoIO
+	// tasks (default 1, the paper's single ingest thread). The multi-lane
+	// ingest path raises it so segmented chunk reads overlap on the
+	// device.
+	IOWorkers int
 	// Recorder, when set, observes worker busy/idle transitions for
 	// utilization traces. All workers register once at pool creation.
 	Recorder *metrics.UtilRecorder
@@ -80,6 +87,7 @@ type task struct {
 type worker struct {
 	pool *Pool
 	id   int // recorder worker id, -1 without a recorder
+	lane int // IO lane index, -1 for compute workers
 }
 
 func (w *worker) setState(s metrics.WorkerState) {
@@ -96,21 +104,25 @@ type Pool struct {
 	ctx     context.Context
 	abort   context.CancelCauseFunc
 	workers int
+	lanes   int
 	rec     *metrics.UtilRecorder
 	now     func() time.Duration
 
 	tasks chan task // compute lane
-	io    chan task // dedicated IO lane (ingest/prefetch)
+	io    chan task // dedicated IO lanes (ingest/prefetch)
 	wg    sync.WaitGroup
+
+	laneBytes []int64 // per-IO-lane payload bytes (atomic)
 
 	mu     sync.Mutex
 	stats  map[string]*metrics.TaskStats
 	closed bool
 }
 
-// NewPool creates a pool of cfg.Workers compute workers plus one IO
-// worker, all running until Close. ctx cancellation stops task dispatch
-// between iterations; in-flight tasks run to completion.
+// NewPool creates a pool of cfg.Workers compute workers plus
+// cfg.IOWorkers dedicated IO workers (at least one), all running until
+// Close. ctx cancellation stops task dispatch between iterations;
+// in-flight tasks run to completion.
 func NewPool(ctx context.Context, cfg Config) *Pool {
 	if ctx == nil {
 		ctx = context.Background()
@@ -119,6 +131,10 @@ func NewPool(ctx context.Context, cfg Config) *Pool {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
+	k := cfg.IOWorkers
+	if k <= 0 {
+		k = 1
+	}
 	now := cfg.Now
 	if now == nil {
 		epoch := time.Now()
@@ -126,28 +142,31 @@ func NewPool(ctx context.Context, cfg Config) *Pool {
 	}
 	cctx, abort := context.WithCancelCause(ctx)
 	p := &Pool{
-		ctx:     cctx,
-		abort:   abort,
-		workers: w,
-		rec:     cfg.Recorder,
-		now:     now,
-		tasks:   make(chan task, w),
-		io:      make(chan task, 1),
-		stats:   make(map[string]*metrics.TaskStats),
+		ctx:       cctx,
+		abort:     abort,
+		workers:   w,
+		lanes:     k,
+		rec:       cfg.Recorder,
+		now:       now,
+		tasks:     make(chan task, w),
+		io:        make(chan task, k),
+		laneBytes: make([]int64, k),
+		stats:     make(map[string]*metrics.TaskStats),
 	}
 	// Register every worker up front so trace worker ids are stable for
-	// the life of the job, whatever mix of phases runs on the pool.
-	for i := 0; i <= w; i++ {
+	// the life of the job, whatever mix of phases runs on the pool:
+	// compute workers first, then the IO lanes.
+	for i := 0; i < w+k; i++ {
 		id := -1
 		if p.rec != nil {
 			id = p.rec.Register()
 		}
-		ch := p.tasks
-		if i == w {
-			ch = p.io
+		ch, lane := p.tasks, -1
+		if i >= w {
+			ch, lane = p.io, i-w
 		}
 		p.wg.Add(1)
-		go p.loop(&worker{pool: p, id: id}, ch)
+		go p.loop(&worker{pool: p, id: id, lane: lane}, ch)
 	}
 	return p
 }
@@ -167,6 +186,19 @@ func (p *Pool) loop(w *worker, ch chan task) {
 
 // Workers returns the compute worker count (phase parallelism).
 func (p *Pool) Workers() int { return p.workers }
+
+// IOLanes returns the dedicated IO worker count.
+func (p *Pool) IOLanes() int { return p.lanes }
+
+// LaneBytes snapshots the payload bytes attributed to each IO lane by
+// GoIOSized tasks, indexed by lane.
+func (p *Pool) LaneBytes() []int64 {
+	out := make([]int64, len(p.laneBytes))
+	for i := range out {
+		out[i] = atomic.LoadInt64(&p.laneBytes[i])
+	}
+	return out
+}
 
 // Context returns the pool's cancellable job context.
 func (p *Pool) Context() context.Context { return p.ctx }
@@ -327,23 +359,46 @@ func (p *Pool) ForEach(phase string, state metrics.WorkerState, n int, fn func(i
 // Handle joins an asynchronous task started with GoIO.
 type Handle struct {
 	done chan error
+	once sync.Once
+	err  error
 }
 
 // Wait blocks until the task completes and returns its error (a
-// *PanicError if it panicked). Call Wait exactly once.
-func (h *Handle) Wait() error { return <-h.done }
+// *PanicError if it panicked). Wait is idempotent: the first call joins
+// the task and every later call returns the same error, so a drain loop
+// over many handles (the prefetch ring's shutdown path, a cancelled
+// job's cleanup) may safely re-join handles it already consumed.
+func (h *Handle) Wait() error {
+	h.once.Do(func() { h.err = <-h.done })
+	return h.err
+}
 
-// GoIO runs fn asynchronously on the pool's dedicated IO worker,
-// marking it with state (typically metrics.StateIOWait) while fn runs.
-// This is the ingest/prefetch lane: it never competes with compute
-// tasks for a worker, so the double-buffered read of the SupMR pipeline
-// always has a thread to park in the device wait. The returned Handle
-// joins the task; Close also joins any task still in flight.
+// GoIO runs fn asynchronously on one of the pool's dedicated IO
+// workers, marking it with state (typically metrics.StateIOWait) while
+// fn runs. This is the ingest/prefetch lane: it never competes with
+// compute tasks for a worker, so the double-buffered read of the SupMR
+// pipeline always has a thread to park in the device wait. With a
+// single IO worker (the default) GoIO tasks are strictly serialized;
+// with more, tasks fan out across the lanes in submission order. The
+// returned Handle joins the task and always resolves — normal return,
+// panic (as a *PanicError), or refused submission after Close — so
+// callers can unconditionally drain every handle they hold. Close also
+// joins any task still in flight.
 func (p *Pool) GoIO(phase string, state metrics.WorkerState, fn func() error) *Handle {
+	return p.GoIOSized(phase, state, 0, fn)
+}
+
+// GoIOSized is GoIO with a payload size: bytes are attributed to
+// whichever IO lane executes the task, feeding the per-lane ingest
+// throughput counters (LaneBytes).
+func (p *Pool) GoIOSized(phase string, state metrics.WorkerState, bytes int64, fn func() error) *Handle {
 	h := &Handle{done: make(chan error, 1)}
 	submitted := time.Now()
 	t := task{run: func(w *worker) {
 		wait := time.Since(submitted)
+		if w.lane >= 0 && bytes > 0 {
+			atomic.AddInt64(&p.laneBytes[w.lane], bytes)
+		}
 		w.setState(state)
 		start := time.Now()
 		err := func() (err error) {

@@ -313,3 +313,113 @@ func TestPoolClockDefaultsAndOverride(t *testing.T) {
 		t.Errorf("Workers() = %d", p2.Workers())
 	}
 }
+
+func TestIOLanesFanOut(t *testing.T) {
+	// Three GoIO tasks on a 3-lane pool must run concurrently: each
+	// parks until released, which would deadlock the barrier below if
+	// the lanes serialized.
+	p := NewPool(context.Background(), Config{Workers: 1, IOWorkers: 3})
+	defer p.Close()
+	if p.IOLanes() != 3 {
+		t.Fatalf("IOLanes() = %d, want 3", p.IOLanes())
+	}
+	var started atomic.Int32
+	release := make(chan struct{})
+	var hs []*Handle
+	for i := 0; i < 3; i++ {
+		hs = append(hs, p.GoIO("seg", metrics.StateIOWait, func() error {
+			started.Add(1)
+			<-release
+			return nil
+		}))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 3 IO tasks in flight concurrently", started.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for _, h := range hs {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLaneBytesAttribution(t *testing.T) {
+	p := NewPool(context.Background(), Config{Workers: 1, IOWorkers: 2})
+	defer p.Close()
+	var hs []*Handle
+	var want int64
+	for i := 1; i <= 8; i++ {
+		n := int64(i * 1000)
+		want += n
+		hs = append(hs, p.GoIOSized("seg", metrics.StateIOWait, n, func() error { return nil }))
+	}
+	// A zero-byte IO task (a spill write) must not perturb the counters.
+	hs = append(hs, p.GoIO("spill", metrics.StateIOWait, func() error { return nil }))
+	for _, h := range hs {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lb := p.LaneBytes()
+	if len(lb) != 2 {
+		t.Fatalf("LaneBytes tracks %d lanes, want 2", len(lb))
+	}
+	var got int64
+	for _, b := range lb {
+		got += b
+	}
+	if got != want {
+		t.Errorf("lane bytes sum to %d, want %d", got, want)
+	}
+}
+
+func TestHandleWaitIdempotent(t *testing.T) {
+	p := NewLocal(1)
+	defer p.Close()
+	boom := errors.New("segment failed")
+	h := p.GoIO("seg", metrics.StateIOWait, func() error { return boom })
+	for i := 0; i < 3; i++ {
+		if err := h.Wait(); !errors.Is(err, boom) {
+			t.Fatalf("Wait call %d = %v, want the task error", i+1, err)
+		}
+	}
+}
+
+func TestCancelledJobDrainsAllIOHandles(t *testing.T) {
+	// Regression: joining a cancelled job's segment handles must never
+	// block — every handle resolves whether its task ran, is parked in
+	// a wait, or was still queued when cancellation landed — and
+	// re-joining an already-consumed handle (the drain-loop shape) is
+	// safe.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, Config{Workers: 1, IOWorkers: 2})
+	defer p.Close()
+	var hs []*Handle
+	// 2 tasks parked on the lanes plus 2 queued (the IO queue's depth
+	// equals the lane count; more would block submission itself).
+	for i := 0; i < 4; i++ {
+		hs = append(hs, p.GoIO("seg", metrics.StateIOWait, func() error {
+			<-ctx.Done()
+			return ctx.Err()
+		}))
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, h := range hs {
+			h.Wait()
+			h.Wait()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("draining the cancelled job's IO handles blocked")
+	}
+}

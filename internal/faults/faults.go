@@ -11,10 +11,13 @@
 // per-operation counters, so the fault schedule at a site is a pure
 // function of the plan and the sequence of operations the site
 // actually serves — independent of goroutine interleaving across
-// sites. The SupMR pipeline serializes ingest reads and spill writes
-// on the pool's single IO lane, so for a fixed plan the whole job's
-// fault sequence (and therefore its outcome on a virtual clock) is
-// reproducible.
+// sites. The SupMR pipeline keeps each site's operation sequence
+// deterministic however many IO lanes it runs: every ingest read is
+// *issued* — and therefore has its fault decision drawn — from the
+// single ingest thread via the two-phase IssueReadAt split (only the
+// data transfer runs on a lane), and the spill layer keeps at most one
+// write in flight. For a fixed plan the whole job's fault sequence
+// (and therefore its outcome on a virtual clock) is reproducible.
 package faults
 
 import (
@@ -291,6 +294,38 @@ func (f *faultInput) ReadAt(p []byte, off int64) (int, error) {
 		p = p[:len(p)/2]
 	}
 	return f.inner.ReadAt(p, off)
+}
+
+// issueReader mirrors chunk.IssueReader structurally, the way Input
+// mirrors chunk.Input: the two-phase read seam of the multi-lane
+// ingest path.
+type issueReader interface {
+	IssueReadAt(p []byte, off int64) (func() (int, error), error)
+}
+
+// IssueReadAt draws the fault decision at issue time — on the calling
+// (single ingest) goroutine, in call order — which is exactly what
+// keeps the site's fault schedule deterministic when the returned
+// waits execute concurrently across IO lanes. An injected error costs
+// nothing on the underlying device, a short read issues a halved
+// request, and a latency spike is slept here at issue, all mirroring
+// ReadAt.
+func (f *faultInput) IssueReadAt(p []byte, off int64) (func() (int, error), error) {
+	a := f.inj.decide(f.inner.Name(), opRead, true)
+	f.inj.sleep(a.spike)
+	if a.fault != nil {
+		return nil, a.fault
+	}
+	if a.short && len(p) > 1 {
+		p = p[:len(p)/2]
+	}
+	if ir, ok := f.inner.(issueReader); ok {
+		return ir.IssueReadAt(p, off)
+	}
+	// Inner without an issue/wait split: the decision above already
+	// happened serially, so running the plain read in the wait is safe.
+	q := p
+	return func() (int, error) { return f.inner.ReadAt(q, off) }, nil
 }
 
 // WrapDevice wraps a storage device under the given site name. The

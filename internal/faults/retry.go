@@ -134,3 +134,28 @@ func (f *retryInput) ReadAt(p []byte, off int64) (n int, err error) {
 	})
 	return n, err
 }
+
+// IssueReadAt retries the issue step: injected faults surface at issue
+// (see faultInput.IssueReadAt), so the whole backoff loop runs on the
+// single ingest goroutine and the retry schedule stays deterministic
+// under multi-lane waits. The successfully issued wait is returned
+// untouched.
+func (f *retryInput) IssueReadAt(p []byte, off int64) (func() (int, error), error) {
+	ir, ok := f.inner.(issueReader)
+	if !ok {
+		return func() (int, error) { return f.ReadAt(p, off) }, nil
+	}
+	var wait func() (int, error)
+	err := f.r.Do(func() error {
+		w, e := ir.IssueReadAt(p, off)
+		if e != nil {
+			return e
+		}
+		wait = w
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wait, nil
+}

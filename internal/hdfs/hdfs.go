@@ -191,11 +191,27 @@ func (f *File) NodeFor(b int64) int { return int(b % int64(len(f.cluster.nodes))
 // distinct nodes overlap) and then crosses the shared link, which is
 // where the aggregate bandwidth cap comes from.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	wait, err := f.IssueReadAt(p, off)
+	if err != nil {
+		return 0, err
+	}
+	return wait()
+}
+
+// IssueReadAt is the two-phase read the multi-lane ingest path uses: the
+// issue step locates and reserves every covered block on its datanode's
+// disk — in block order, on the caller's goroutine, so the per-datanode
+// request sequence (and any fault schedule on those disks) stays
+// deterministic however many lanes run the waits. The returned wait
+// moves the bytes across the network, sleeps until the slowest disk is
+// done, and fills p. A non-nil error means a block reservation failed
+// and no bytes will be delivered.
+func (f *File) IssueReadAt(p []byte, off int64) (func() (int, error), error) {
 	if off < 0 {
-		return 0, fmt.Errorf("hdfs: negative offset %d reading %q", off, f.name)
+		return nil, fmt.Errorf("hdfs: negative offset %d reading %q", off, f.name)
 	}
 	if off >= f.size {
-		return 0, io.EOF
+		return nil, io.EOF
 	}
 	n := int64(len(p))
 	if off+n > f.size {
@@ -221,25 +237,27 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		// reservation (fault injection) fails the whole block fetch.
 		d, err := storage.TryReserve(node.disk, b*bs+inBlock, take)
 		if err != nil {
-			return 0, fmt.Errorf("hdfs: fetch block %d of %q from dn%d: %w", b, f.name, node.id, err)
+			return nil, fmt.Errorf("hdfs: fetch block %d of %q from dn%d: %w", b, f.name, node.id, err)
 		}
 		if d > diskDeadline {
 			diskDeadline = d
 		}
 		cur += take
 	}
-	// Datanodes stream blocks while bytes cross the shared link, so the
-	// call completes when BOTH the slowest disk and the wire are done —
-	// not their sum. Under a star topology each segment is attributed to
-	// its source datanode's access port.
-	f.transferSegments(off, n)
-	clock.SleepUntil(diskDeadline)
+	return func() (int, error) {
+		// Datanodes stream blocks while bytes cross the shared link, so
+		// the read completes when BOTH the slowest disk and the wire are
+		// done — not their sum. Under a star topology each segment is
+		// attributed to its source datanode's access port.
+		f.transferSegments(off, n)
+		clock.SleepUntil(diskDeadline)
 
-	f.fill(off, p[:n])
-	if n < int64(len(p)) {
-		return int(n), io.EOF
-	}
-	return int(n), nil
+		f.fill(off, p[:n])
+		if n < int64(len(p)) {
+			return int(n), io.EOF
+		}
+		return int(n), nil
+	}, nil
 }
 
 // transferSegments moves the byte range across the network, charging

@@ -104,6 +104,16 @@ type Stats struct {
 	SpilledBytes  int64         // payload bytes the spill layer wrote to storage
 	MapBusy       time.Duration // aggregate worker-busy time in map tasks
 	ReduceBusy    time.Duration // aggregate worker-busy time in reduce tasks
+	// PrefetchHits counts ingest rounds whose next chunk was already
+	// waiting in the prefetch ring when the map wave finished.
+	PrefetchHits int
+	// IngestStall is the total time map workers sat idle waiting for
+	// the next chunk to arrive — the per-round slice of Fig. 1's
+	// ingest/compute utilization gap.
+	IngestStall time.Duration
+	// IngestLaneBytes is the payload bytes each IO lane carried during
+	// ingest, indexed by lane; nil when the job ran a single lane.
+	IngestLaneBytes []int64
 	// Tasks is the executor's per-phase task instrumentation: task
 	// counts, queue-wait and busy durations keyed by phase label.
 	Tasks map[string]metrics.TaskStats
@@ -265,6 +275,7 @@ func IngestChunk(input chunk.Stream, p *exec.Pool) (*chunk.Chunk, error) {
 					names = append(names, n)
 				}
 			}
+			ch.Release()
 		}
 		return &chunk.Chunk{Data: buf, Files: names}, nil
 	}

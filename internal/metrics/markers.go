@@ -48,6 +48,20 @@ func (t *Timer) WithMarkers(log *MarkerLog) *Timer {
 	return t
 }
 
+// Mark logs a free-form event marker (e.g. "ingest stall") at the
+// current time into the timer's marker log; without one it is a no-op.
+// Event markers render on the same trace ruler as phase boundaries, so
+// stalls can be read off a utilization chart the way the paper reads
+// the ingest/compute gap in Fig. 1.
+func (t *Timer) Mark(label string) {
+	t.mu.Lock()
+	m := t.markers
+	t.mu.Unlock()
+	if m != nil {
+		m.Add(t.now(), label)
+	}
+}
+
 // AnnotatedASCII renders the trace with a marker ruler underneath:
 // each phase-start marker appears as a caret column labelled in a
 // legend, so phase intervals can be read off the chart.

@@ -59,6 +59,16 @@ type DiskConfig struct {
 	Name      string        // for diagnostics
 	Bandwidth float64       // sequential read bandwidth, bytes/sec
 	SeekTime  time.Duration // penalty for a discontiguous request
+	// StreamBandwidth, when positive and below Bandwidth, caps the rate a
+	// single request is delivered at: one outstanding request completes at
+	// StreamBandwidth while the device as a whole still services queued
+	// requests at Bandwidth. This models command-queued devices (NCQ
+	// disks, multi-queue SSDs, RAID members behind a striping controller)
+	// where a lone sequential reader cannot saturate the aggregate — the
+	// gap the multi-lane ingest path exists to close. Zero (the default)
+	// means a single request sees the full Bandwidth, the original
+	// single-stream model.
+	StreamBandwidth float64
 }
 
 // Disk is a single simulated spindle. Requests are serviced in FIFO
@@ -82,6 +92,9 @@ func NewDisk(cfg DiskConfig, clock Clock) (*Disk, error) {
 	}
 	if cfg.SeekTime < 0 {
 		return nil, fmt.Errorf("storage: disk %q seek time must be non-negative, got %v", cfg.Name, cfg.SeekTime)
+	}
+	if cfg.StreamBandwidth < 0 {
+		return nil, fmt.Errorf("storage: disk %q stream bandwidth must be non-negative, got %v", cfg.Name, cfg.StreamBandwidth)
 	}
 	if clock == nil {
 		return nil, fmt.Errorf("storage: disk %q requires a clock", cfg.Name)
@@ -125,17 +138,17 @@ func (d *Disk) reserve(off, n int64, write bool) time.Duration {
 	if start < now {
 		start = now
 	}
-	var service time.Duration
+	var service, seek time.Duration
 	if n > 0 {
 		if d.nextOff != off && d.nextOff >= 0 {
-			service += d.cfg.SeekTime
+			seek = d.cfg.SeekTime
 			d.stats.Seeks++
 		} else if d.nextOff < 0 && d.cfg.SeekTime > 0 {
 			// First request ever pays an initial seek.
-			service += d.cfg.SeekTime
+			seek = d.cfg.SeekTime
 			d.stats.Seeks++
 		}
-		service += durationFor(n, d.cfg.Bandwidth)
+		service = seek + durationFor(n, d.cfg.Bandwidth)
 		d.nextOff = off + n
 		if write {
 			d.stats.Writes++
@@ -146,8 +159,20 @@ func (d *Disk) reserve(off, n int64, write bool) time.Duration {
 		}
 		d.stats.BusyTime += service
 	}
+	// The device head is occupied for `service` at the aggregate
+	// bandwidth; the next queued request can start then. The *caller's*
+	// completion deadline may be later: a single stream drains at
+	// StreamBandwidth, so a lone request finishes at the stream rate while
+	// concurrent requests pipeline behind each other and together approach
+	// the aggregate rate.
 	d.busyTill = start + service
-	return d.busyTill
+	complete := d.busyTill
+	if n > 0 && d.cfg.StreamBandwidth > 0 && d.cfg.StreamBandwidth < d.cfg.Bandwidth {
+		if c := start + seek + durationFor(n, d.cfg.StreamBandwidth); c > complete {
+			complete = c
+		}
+	}
+	return complete
 }
 
 // Stats returns a snapshot of the disk's counters.

@@ -62,11 +62,27 @@ func (f *File) Device() Device { return f.dev }
 // for the transfer and sleeping until the device completes. It satisfies
 // io.ReaderAt: short reads at EOF return io.EOF.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	wait, err := f.IssueReadAt(p, off)
+	if err != nil {
+		return 0, err
+	}
+	return wait()
+}
+
+// IssueReadAt is the two-phase read the multi-lane ingest path uses: the
+// issue step books the device reservation (in deterministic FIFO order on
+// the caller's goroutine) and the returned wait completes the transfer —
+// filling p and sleeping until the reserved deadline — possibly on
+// another goroutine. A non-nil error means the read failed at issue and
+// no bytes will be delivered; issuing reads in a fixed order keeps the
+// device timeline (and any fault-injection schedule layered on the
+// device) independent of how many lanes execute the waits.
+func (f *File) IssueReadAt(p []byte, off int64) (func() (int, error), error) {
 	if off < 0 {
-		return 0, fmt.Errorf("storage: negative offset %d reading %q", off, f.name)
+		return nil, fmt.Errorf("storage: negative offset %d reading %q", off, f.name)
 	}
 	if off >= f.size {
-		return 0, io.EOF
+		return nil, io.EOF
 	}
 	n := int64(len(p))
 	if off+n > f.size {
@@ -74,14 +90,16 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	deadline, err := TryReserve(f.dev, f.base+off, n)
 	if err != nil {
-		return 0, fmt.Errorf("storage: read %q at %d: %w", f.name, off, err)
+		return nil, fmt.Errorf("storage: read %q at %d: %w", f.name, off, err)
 	}
-	f.fill(off, p[:n])
-	f.dev.Clock().SleepUntil(deadline)
-	if n < int64(len(p)) {
-		return int(n), io.EOF
-	}
-	return int(n), nil
+	return func() (int, error) {
+		f.fill(off, p[:n])
+		f.dev.Clock().SleepUntil(deadline)
+		if n < int64(len(p)) {
+			return int(n), io.EOF
+		}
+		return int(n), nil
+	}, nil
 }
 
 // NewReader returns a sequential reader over the whole file.

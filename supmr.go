@@ -187,6 +187,20 @@ type Config struct {
 	// and spill writes rewrite the whole torn run. Permanent faults and
 	// genuine errors fail immediately. The zero policy disables retries.
 	Retry RetryPolicy
+	// IOLanes is the number of dedicated IO workers ingest fans out
+	// across (SupMR runtime): each chunk read is split into up to
+	// IOLanes segments whose device waits overlap — the striped
+	// multi-lane ingest path. On an HDFS input the segments fetch their
+	// blocks from distinct datanodes in parallel. <= 1 (the default)
+	// keeps the paper's single ingest thread. The traditional runtime's
+	// single whole-input read is not segmented; extra lanes sit idle.
+	IOLanes int
+	// PrefetchDepth is the SupMR prefetch ring depth: up to this many
+	// ingest chunks are kept in flight ahead of the map wave. <= 1 (the
+	// default) is the paper's double buffering — exactly one chunk
+	// ahead. Deeper rings smooth over ingest jitter at the cost of that
+	// many resident chunk buffers.
+	PrefetchDepth int
 }
 
 // Report is the outcome of a run: globally key-sorted output pairs,
@@ -279,9 +293,10 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		timer.WithMarkers(markers)
 	}
 	pool := exec.NewPool(cfg.Context, exec.Config{
-		Workers:  cfg.Workers,
-		Recorder: rec,
-		Now:      clk.Now,
+		Workers:   cfg.Workers,
+		IOWorkers: cfg.IOLanes,
+		Recorder:  rec,
+		Now:       clk.Now,
 	})
 	defer pool.Close()
 	ro := mapreduce.Options{
@@ -328,6 +343,8 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 			SpillStore:     store,
 			Retry:          cfg.Retry,
 			FaultCounters:  cfg.faultCounters(),
+			PrefetchDepth:  cfg.PrefetchDepth,
+			IOLanes:        cfg.IOLanes,
 		}
 		if cfg.AdaptiveChunks {
 			initial := cfg.ChunkBytes

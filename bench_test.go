@@ -368,8 +368,9 @@ func BenchmarkExecutorSpawnVsPool(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cont := WordCountContainer(64)
 			opts := mapreduce.Options{Workers: 4, Splits: 8}
+			var pool *exec.Pool
 			if persistent {
-				pool := exec.NewLocal(4)
+				pool = exec.NewLocal(4)
 				opts.Pool = pool
 			}
 			for _, c := range chunks {
@@ -377,8 +378,8 @@ func BenchmarkExecutorSpawnVsPool(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			if opts.Pool != nil {
-				opts.Pool.Close()
+			if pool != nil {
+				pool.Close()
 			}
 		}
 	}

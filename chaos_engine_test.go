@@ -1,0 +1,104 @@
+package supmr
+
+// Chaos x engine: the fault-injection sweep's safety invariant must
+// survive multiplexing. Two jobs submitted concurrently to one shared
+// Engine — each with its own deterministic injector — must produce
+// exactly the outcome the same configuration produces solo: identical
+// output bytes on recovery, the same wrapped ErrInjectedFault on
+// permanent failure, and no cross-job bleed either way.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"supmr/internal/storage"
+)
+
+// runChaosWCEngine is runChaosWC's engine-mode twin: the same word
+// count, fault plan and retry policy, but submitted to a shared engine.
+func runChaosWCEngine(text []byte, e *Engine, v chaosVariant, inj *FaultInjector, retry RetryPolicy, clk Clock, tenant string) (string, error) {
+	cfg := Config{
+		Runtime:    v.runtime,
+		ChunkBytes: 24 << 10,
+		Clock:      clk,
+		Faults:     inj,
+		Retry:      retry,
+		Engine:     e,
+		Tenant:     tenant,
+	}
+	if v.budget > 0 {
+		cfg.MemoryBudget = v.budget
+		cfg.SpillDevice = NewFastDevice(clk)
+	}
+	rep, err := RunBytes[string, int64](WordCountJob(), text, WordCountContainer(16), applyIngestEnv(cfg))
+	if err != nil {
+		return "", err
+	}
+	return renderWC(rep.Pairs), nil
+}
+
+// TestChaosConcurrentEngine reuses the chaos sweep's seeds and plans,
+// running two differently-configured jobs (plain and spilling) at once
+// on one engine and diffing each against its solo outcome.
+func TestChaosConcurrentEngine(t *testing.T) {
+	text := genText(t, 192<<10, 11)
+	baseGoroutines := runtime.NumGoroutine()
+	retry := RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond}
+	pair := []chaosVariant{chaosVariants[0], chaosVariants[1]} // supmr, supmr-spill
+
+	for _, seed := range []int64{1, 7, 42} {
+		for planName, plan := range chaosPlans(seed) {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, planName), func(t *testing.T) {
+				// Solo outcomes first: the engine run must reproduce these
+				// exactly, error text included.
+				solo := make([]string, len(pair))
+				for i, v := range pair {
+					clk := storage.NewFakeClock()
+					out, err := runChaosWC(text, v, NewFaultInjector(plan, clk), retry, clk)
+					solo[i] = outcome(out, err)
+				}
+
+				// The engine's shared IO lanes cap each job's effective
+				// striping, so size them to the env override the multi-lane
+				// gate applies — otherwise engine runs would ingest with
+				// fewer lanes than the solo baselines and the fault plan
+				// would land on a different chunk.
+				e := NewEngine(EngineConfig{
+					Workers: 4,
+					IOLanes: ingestEnvCount("SUPMR_IO_LANES", 1),
+					MaxJobs: len(pair),
+				})
+				var wg sync.WaitGroup
+				shared := make([]string, len(pair))
+				errs := make([]error, len(pair))
+				for i, v := range pair {
+					wg.Add(1)
+					go func(i int, v chaosVariant) {
+						defer wg.Done()
+						clk := storage.NewFakeClock()
+						out, err := runChaosWCEngine(text, e, v, NewFaultInjector(plan, clk), retry, clk, v.name)
+						shared[i] = outcome(out, err)
+						errs[i] = err
+					}(i, v)
+				}
+				wg.Wait()
+				e.Close()
+
+				for i, v := range pair {
+					if shared[i] != solo[i] {
+						t.Errorf("%s: engine outcome diverges from solo:\n  solo:   %.200s\n  engine: %.200s",
+							v.name, solo[i], shared[i])
+					}
+					if errs[i] != nil && !errors.Is(errs[i], ErrInjectedFault) {
+						t.Errorf("%s: engine run failed with a non-injected error: %v", v.name, errs[i])
+					}
+				}
+			})
+		}
+	}
+	checkNoGoroutineLeak(t, baseGoroutines)
+}

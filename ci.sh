@@ -32,6 +32,8 @@ go test -race -count=1 \
     ./internal/spill/ \
     ./internal/faults/ \
     ./internal/apps/ \
+    ./internal/sched/ \
+    ./internal/server/ \
     .
 
 echo "== race-mode chaos gate =="
@@ -47,6 +49,13 @@ echo "== race-mode multi-lane chaos gate =="
 # change when bytes arrive, never which bytes.
 SUPMR_IO_LANES=4 SUPMR_PREFETCH_DEPTH=3 \
     go test -race -count=1 -run 'TestChaos|TestDifferential' .
+
+echo "== race-mode multi-job chaos gate =="
+# The multi-job invariant under the race detector: jobs sharing one
+# engine — including the chaos seeds re-run as two concurrent
+# submissions — must produce outcomes byte-identical to solo runs, with
+# per-job stats isolated and no goroutine leaks.
+go test -race -count=1 -run 'TestChaosConcurrentEngine|TestEngine' .
 
 echo "== ingest lane throughput gate =="
 # The tentpole claim, gated: segmented reads across 4 IO lanes must
@@ -136,5 +145,45 @@ if [[ $(echo "$fault_err" | grep -c .) -ne 1 ]] || ! echo "$fault_err" | grep -q
     exit 1
 fi
 echo "failed as expected: $fault_err"
+
+echo "== supmrd server smoke test =="
+# Start the job server, submit two jobs concurrently through the
+# client, and diff their digests against direct (engine-less) runs of
+# the same specs: server-mode output must be byte-identical.
+smoke_dir=$(mktemp -d)
+go build -o "$smoke_dir/supmr" ./cmd/supmr
+go build -o "$smoke_dir/supmrd" ./cmd/supmrd
+sock="$smoke_dir/supmrd.sock"
+"$smoke_dir/supmrd" -socket "$sock" -workers 4 -max-jobs 2 &
+supmrd_pid=$!
+trap 'kill "$supmrd_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+for _ in $(seq 1 100); do [[ -S "$sock" ]] && break; sleep 0.05; done
+[[ -S "$sock" ]] || { echo "supmrd never bound $sock" >&2; exit 1; }
+
+direct_wc=$("$smoke_dir/supmr" -digest -app wordcount -size 256k -chunk 32k -bw 0 -seed 3)
+direct_sort=$("$smoke_dir/supmr" -digest -app sort -size 200k -chunk 20k -bw 0 -seed 23)
+"$smoke_dir/supmr" submit -socket "$sock" -app wordcount -size 256k -chunk 32k -seed 3 \
+    -tenant alice -wait > "$smoke_dir/wc.out" &
+wc_job=$!
+"$smoke_dir/supmr" submit -socket "$sock" -app sort -size 200k -chunk 20k -seed 23 \
+    -tenant bob -wait > "$smoke_dir/sort.out" &
+sort_job=$!
+wait "$wc_job" "$sort_job"
+for pair in "wc:$direct_wc" "sort:$direct_sort"; do
+    app=${pair%%:*}
+    direct_digest=$(echo "${pair#*:}" | grep -o 'digest=[0-9a-f]*')
+    server_digest=$(grep -o 'digest=[0-9a-f]*' "$smoke_dir/$app.out")
+    if [[ -z "$direct_digest" || "$direct_digest" != "$server_digest" ]]; then
+        echo "$app digest mismatch: direct '$direct_digest' vs server '$server_digest'" >&2
+        cat "$smoke_dir/$app.out" >&2
+        exit 1
+    fi
+done
+"$smoke_dir/supmr" stats -socket "$sock"
+kill -TERM "$supmrd_pid"
+wait "$supmrd_pid" || { echo "supmrd exited dirty" >&2; exit 1; }
+trap - EXIT
+rm -rf "$smoke_dir"
+echo "server digests match direct runs"
 
 echo "CI OK"

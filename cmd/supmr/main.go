@@ -23,9 +23,16 @@ import (
 
 	"supmr"
 	"supmr/internal/cliutil"
+	"supmr/internal/jobspec"
 )
 
 func main() {
+	// A known subcommand routes to the supmrd client (`supmr submit ...`);
+	// everything else is the classic single-run CLI.
+	if len(os.Args) > 1 && clientCommands[os.Args[1]] {
+		clientMain(os.Args[1], os.Args[2:])
+		return
+	}
 	var (
 		app       = flag.String("app", "wordcount", "application: wordcount | sort | histogram | invindex | grep | linreg | kmeans")
 		rt        = flag.String("runtime", "supmr", "runtime: traditional | supmr")
@@ -50,6 +57,7 @@ func main() {
 		retries   = flag.String("retries", "", "retry policy for transient faults: attempt count (\"4\") or attempts=N,base=DUR,max=DUR,budget=N")
 		ioLanes   = flag.String("io-lanes", "1", "IO lanes for striped ingest: each chunk read splits into this many segments read in parallel (supmr runtime)")
 		prefetch  = flag.String("prefetch-depth", "1", "prefetch ring depth: ingest chunks kept in flight ahead of the map wave (supmr runtime)")
+		digest    = flag.Bool("digest", false, "print the output digest instead of the full report, for diffing against a server-mode run (wordcount/sort/histogram/grep)")
 	)
 	flatComb := onOffFlag(true)
 	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
@@ -63,6 +71,26 @@ func main() {
 	// mid-phase.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *digest {
+		// Digest mode runs through the same jobspec path the server uses,
+		// so its output line diffs cleanly against `supmr submit -wait`.
+		rtName := *rt
+		if rtName == "supmr" {
+			rtName = ""
+		}
+		res, err := jobspec.Run(ctx, jobspec.Spec{
+			App: *app, Runtime: rtName, Size: parseSize(*size), Seed: *seed,
+			ChunkBytes: parseSize(*chunkSz), Budget: parseSize(*budget), BW: parseSize(*bw),
+			IOLanes: parseCount(*ioLanes), PrefetchDepth: parseCount(*prefetch),
+			Pattern: *pattern, Faults: *faultsStr, Retries: *retries,
+		}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supmr:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("app=%s pairs=%d digest=%s\n", res.App, res.OutputPairs, res.Digest)
+		return
+	}
 	if err := run(ctx, runOpts{
 		app: *app, rt: *rt, size: parseSize(*size), chunkSz: parseSize(*chunkSz), budget: parseSize(*budget),
 		bw: parseSize(*bw), workers: *workers, merge: *merge, files: *files,

@@ -111,3 +111,42 @@ func TestBadFaultPlanRejected(t *testing.T) {
 		t.Fatalf("stderr does not explain the bad probability: %s", stderr.String())
 	}
 }
+
+// TestBadKnobsExitUsage covers flag validation for the ingest and
+// budget knobs: non-positive lane counts, prefetch depths and negative
+// budgets are usage errors — exit 2 with a descriptive line — caught
+// before any job runs.
+func TestBadKnobsExitUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"io-lanes-zero", []string{"-io-lanes", "0"}, "below minimum"},
+		{"io-lanes-negative", []string{"-io-lanes", "-3"}, "below minimum"},
+		{"prefetch-zero", []string{"-prefetch-depth", "0"}, "below minimum"},
+		{"prefetch-garbage", []string{"-prefetch-depth", "lots"}, "bad count"},
+		{"budget-negative", []string{"-budget", "-5m"}, "negative size"},
+		{"size-garbage", []string{"-size", "12q"}, "bad size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			args := append([]string{"-app", "wordcount", "-size", "64k", "-bw", "0"}, tc.args...)
+			cmd := exec.CommandContext(ctx, os.Args[0], args...)
+			cmd.Env = append(os.Environ(), "SUPMR_RUN_MAIN=1")
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("want exit 2, got %v; stderr:\n%s", err, stderr.String())
+			}
+			out := stderr.String()
+			if !strings.HasPrefix(out, "supmr: ") || !strings.Contains(out, tc.want) {
+				t.Fatalf("stderr %q does not explain the usage error (want %q)", out, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"supmr/internal/jobspec"
+	"supmr/internal/server"
+)
+
+// TestMain re-execs the test binary as supmrd when asked, so the tests
+// below can observe real exit codes and run the server as a separate
+// process.
+func TestMain(m *testing.M) {
+	if os.Getenv("SUPMRD_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestBadKnobsExitUsage pins flag validation: non-positive lane counts,
+// job limits or negative budgets are usage errors — exit 2 before the
+// socket is even bound.
+func TestBadKnobsExitUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"io-lanes-zero", []string{"-io-lanes", "0"}, "below minimum"},
+		{"io-lanes-negative", []string{"-io-lanes", "-2"}, "below minimum"},
+		{"budget-negative", []string{"-budget", "-64m"}, "negative size"},
+		{"max-jobs-zero", []string{"-max-jobs", "0"}, "below minimum"},
+		{"op-slots-zero", []string{"-op-slots", "0"}, "below minimum"},
+		{"max-pending-bad", []string{"-max-pending", "-5"}, "-max-pending"},
+		{"workers-negative", []string{"-workers", "-1"}, "-workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			args := append([]string{"-socket", filepath.Join(t.TempDir(), "s.sock")}, tc.args...)
+			cmd := exec.CommandContext(ctx, os.Args[0], args...)
+			cmd.Env = append(os.Environ(), "SUPMRD_RUN_MAIN=1")
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("want exit 2, got %v; stderr:\n%s", err, stderr.String())
+			}
+			out := stderr.String()
+			if !strings.HasPrefix(out, "supmrd: ") || !strings.Contains(out, tc.want) {
+				t.Fatalf("stderr %q does not explain the usage error (want %q)", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestServeSubmitShutdown is the process-level smoke test: start the
+// daemon, submit a job over the socket, read its digest, then SIGTERM
+// and expect a clean exit.
+func TestServeSubmitShutdown(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sock := filepath.Join(t.TempDir(), "supmrd.sock")
+	cmd := exec.CommandContext(ctx, os.Args[0], "-socket", sock, "-workers", "2")
+	cmd.Env = append(os.Environ(), "SUPMRD_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the socket to come up.
+	var c *server.Client
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		if c, err = server.Dial(sock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v\nstderr:\n%s", err, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer c.Close()
+
+	id, err := c.Submit(jobspec.Spec{App: "wordcount", Size: 64 << 10, Seed: 5, ChunkBytes: 16 << 10})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	v, err := c.Wait(id)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if v.State != server.StateDone || v.Result == nil || v.Result.Digest == "" {
+		t.Fatalf("job did not finish cleanly: %+v", v)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited dirty: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shutting down") {
+		t.Errorf("shutdown not announced on stderr: %q", stderr.String())
+	}
+}

@@ -24,8 +24,8 @@ type Chunk struct {
 	Data  []byte
 	Files []string
 
-	backing []byte   // full pooled buffer backing Data
-	free    *Fetcher // freelist to return to on Release; nil when unpooled
+	backing []byte    // full pooled buffer backing Data
+	free    *FreeList // freelist to return to on Release; nil when unpooled
 }
 
 // Size returns the chunk payload size.

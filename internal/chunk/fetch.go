@@ -33,6 +33,74 @@ type Dispatch func(bytes int64, fn func()) (join func() error)
 // below this are not worth a lane round-trip.
 const minSegment = 4096
 
+// FreeList is the chunk-buffer freelist: released chunks park here and
+// back future chunks, so steady-state ingest allocates O(ring depth)
+// buffers, not O(chunks). It is safe for concurrent use and may be
+// shared across many streams — a multi-job engine hands every job's
+// fetcher the same list, so chunk buffers recycle across jobs instead
+// of each job growing its own pool. A nil *FreeList allocates fresh
+// chunks and drops releases.
+type FreeList struct {
+	mu     sync.Mutex
+	free   []*Chunk
+	gets   int64 // chunks handed out
+	reuses int64 // handed-out chunks that came from the list
+}
+
+// NewFreeList builds an empty freelist.
+func NewFreeList() *FreeList { return &FreeList{} }
+
+// Stats reports chunks handed out and how many were recycled buffers.
+func (l *FreeList) Stats() (gets, reuses int64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gets, l.reuses
+}
+
+// acquire returns a pooled chunk whose backing buffer has at least
+// capHint capacity, allocating one when the list is empty.
+func (l *FreeList) acquire(capHint int64) *Chunk {
+	if l == nil {
+		return &Chunk{}
+	}
+	l.mu.Lock()
+	var c *Chunk
+	if n := len(l.free); n > 0 {
+		c = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		l.reuses++
+	}
+	l.gets++
+	l.mu.Unlock()
+	if c == nil {
+		c = &Chunk{}
+	}
+	if int64(cap(c.backing)) < capHint {
+		c.backing = make([]byte, 0, capHint)
+	}
+	c.Data = nil
+	// Files gets a fresh slice per chunk, never a truncated reuse:
+	// applications may retain it past the map wave (the inverted index
+	// emits it into the container as posting lists).
+	c.Files = nil
+	c.free = l
+	return c
+}
+
+// release returns a chunk to the list (called via Chunk.Release).
+func (l *FreeList) release(c *Chunk) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.free = append(l.free, c)
+	l.mu.Unlock()
+}
+
 // Fetcher gives chunkers striped multi-lane reads and a chunk-buffer
 // freelist. A nil *Fetcher (the default everywhere) degrades every
 // method to the original single-stream, freshly-allocated behaviour, so
@@ -41,24 +109,28 @@ const minSegment = 4096
 // Buffer lifecycle: chunkers acquire a pooled chunk per Next, fill its
 // backing buffer, and emit it; the consumer calls Chunk.Release when
 // the map wave is done with the bytes, returning the buffer for a
-// future chunk. Steady-state ingest therefore allocates O(ring depth)
-// buffers, not O(chunks).
+// future chunk.
 type Fetcher struct {
 	lanes    int
 	dispatch Dispatch
-
-	mu   sync.Mutex
-	free []*Chunk
+	list     *FreeList
 }
 
 // NewFetcher builds a fetcher reading across lanes IO lanes through
-// dispatch. lanes <= 1 or a nil dispatch disables segmentation but
-// keeps the buffer freelist.
+// dispatch, with a private freelist. lanes <= 1 or a nil dispatch
+// disables segmentation but keeps the buffer freelist.
 func NewFetcher(lanes int, dispatch Dispatch) *Fetcher {
+	return NewFetcherShared(lanes, dispatch, NewFreeList())
+}
+
+// NewFetcherShared is NewFetcher over a caller-owned freelist, the
+// multi-job configuration: every job's fetcher draws from and releases
+// to the same list.
+func NewFetcherShared(lanes int, dispatch Dispatch, list *FreeList) *Fetcher {
 	if lanes < 1 {
 		lanes = 1
 	}
-	return &Fetcher{lanes: lanes, dispatch: dispatch}
+	return &Fetcher{lanes: lanes, dispatch: dispatch, list: list}
 }
 
 // Lanes returns the fetcher's lane count (1 for a nil fetcher).
@@ -75,34 +147,7 @@ func (f *Fetcher) acquire(capHint int64) *Chunk {
 	if f == nil {
 		return &Chunk{}
 	}
-	f.mu.Lock()
-	var c *Chunk
-	if n := len(f.free); n > 0 {
-		c = f.free[n-1]
-		f.free[n-1] = nil
-		f.free = f.free[:n-1]
-	}
-	f.mu.Unlock()
-	if c == nil {
-		c = &Chunk{}
-	}
-	if int64(cap(c.backing)) < capHint {
-		c.backing = make([]byte, 0, capHint)
-	}
-	c.Data = nil
-	// Files gets a fresh slice per chunk, never a truncated reuse:
-	// applications may retain it past the map wave (the inverted index
-	// emits it into the container as posting lists).
-	c.Files = nil
-	c.free = f
-	return c
-}
-
-// release returns a chunk to the freelist (called via Chunk.Release).
-func (f *Fetcher) release(c *Chunk) {
-	f.mu.Lock()
-	f.free = append(f.free, c)
-	f.mu.Unlock()
+	return f.list.acquire(capHint)
 }
 
 // seg is one outstanding portion of a segmented read.

@@ -175,7 +175,7 @@ func TestFreelistRecyclesBackingNeverFiles(t *testing.T) {
 	// Release is idempotent and nil-fetcher chunks are release-safe.
 	c2.Release()
 	c2.Release()
-	if got := len(f.free); got != 1 {
+	if got := len(f.list.free); got != 1 {
 		t.Errorf("double release grew the freelist to %d", got)
 	}
 	(&Chunk{}).Release()

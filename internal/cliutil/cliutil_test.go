@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -78,5 +79,21 @@ func TestParseCount(t *testing.T) {
 	}
 	if _, err := ParseCount("2", 3); err == nil {
 		t.Error("count below minimum accepted")
+	}
+}
+
+// TestKnobErrorsAreDescriptive pins the error text the CLIs surface for
+// the ingest/budget knobs: the message must carry the offending value
+// so `supmr -io-lanes 0` and friends fail with an explanation, not just
+// a usage dump.
+func TestKnobErrorsAreDescriptive(t *testing.T) {
+	if _, err := ParseCount("0", 1); err == nil || !strings.Contains(err.Error(), "below minimum 1") {
+		t.Errorf("ParseCount(0): %v", err)
+	}
+	if _, err := ParseCount("-4", 1); err == nil || !strings.Contains(err.Error(), "below minimum 1") {
+		t.Errorf("ParseCount(-4): %v", err)
+	}
+	if _, err := ParseSize("-5m"); err == nil || !strings.Contains(err.Error(), "negative size") {
+		t.Errorf("ParseSize(-5m): %v", err)
 	}
 }

@@ -106,6 +106,11 @@ type Options struct {
 	// overlap on the pool's IO workers. <= 1 keeps the single-stream
 	// read. Values above the pool's IO worker count are clamped.
 	IOLanes int
+	// Freelist, when set, is a shared chunk-buffer freelist the ingest
+	// fetcher recycles through — the multi-job engine passes one list so
+	// all submissions reuse each other's chunk buffers. Nil gives the
+	// job a private freelist.
+	Freelist *chunk.FreeList
 }
 
 // Result aliases the runtime result type.
@@ -130,8 +135,9 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	ro := opts.Options
 	pool := ro.Pool
 	if pool == nil {
-		pool = exec.NewPool(nil, exec.Config{Workers: ro.Workers, IOWorkers: opts.IOLanes, Recorder: ro.Recorder})
-		defer pool.Close()
+		own := exec.NewPool(nil, exec.Config{Workers: ro.Workers, IOWorkers: opts.IOLanes, Recorder: ro.Recorder})
+		defer own.Close()
+		pool = own
 		ro.Pool = pool
 	}
 	timer := ro.Timer
@@ -186,7 +192,11 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 				return h.Wait
 			}
 		}
-		fa.SetFetcher(chunk.NewFetcher(lanes, dispatch))
+		list := opts.Freelist
+		if list == nil {
+			list = chunk.NewFreeList()
+		}
+		fa.SetFetcher(chunk.NewFetcherShared(lanes, dispatch, list))
 	}
 
 	resizable, _ := input.(chunk.Resizable)
@@ -460,7 +470,7 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 // split across spills. The round count stays 1 — spilling adds merge
 // sources, not merge rounds, preserving the paper's single-round
 // property (§IV).
-func externalMerge[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], spiller *spill.Spiller[K, V], pool *exec.Pool) ([]kv.Pair[K, V], int, error) {
+func externalMerge[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], spiller *spill.Spiller[K, V], pool exec.Executor) ([]kv.Pair[K, V], int, error) {
 	if err := sortalgo.SortRuns(runs, app.Less, pool); err != nil {
 		return nil, 0, err
 	}

@@ -58,6 +58,98 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("exec: %s panicked: %v", e.Phase, e.Value)
 }
 
+// Executor is the task-submission surface the runtimes schedule on.
+// *Pool implements it directly — the single-job configuration, where the
+// pool belongs to the job. A multi-job engine hands each submission its
+// own Executor (internal/sched.JobPool) that shares one pool across jobs
+// while keeping cancellation, task statistics and lane-byte attribution
+// per job.
+type Executor interface {
+	// Workers returns the compute worker count (phase parallelism).
+	Workers() int
+	// IOLanes returns the dedicated IO worker count.
+	IOLanes() int
+	// LaneBytes snapshots this job's payload bytes per IO lane.
+	LaneBytes() []int64
+	// Context returns the job's cancellable context.
+	Context() context.Context
+	// Now reads the job clock.
+	Now() time.Duration
+	// Err reports the job's cancellation cause, nil while live.
+	Err() error
+	// Abort cancels the job (not the substrate) with the given cause.
+	Abort(cause error)
+	// ForEach runs fn(i) for i in [0, n) on the compute workers.
+	ForEach(phase string, state metrics.WorkerState, n int, fn func(i int) error) (time.Duration, error)
+	// GoIO runs fn asynchronously on a dedicated IO worker.
+	GoIO(phase string, state metrics.WorkerState, fn func() error) *Handle
+	// GoIOSized is GoIO with payload-byte lane attribution.
+	GoIOSized(phase string, state metrics.WorkerState, bytes int64, fn func() error) *Handle
+	// TaskStats snapshots this job's per-phase task instrumentation.
+	TaskStats() map[string]metrics.TaskStats
+}
+
+// Sink accumulates one job's execution statistics: per-phase task
+// counts/durations and per-IO-lane payload bytes. A pool owns a default
+// sink for its own submissions; a multi-job engine gives every
+// submission a private sink so concurrent jobs never bleed counters
+// into each other's reports.
+type Sink struct {
+	mu        sync.Mutex
+	stats     map[string]*metrics.TaskStats
+	laneBytes []int64
+}
+
+// NewSink builds a sink attributing IO bytes across lanes IO lanes.
+func NewSink(lanes int) *Sink {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &Sink{
+		stats:     make(map[string]*metrics.TaskStats),
+		laneBytes: make([]int64, lanes),
+	}
+}
+
+func (s *Sink) record(phase string, tasks int, queueWait, busy time.Duration) {
+	s.mu.Lock()
+	st := s.stats[phase]
+	if st == nil {
+		st = &metrics.TaskStats{}
+		s.stats[phase] = st
+	}
+	st.Add(metrics.TaskStats{Tasks: tasks, QueueWait: queueWait, Busy: busy})
+	s.mu.Unlock()
+}
+
+func (s *Sink) addLaneBytes(lane int, n int64) {
+	s.mu.Lock()
+	if lane >= 0 && lane < len(s.laneBytes) {
+		s.laneBytes[lane] += n
+	}
+	s.mu.Unlock()
+}
+
+// TaskStats snapshots the per-phase task instrumentation.
+func (s *Sink) TaskStats() map[string]metrics.TaskStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]metrics.TaskStats, len(s.stats))
+	for k, v := range s.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// LaneBytes snapshots the per-lane payload bytes.
+func (s *Sink) LaneBytes() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.laneBytes))
+	copy(out, s.laneBytes)
+	return out
+}
+
 // Config configures a pool.
 type Config struct {
 	// Workers is the number of compute workers (default: NumCPU).
@@ -112,11 +204,11 @@ type Pool struct {
 	io    chan task // dedicated IO lanes (ingest/prefetch)
 	wg    sync.WaitGroup
 
-	laneBytes []int64 // per-IO-lane payload bytes (atomic)
+	sink *Sink // the pool's own stats sink (single-job configuration)
 
-	mu     sync.Mutex
-	stats  map[string]*metrics.TaskStats
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // submits between the closed check and the send
 }
 
 // NewPool creates a pool of cfg.Workers compute workers plus
@@ -142,16 +234,15 @@ func NewPool(ctx context.Context, cfg Config) *Pool {
 	}
 	cctx, abort := context.WithCancelCause(ctx)
 	p := &Pool{
-		ctx:       cctx,
-		abort:     abort,
-		workers:   w,
-		lanes:     k,
-		rec:       cfg.Recorder,
-		now:       now,
-		tasks:     make(chan task, w),
-		io:        make(chan task, k),
-		laneBytes: make([]int64, k),
-		stats:     make(map[string]*metrics.TaskStats),
+		ctx:     cctx,
+		abort:   abort,
+		workers: w,
+		lanes:   k,
+		rec:     cfg.Recorder,
+		now:     now,
+		tasks:   make(chan task, w),
+		io:      make(chan task, k),
+		sink:    NewSink(k),
 	}
 	// Register every worker up front so trace worker ids are stable for
 	// the life of the job, whatever mix of phases runs on the pool:
@@ -192,13 +283,7 @@ func (p *Pool) IOLanes() int { return p.lanes }
 
 // LaneBytes snapshots the payload bytes attributed to each IO lane by
 // GoIOSized tasks, indexed by lane.
-func (p *Pool) LaneBytes() []int64 {
-	out := make([]int64, len(p.laneBytes))
-	for i := range out {
-		out[i] = atomic.LoadInt64(&p.laneBytes[i])
-	}
-	return out
-}
+func (p *Pool) LaneBytes() []int64 { return p.sink.LaneBytes() }
 
 // Context returns the pool's cancellable job context.
 func (p *Pool) Context() context.Context { return p.ctx }
@@ -229,43 +314,33 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	// Let submits that passed the closed check land before closing: the
+	// workers are still draining, so the pending sends complete.
+	p.inflight.Wait()
 	close(p.tasks)
 	close(p.io)
 	p.wg.Wait()
 	p.abort(context.Canceled) // release the derived context
 }
 
-func (p *Pool) record(phase string, tasks int, queueWait, busy time.Duration) {
-	p.mu.Lock()
-	s := p.stats[phase]
-	if s == nil {
-		s = &metrics.TaskStats{}
-		p.stats[phase] = s
-	}
-	s.Add(metrics.TaskStats{Tasks: tasks, QueueWait: queueWait, Busy: busy})
-	p.mu.Unlock()
-}
-
 // TaskStats snapshots the per-phase task instrumentation.
-func (p *Pool) TaskStats() map[string]metrics.TaskStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]metrics.TaskStats, len(p.stats))
-	for k, v := range p.stats {
-		out[k] = *v
-	}
-	return out
-}
+func (p *Pool) TaskStats() map[string]metrics.TaskStats { return p.sink.TaskStats() }
 
 // submit enqueues t on ch, refusing after Close.
 func (p *Pool) submit(ch chan task, t task) error {
+	// The in-flight count keeps Close from closing ch between the closed
+	// check and the send — a Close racing an active job (engine shutdown
+	// with submissions still running) waits for the send to land instead
+	// of panicking the sender.
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return fmt.Errorf("exec: pool is closed")
 	}
+	p.inflight.Add(1)
 	p.mu.Unlock()
 	ch <- t
+	p.inflight.Done()
 	return nil
 }
 
@@ -278,7 +353,31 @@ func (p *Pool) submit(ch chan task, t task) error {
 // themselves submit pool work; phases are sequential, tasks within a
 // phase are parallel.
 func (p *Pool) ForEach(phase string, state metrics.WorkerState, n int, fn func(i int) error) (time.Duration, error) {
-	if err := p.Err(); err != nil {
+	return p.ForEachScoped(p.ctx, p.sink, phase, state, n, fn)
+}
+
+// scopeErr reports ctx's cancellation cause, nil while live.
+func scopeErr(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// ForEachScoped is ForEach under a job scope: dispatch stops when ctx —
+// the job's context, typically derived from the pool's — is cancelled,
+// and task statistics land in sink rather than the pool's own. This is
+// the entry point a multi-job engine uses so one pool can run phases
+// from many jobs with per-job cancellation and attribution; ForEach is
+// exactly this call scoped to the pool itself.
+func (p *Pool) ForEachScoped(ctx context.Context, sink *Sink, phase string, state metrics.WorkerState, n int, fn func(i int) error) (time.Duration, error) {
+	if ctx == nil {
+		ctx = p.ctx
+	}
+	if sink == nil {
+		sink = p.sink
+	}
+	if err := scopeErr(ctx); err != nil {
 		return 0, err
 	}
 	if n <= 0 {
@@ -320,7 +419,7 @@ func (p *Pool) ForEach(phase string, state metrics.WorkerState, n int, fn func(i
 		defer wg.Done()
 		waitNS.Add(int64(time.Since(submitted)))
 		for {
-			if failed.Load() || p.ctx.Err() != nil {
+			if failed.Load() || ctx.Err() != nil {
 				return
 			}
 			i := int(next.Add(1)) - 1
@@ -346,9 +445,12 @@ func (p *Pool) ForEach(phase string, state metrics.WorkerState, n int, fn func(i
 	}
 	wg.Wait()
 	busy := time.Duration(busyNS.Load())
-	p.record(phase, int(ran.Load()), time.Duration(waitNS.Load()), busy)
+	sink.record(phase, int(ran.Load()), time.Duration(waitNS.Load()), busy)
 	if firstErr == nil && int(ran.Load()) < n {
 		// Dispatch stopped early without a task error: cancellation.
+		if err := scopeErr(ctx); err != nil {
+			return busy, err
+		}
 		if err := p.Err(); err != nil {
 			return busy, err
 		}
@@ -392,12 +494,23 @@ func (p *Pool) GoIO(phase string, state metrics.WorkerState, fn func() error) *H
 // whichever IO lane executes the task, feeding the per-lane ingest
 // throughput counters (LaneBytes).
 func (p *Pool) GoIOSized(phase string, state metrics.WorkerState, bytes int64, fn func() error) *Handle {
+	return p.GoIOScoped(p.sink, phase, state, bytes, fn)
+}
+
+// GoIOScoped is GoIOSized under a job scope: the task's statistics and
+// lane-byte attribution land in sink rather than the pool's own, so a
+// multi-job engine keeps per-submission ingest counters. The task
+// itself still runs on the shared IO lanes in submission order.
+func (p *Pool) GoIOScoped(sink *Sink, phase string, state metrics.WorkerState, bytes int64, fn func() error) *Handle {
+	if sink == nil {
+		sink = p.sink
+	}
 	h := &Handle{done: make(chan error, 1)}
 	submitted := time.Now()
 	t := task{run: func(w *worker) {
 		wait := time.Since(submitted)
 		if w.lane >= 0 && bytes > 0 {
-			atomic.AddInt64(&p.laneBytes[w.lane], bytes)
+			sink.addLaneBytes(w.lane, bytes)
 		}
 		w.setState(state)
 		start := time.Now()
@@ -410,7 +523,7 @@ func (p *Pool) GoIOSized(phase string, state metrics.WorkerState, bytes int64, f
 			return fn()
 		}()
 		w.setState(metrics.StateIdle)
-		p.record(phase, 1, wait, time.Since(start))
+		sink.record(phase, 1, wait, time.Since(start))
 		h.done <- err
 	}}
 	if err := p.submit(p.io, t); err != nil {

@@ -1,0 +1,269 @@
+// Package jobspec is the serializable job description the supmrd job
+// server and the supmr CLI share: a Spec names an application, its
+// generated workload and its runtime knobs; Run executes it — against a
+// shared multi-job Engine when one is supplied — and returns a Result
+// whose output digest lets callers diff a server-mode run against a
+// direct run byte-for-byte without shipping the pairs themselves.
+package jobspec
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"supmr"
+	"supmr/internal/cliutil"
+)
+
+// Spec describes one job submission. The zero value of every optional
+// field selects the documented default; Validate rejects nonsensical
+// values instead of guessing.
+type Spec struct {
+	// App selects the application: wordcount | sort | histogram | grep.
+	App string `json:"app"`
+	// Runtime selects the runtime: "supmr" (default) | "traditional".
+	Runtime string `json:"runtime,omitempty"`
+	// Size is the generated input size in bytes (default 4 MiB).
+	Size int64 `json:"size,omitempty"`
+	// Seed seeds workload generation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// ChunkBytes is the SupMR ingest chunk size (default 256 KiB).
+	ChunkBytes int64 `json:"chunk,omitempty"`
+	// Budget caps the job's intermediate-container bytes; over-budget
+	// state spills (supmr runtime only; 0 = unbudgeted). On an engine,
+	// this is the request — the grant may be smaller.
+	Budget int64 `json:"budget,omitempty"`
+	// BW is the simulated storage bandwidth in bytes/sec (0 = infinite).
+	BW int64 `json:"bw,omitempty"`
+	// IOLanes is the striped-ingest lane count (default 1).
+	IOLanes int `json:"io_lanes,omitempty"`
+	// PrefetchDepth is the prefetch ring depth (default 1).
+	PrefetchDepth int `json:"prefetch_depth,omitempty"`
+	// Pattern is the comma-separated grep pattern list (grep only).
+	Pattern string `json:"pattern,omitempty"`
+	// Tenant names the submitting tenant for the engine rollup.
+	Tenant string `json:"tenant,omitempty"`
+	// Weight is the fair-share weight on the engine (default 1).
+	Weight int `json:"weight,omitempty"`
+	// Faults is a cliutil fault-plan string (e.g. "seed=7,read-err-every=5").
+	Faults string `json:"faults,omitempty"`
+	// Retries is a cliutil retry-policy string (e.g. "4" or "attempts=4,base=100us").
+	Retries string `json:"retries,omitempty"`
+}
+
+// Result summarizes a completed job: counters, the phase breakdown, and
+// a digest of the key-sorted output for cross-mode diffing.
+type Result struct {
+	App         string `json:"app"`
+	Runtime     string `json:"runtime"`
+	OutputPairs int    `json:"output_pairs"`
+	// Digest is the hex SHA-256 over the output pairs rendered one per
+	// line as "key\tvalue\n" — identical runs produce identical digests
+	// whether executed directly, solo, or on a shared engine.
+	Digest       string `json:"digest"`
+	Times        string `json:"times"`
+	MapWaves     int    `json:"map_waves"`
+	SpilledRuns  int    `json:"spilled_runs,omitempty"`
+	SpilledBytes int64  `json:"spilled_bytes,omitempty"`
+	Faults       string `json:"faults,omitempty"`
+}
+
+// apps the server knows how to build workloads for.
+var knownApps = map[string]bool{"wordcount": true, "sort": true, "histogram": true, "grep": true}
+
+// Validate rejects malformed specs with a descriptive error and fills
+// in no defaults — normalization happens in Run.
+func (s Spec) Validate() error {
+	if s.App == "" {
+		return fmt.Errorf("jobspec: missing app")
+	}
+	if !knownApps[s.App] {
+		return fmt.Errorf("jobspec: unknown app %q (want wordcount, sort, histogram or grep)", s.App)
+	}
+	switch s.Runtime {
+	case "", "supmr", "traditional":
+	default:
+		return fmt.Errorf("jobspec: unknown runtime %q", s.Runtime)
+	}
+	if s.Size < 0 {
+		return fmt.Errorf("jobspec: negative size %d", s.Size)
+	}
+	if s.ChunkBytes < 0 {
+		return fmt.Errorf("jobspec: negative chunk size %d", s.ChunkBytes)
+	}
+	if s.Budget < 0 {
+		return fmt.Errorf("jobspec: negative budget %d", s.Budget)
+	}
+	if s.BW < 0 {
+		return fmt.Errorf("jobspec: negative bandwidth %d", s.BW)
+	}
+	if s.IOLanes < 0 {
+		return fmt.Errorf("jobspec: io_lanes must be positive, got %d", s.IOLanes)
+	}
+	if s.PrefetchDepth < 0 {
+		return fmt.Errorf("jobspec: prefetch_depth must be positive, got %d", s.PrefetchDepth)
+	}
+	if s.Weight < 0 {
+		return fmt.Errorf("jobspec: negative weight %d", s.Weight)
+	}
+	if s.Budget > 0 {
+		if s.Runtime == "traditional" {
+			return fmt.Errorf("jobspec: budget requires the supmr runtime")
+		}
+		if s.App == "histogram" {
+			return fmt.Errorf("jobspec: budget is incompatible with histogram: its array container has a fixed footprint and cannot spill")
+		}
+	}
+	if s.Faults != "" {
+		if _, err := cliutil.ParseFaultPlan(s.Faults); err != nil {
+			return fmt.Errorf("jobspec: %w", err)
+		}
+	}
+	if s.Retries != "" {
+		if _, err := cliutil.ParseRetryPolicy(s.Retries); err != nil {
+			return fmt.Errorf("jobspec: %w", err)
+		}
+	}
+	return nil
+}
+
+// Run executes the spec. With eng non-nil the job is submitted to the
+// shared engine (admission, fair-share scheduling, budget carving);
+// with eng nil it runs solo on a dedicated pool — output and digest are
+// identical either way. ctx cancellation aborts the job.
+func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	size := spec.Size
+	if size <= 0 {
+		size = 4 << 20
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	chunk := spec.ChunkBytes
+	if chunk <= 0 {
+		chunk = 256 << 10
+	}
+	rt := supmr.RuntimeSupMR
+	rtName := "supmr"
+	if spec.Runtime == "traditional" {
+		rt = supmr.RuntimeTraditional
+		rtName = "traditional"
+	}
+
+	clock := supmr.NewClock()
+	var dev supmr.Device
+	if spec.BW > 0 {
+		d, err := supmr.NewDisk("sim", float64(spec.BW), 0, clock)
+		if err != nil {
+			return nil, err
+		}
+		dev = d
+	} else {
+		dev = supmr.NewFastDevice(clock)
+	}
+
+	cfg := supmr.Config{
+		Context:       ctx,
+		Runtime:       rt,
+		ChunkBytes:    chunk,
+		Clock:         clock,
+		IOLanes:       spec.IOLanes,
+		PrefetchDepth: spec.PrefetchDepth,
+		Engine:        eng,
+		Tenant:        spec.Tenant,
+		Weight:        spec.Weight,
+	}
+	if spec.Faults != "" {
+		plan, err := cliutil.ParseFaultPlan(spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = supmr.NewFaultInjector(plan, clock)
+	}
+	if spec.Retries != "" {
+		policy, err := cliutil.ParseRetryPolicy(spec.Retries)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Retry = policy
+	}
+	if spec.Budget > 0 {
+		cfg.MemoryBudget = spec.Budget
+		cfg.SpillDevice = dev // spill contends with ingest for the same bandwidth
+	}
+
+	switch spec.App {
+	case "wordcount":
+		f, err := supmr.TextFile("wcinput", size, seed, dev)
+		if err != nil {
+			return nil, err
+		}
+		return execJob(supmr.WordCountJob(), f, supmr.WordCountContainer(64), cfg, spec.App, rtName)
+	case "sort":
+		cfg.Boundary = supmr.CRLFRecords
+		f, err := supmr.TeraFile("sortinput", size/100, uint64(seed), dev)
+		if err != nil {
+			return nil, err
+		}
+		return execJob(supmr.SortJob(), f, supmr.SortContainer(), cfg, spec.App, rtName)
+	case "histogram":
+		f, err := supmr.TextFile("histinput", size, seed, dev)
+		if err != nil {
+			return nil, err
+		}
+		job := supmr.HistogramJob()
+		return execJob(job, f, job.NewContainer(8), cfg, spec.App, rtName)
+	case "grep":
+		pattern := spec.Pattern
+		if pattern == "" {
+			pattern = "ERROR"
+		}
+		job := supmr.GrepJob(strings.Split(pattern, ",")...)
+		f, err := supmr.TextFile("grepinput", size, seed, dev)
+		if err != nil {
+			return nil, err
+		}
+		return execJob(job, f, job.NewContainer(), cfg, spec.App, rtName)
+	}
+	return nil, fmt.Errorf("jobspec: unknown app %q", spec.App)
+}
+
+// execJob runs one typed job and flattens its report into a Result.
+func execJob[K comparable, V any](job supmr.Job[K, V], f supmr.Input, cont supmr.Container[K, V], cfg supmr.Config, app, rtName string) (*Result, error) {
+	rep, err := supmr.RunFile(job, f, cont, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		App:          app,
+		Runtime:      rtName,
+		OutputPairs:  len(rep.Pairs),
+		Digest:       Digest(rep.Pairs),
+		Times:        rep.Times.String(),
+		MapWaves:     rep.Stats.MapWaves,
+		SpilledRuns:  rep.Stats.SpilledRuns,
+		SpilledBytes: rep.Stats.SpilledBytes,
+	}
+	if rep.Stats.Faults.Any() {
+		res.Faults = rep.Stats.Faults.String()
+	}
+	return res, nil
+}
+
+// Digest hashes key-sorted output pairs: hex SHA-256 over one
+// "key\tvalue\n" line per pair. Two runs of the same job produce the
+// same digest exactly when their outputs are byte-identical under this
+// rendering.
+func Digest[K comparable, V any](pairs []supmr.Pair[K, V]) string {
+	h := sha256.New()
+	for _, p := range pairs {
+		fmt.Fprintf(h, "%v\t%v\n", p.Key, p.Val)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

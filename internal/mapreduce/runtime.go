@@ -52,11 +52,12 @@ type Options struct {
 	// consulted when this package creates the pool itself; an explicit
 	// Pool brings its own recorder wiring.
 	Recorder *metrics.UtilRecorder
-	// Pool is the job's persistent execution engine. When nil, Run and
-	// the phase primitives create a transient pool (sized by Workers,
-	// observing Recorder) for the call. The facade sets it so one pool
-	// spans the whole job, with the job context and clock attached.
-	Pool *exec.Pool
+	// Pool is the job's execution engine. When nil, Run and the phase
+	// primitives create a transient pool (sized by Workers, observing
+	// Recorder) for the call. The facade sets it so one executor spans
+	// the whole job, with the job context and clock attached — either a
+	// dedicated exec.Pool or a multi-job engine's per-submission handle.
+	Pool exec.Executor
 	// ResetContainer controls whether the container is re-initialized
 	// when mappers start — the traditional behaviour (§III-C). The
 	// traditional runtime has a single map wave, so this is safe; it
@@ -83,7 +84,7 @@ func (o Options) withDefaults() Options {
 // pool returns the executor for a phase call: the job pool when
 // configured, otherwise a transient pool the caller must release via the
 // returned func. Options must already have defaults applied.
-func (o Options) pool() (*exec.Pool, func()) {
+func (o Options) pool() (exec.Executor, func()) {
 	if o.Pool != nil {
 		return o.Pool, func() {}
 	}
@@ -234,7 +235,7 @@ func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], o
 // serves data — the sequential ingest phase of Fig. 1's first 180
 // seconds. A nil pool reads inline without instrumentation.
 // Cancellation of the pool's context is observed between chunks.
-func Ingest(input chunk.Stream, p *exec.Pool) ([]byte, error) {
+func Ingest(input chunk.Stream, p exec.Executor) ([]byte, error) {
 	c, err := IngestChunk(input, p)
 	if err != nil {
 		return nil, err
@@ -247,7 +248,7 @@ func Ingest(input chunk.Stream, p *exec.Pool) ([]byte, error) {
 // first-seen order, so chunk-aware applications (set_data) get the
 // same attribution under the traditional runtime as under SupMR's
 // whole-input stream.
-func IngestChunk(input chunk.Stream, p *exec.Pool) (*chunk.Chunk, error) {
+func IngestChunk(input chunk.Stream, p exec.Executor) (*chunk.Chunk, error) {
 	read := func(ctxErr func() error) (*chunk.Chunk, error) {
 		var buf []byte
 		if total := input.TotalBytes(); total > 0 {

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrBacklogFull rejects a submission when the pending-job backlog is at
+// capacity: the engine sheds load at the door instead of queueing
+// unboundedly. Callers should surface it to the submitter for retry.
+var ErrBacklogFull = errors.New("sched: job backlog full")
+
+// Admission bounds how many jobs run concurrently and how many may wait
+// behind them. It is job-level flow control in front of the Scheduler's
+// operation-level fairness: admitted jobs interleave per fair share;
+// un-admitted jobs hold no substrate resources at all.
+type Admission struct {
+	mu         sync.Mutex
+	active     int
+	maxActive  int
+	maxPending int
+	waiters    []*admWaiter // FIFO
+}
+
+type admWaiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// NewAdmission builds an admission controller allowing maxActive
+// concurrently running jobs (<=0: 4) and at most maxPending jobs
+// waiting for a run slot (<0: unbounded; 0: reject whenever all run
+// slots are busy).
+func NewAdmission(maxActive, maxPending int) *Admission {
+	if maxActive <= 0 {
+		maxActive = 4
+	}
+	return &Admission{maxActive: maxActive, maxPending: maxPending}
+}
+
+// MaxActive returns the concurrent-job bound.
+func (a *Admission) MaxActive() int { return a.maxActive }
+
+// Enter admits a job, blocking while maxActive jobs are running. It
+// fails fast with ErrBacklogFull when the pending backlog is at
+// capacity, and returns ctx's cancellation cause if the job is
+// cancelled while queued. Every successful Enter must be paired with
+// Leave.
+func (a *Admission) Enter(ctx context.Context) error {
+	a.mu.Lock()
+	if a.active < a.maxActive {
+		a.active++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.maxPending >= 0 && len(a.waiters) >= a.maxPending {
+		a.mu.Unlock()
+		return ErrBacklogFull
+	}
+	w := &admWaiter{ch: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	if ctx == nil {
+		<-w.ch
+		return nil
+	}
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if !w.granted {
+			for i, p := range a.waiters {
+				if p == w {
+					a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+					break
+				}
+			}
+			a.mu.Unlock()
+			return context.Cause(ctx)
+		}
+		a.mu.Unlock()
+		// Admission raced the cancellation: give the slot back.
+		a.Leave()
+		return context.Cause(ctx)
+	}
+}
+
+// Leave releases a run slot, admitting the longest-waiting pending job
+// if any.
+func (a *Admission) Leave() {
+	a.mu.Lock()
+	if len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		w.granted = true
+		close(w.ch) // slot transfers: active count is unchanged
+	} else {
+		a.active--
+	}
+	a.mu.Unlock()
+}
+
+// Stats reports currently running and queued job counts.
+func (a *Admission) Stats() (active, pending int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active, len(a.waiters)
+}

@@ -1,0 +1,87 @@
+package sched
+
+import "sync"
+
+// Budget carves one global memory budget into per-job grants, the
+// isolation that keeps N spilling jobs from starving each other: every
+// admission slot has a guaranteed share (total / slots) held in reserve
+// until a job claims it, so a submission never finds the budget drained
+// below its fair share by earlier arrivals. A job may claim more than
+// its share only out of bytes no reserved slot is entitled to.
+//
+// Grants cap the job's intermediate-container residency; a job whose
+// grant is below what it asked for simply spills more often — output is
+// unchanged, only the memory/IO trade moves.
+type Budget struct {
+	mu        sync.Mutex
+	total     int64
+	remaining int64
+	slots     int
+	active    int
+}
+
+// NewBudget builds a budget of total bytes split across slots admission
+// slots (<=0 slots: 1). A nil *Budget or total <= 0 disables global
+// budgeting: Carve grants every request in full.
+func NewBudget(total int64, slots int) *Budget {
+	if slots <= 0 {
+		slots = 1
+	}
+	return &Budget{total: total, remaining: total, slots: slots}
+}
+
+// Total returns the global budget (0 = unlimited).
+func (b *Budget) Total() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
+
+// Remaining returns the unclaimed bytes.
+func (b *Budget) Remaining() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining
+}
+
+// Carve grants up to want bytes to one job and returns the grant with
+// an idempotent release function to call when the job is done. want <= 0
+// — an unbudgeted job — grants in full and reserves nothing. The grant
+// is min(want, guaranteed share + unreserved spare); it is never 0 for
+// a positive want as long as the guaranteed share is positive.
+func (b *Budget) Carve(want int64) (int64, func()) {
+	if want <= 0 || b == nil || b.total <= 0 {
+		return want, func() {}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.active++
+	guaranteed := b.total / int64(b.slots)
+	freeSlots := b.slots - b.active
+	if freeSlots < 0 {
+		freeSlots = 0
+	}
+	avail := b.remaining - guaranteed*int64(freeSlots)
+	if avail < 0 {
+		avail = 0
+	}
+	grant := want
+	if grant > avail {
+		grant = avail
+	}
+	b.remaining -= grant
+	released := false
+	return grant, func() {
+		b.mu.Lock()
+		if !released {
+			released = true
+			b.remaining += grant
+			b.active--
+		}
+		b.mu.Unlock()
+	}
+}

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"context"
+	"time"
+
+	"supmr/internal/exec"
+	"supmr/internal/metrics"
+)
+
+// JobConfig configures one submission's handle on the shared substrate.
+type JobConfig struct {
+	// Name labels the job in the scheduler (diagnostics only).
+	Name string
+	// Weight is the fair-share weight (minimum 1).
+	Weight int
+	// Context, when set, bounds the job: its cancellation aborts this
+	// submission without touching the substrate or its peers.
+	Context context.Context
+}
+
+// JobPool is one job's exec.Executor over the shared pool: the
+// refactor's replacement for the per-job worker pool. Compute
+// operations (ForEach — a map wave, a spill drain, a reduce or merge
+// pass) first acquire a slot from the fair-share Scheduler, run to
+// completion on the shared pool's workers, then release the slot
+// charged with their measured cost — so concurrent jobs interleave at
+// operation boundaries instead of queueing whole-job FIFO. IO-lane work
+// (GoIO: ingest, prefetch, spill writes) bypasses the scheduler and
+// serializes only on the shared IO lanes, preserving each job's
+// ingest/compute overlap while another job's wave computes.
+//
+// Cancellation, task statistics and lane-byte attribution are all
+// job-scoped: Abort cancels this submission only, and TaskStats /
+// LaneBytes report this submission's counters only — concurrent jobs
+// never bleed into each other's reports.
+type JobPool struct {
+	pool   *exec.Pool
+	s      *Scheduler
+	ticket *Ticket
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	unhook func() bool // stops the pool-context propagation
+	sink   *exec.Sink
+}
+
+// NewJobPool registers one job on the scheduler and returns its
+// executor handle over the shared pool. Close it when the job is done.
+func NewJobPool(pool *exec.Pool, s *Scheduler, cfg JobConfig) *JobPool {
+	parent := cfg.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	// The substrate dying (engine Close or pool abort) must abort every
+	// submission: propagate the pool context's cause into the job's.
+	unhook := context.AfterFunc(pool.Context(), func() {
+		cancel(context.Cause(pool.Context()))
+	})
+	return &JobPool{
+		pool:   pool,
+		s:      s,
+		ticket: s.Register(cfg.Name, cfg.Weight),
+		ctx:    ctx,
+		cancel: cancel,
+		unhook: unhook,
+		sink:   exec.NewSink(pool.IOLanes()),
+	}
+}
+
+// Close releases the job's scheduler presence and context plumbing.
+// Idempotent; call after the run completes (the sink snapshots remain
+// readable).
+func (j *JobPool) Close() {
+	j.unhook()
+	j.cancel(context.Canceled)
+}
+
+// Workers returns the shared pool's compute worker count.
+func (j *JobPool) Workers() int { return j.pool.Workers() }
+
+// IOLanes returns the shared pool's IO lane count.
+func (j *JobPool) IOLanes() int { return j.pool.IOLanes() }
+
+// LaneBytes snapshots this job's payload bytes per IO lane.
+func (j *JobPool) LaneBytes() []int64 { return j.sink.LaneBytes() }
+
+// TaskStats snapshots this job's per-phase task instrumentation.
+func (j *JobPool) TaskStats() map[string]metrics.TaskStats { return j.sink.TaskStats() }
+
+// Context returns the job's cancellable context.
+func (j *JobPool) Context() context.Context { return j.ctx }
+
+// Now reads the shared substrate's job clock.
+func (j *JobPool) Now() time.Duration { return j.pool.Now() }
+
+// Err reports the job's cancellation cause, nil while live.
+func (j *JobPool) Err() error {
+	if j.ctx.Err() != nil {
+		return context.Cause(j.ctx)
+	}
+	return nil
+}
+
+// Abort cancels this job with the given cause. The substrate and the
+// other jobs on it are untouched.
+func (j *JobPool) Abort(cause error) { j.cancel(cause) }
+
+// ForEach runs one compute operation under the fair-share scheduler:
+// it acquires an operation slot (blocking while peers with less service
+// run their waves), executes fn(0..n-1) on the shared pool's compute
+// workers, and releases the slot charged with the operation's measured
+// wall-clock cost.
+func (j *JobPool) ForEach(phase string, state metrics.WorkerState, n int, fn func(i int) error) (time.Duration, error) {
+	if err := j.Err(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	if err := j.s.Acquire(j.ctx, j.ticket); err != nil {
+		return 0, err
+	}
+	start := j.pool.Now()
+	busy, err := j.pool.ForEachScoped(j.ctx, j.sink, phase, state, n, fn)
+	j.s.Release(j.ticket, j.pool.Now()-start)
+	return busy, err
+}
+
+// GoIO runs fn asynchronously on the shared IO lanes, unscheduled: IO
+// work is what compute waves hide behind, so gating it would serialize
+// exactly the overlap the pipeline exists for.
+func (j *JobPool) GoIO(phase string, state metrics.WorkerState, fn func() error) *Handle {
+	return j.pool.GoIOScoped(j.sink, phase, state, 0, fn)
+}
+
+// GoIOSized is GoIO with payload-byte attribution to this job's lane
+// counters.
+func (j *JobPool) GoIOSized(phase string, state metrics.WorkerState, bytes int64, fn func() error) *Handle {
+	return j.pool.GoIOScoped(j.sink, phase, state, bytes, fn)
+}
+
+// Handle aliases the exec join handle.
+type Handle = exec.Handle
+
+// JobPool is the multi-job Executor; the single-job one is *exec.Pool.
+var _ exec.Executor = (*JobPool)(nil)

@@ -1,0 +1,198 @@
+// Package sched turns the single-job runtime into a multi-job engine:
+// it schedules the *operations* of N concurrent jobs — map waves, spill
+// drains, reduce and merge tasks — onto one shared internal/exec pool,
+// instead of running whole jobs FIFO.
+//
+// The design follows the OS4M observation (see PAPERS.md): whole-job
+// FIFO lets one long job monopolize the machine while short jobs queue
+// behind it, but every job is really a sequence of bounded operations,
+// and interleaving at that granularity keeps global utilization flat
+// under mixed workloads. Three mechanisms compose:
+//
+//   - Scheduler: weighted fair queueing over operations. Every job holds
+//     a Ticket with a weight and a virtual time; an operation must
+//     Acquire one of the scheduler's operation slots before it may run
+//     on the shared pool, and the pending operation belonging to the
+//     job with the lowest virtual time wins each free slot. Completed
+//     operations charge their measured cost divided by the job's weight,
+//     so a job that just burned a long map wave yields the next slot to
+//     its peers. Preemption happens only at operation boundaries — a
+//     running wave is never interrupted, the paper's pipeline invariants
+//     hold within every operation.
+//
+//   - Admission: a bound on concurrently *running* jobs plus a bounded
+//     backlog of submitted-but-not-started jobs. A full backlog rejects
+//     immediately (ErrBacklogFull) instead of queueing unboundedly.
+//
+//   - Budget: a global memory budget carved into per-job grants, so the
+//     sum of all jobs' resident intermediate state stays bounded and one
+//     job spilling hard cannot starve another of its fair share.
+//
+// JobPool ties them together: it is the exec.Executor handle one
+// submission holds on the shared substrate, routing compute operations
+// through the Scheduler and keeping cancellation, task statistics and
+// lane-byte counters private to the job.
+package sched
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// OpSlots is the number of operations allowed on the shared pool at
+	// once (default 1). One slot serializes compute operations — each
+	// wave gets the full worker pool, the OS4M shape — while IO-lane
+	// work (ingest, prefetch, spill writes) continues to overlap
+	// underneath. More slots trade per-wave parallelism for inter-job
+	// overlap on machines with headroom.
+	OpSlots int
+}
+
+// Scheduler is the fair-share operation scheduler. Jobs Register for a
+// Ticket, Acquire a slot before each operation, and Release it with the
+// operation's measured cost afterwards.
+type Scheduler struct {
+	mu      sync.Mutex
+	slots   int
+	free    int
+	vclock  float64 // global virtual clock: vtime of the last dispatched job
+	seq     int64
+	pending []*waiter
+}
+
+// Ticket is one job's identity inside the scheduler.
+type Ticket struct {
+	s      *Scheduler
+	name   string
+	weight float64
+	vtime  float64
+}
+
+// waiter is one operation waiting for a slot.
+type waiter struct {
+	t       *Ticket
+	seq     int64
+	ch      chan struct{}
+	granted bool
+}
+
+// New builds a scheduler with cfg.OpSlots operation slots.
+func New(cfg Config) *Scheduler {
+	n := cfg.OpSlots
+	if n < 1 {
+		n = 1
+	}
+	return &Scheduler{slots: n, free: n}
+}
+
+// Register adds a job with the given fair-share weight (minimum 1: a
+// weight-2 job receives twice the operation service of a weight-1 job).
+// The ticket starts at the scheduler's current virtual clock, so a new
+// job competes fairly from now on without banked credit for the time it
+// did not exist.
+func (s *Scheduler) Register(name string, weight int) *Ticket {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Ticket{s: s, name: name, weight: float64(weight), vtime: s.vclock}
+}
+
+// Name returns the job name the ticket was registered with.
+func (t *Ticket) Name() string { return t.name }
+
+// Acquire blocks until the ticket's job is granted an operation slot or
+// ctx is cancelled (returning the cancellation cause). Grants go to the
+// pending operation whose job has the lowest virtual time; ties break
+// by arrival order.
+func (s *Scheduler) Acquire(ctx context.Context, t *Ticket) error {
+	s.mu.Lock()
+	// A job returning from idle must not have banked credit: lift it to
+	// the virtual clock (start-time fair queueing).
+	if t.vtime < s.vclock {
+		t.vtime = s.vclock
+	}
+	w := &waiter{t: t, seq: s.seq, ch: make(chan struct{})}
+	s.seq++
+	s.pending = append(s.pending, w)
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	if ctx == nil {
+		<-w.ch
+		return nil
+	}
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !w.granted {
+			for i, p := range s.pending {
+				if p == w {
+					s.pending = append(s.pending[:i], s.pending[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			return context.Cause(ctx)
+		}
+		s.mu.Unlock()
+		// The grant raced the cancellation: hand the slot straight back.
+		s.Release(t, 0)
+		return context.Cause(ctx)
+	}
+}
+
+// Release returns the slot after an operation, charging its measured
+// cost (divided by the job's weight) to the job's virtual time and
+// dispatching the next pending operation.
+func (s *Scheduler) Release(t *Ticket, cost time.Duration) {
+	s.mu.Lock()
+	if cost > 0 {
+		t.vtime += float64(cost) / t.weight
+	}
+	s.free++
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to pending operations in fair-share
+// order. Callers hold s.mu.
+func (s *Scheduler) dispatchLocked() {
+	for s.free > 0 && len(s.pending) > 0 {
+		best := 0
+		for i := 1; i < len(s.pending); i++ {
+			w, b := s.pending[i], s.pending[best]
+			if w.t.vtime < b.t.vtime || (w.t.vtime == b.t.vtime && w.seq < b.seq) {
+				best = i
+			}
+		}
+		w := s.pending[best]
+		s.pending = append(s.pending[:best], s.pending[best+1:]...)
+		w.granted = true
+		s.free--
+		if w.t.vtime > s.vclock {
+			s.vclock = w.t.vtime
+		}
+		close(w.ch)
+	}
+}
+
+// Waiting reports the number of operations currently queued for a slot.
+func (s *Scheduler) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Running reports the number of operation slots currently held.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots - s.free
+}

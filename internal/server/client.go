@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"supmr"
+	"supmr/internal/jobspec"
+)
+
+// Client is the thin supmrd protocol client the `supmr submit` family
+// of subcommands uses: one connection, serialized request/response
+// pairs. Safe for concurrent use, but a blocking Wait holds the
+// connection until the job finishes — use one Client per concurrent
+// waiter.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a supmrd unix socket.
+func Dial(socket string) (*Client, error) {
+	conn, err := net.Dial("unix", socket)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", socket, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request line and decodes one response line.
+func (c *Client) roundTrip(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(append(payload, '\n')); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("client: bad response: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("client: server error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Submit enqueues a job and returns its server-assigned id.
+func (c *Client) Submit(spec jobspec.Spec) (int64, error) {
+	resp, err := c.roundTrip(Request{Op: "submit", Spec: &spec})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Status reports one job's current state.
+func (c *Client) Status(id int64) (*JobView, error) {
+	resp, err := c.roundTrip(Request{Op: "status", ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Wait blocks until the job finishes and returns its final state.
+func (c *Client) Wait(id int64) (*JobView, error) {
+	resp, err := c.roundTrip(Request{Op: "wait", ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Cancel aborts a running job and reports its state.
+func (c *Client) Cancel(id int64) (*JobView, error) {
+	resp, err := c.roundTrip(Request{Op: "cancel", ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// List returns every job the server knows, oldest first.
+func (c *Client) List() ([]JobView, error) {
+	resp, err := c.roundTrip(Request{Op: "list"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Stats snapshots the server's engine.
+func (c *Client) Stats() (*supmr.EngineStats, error) {
+	resp, err := c.roundTrip(Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

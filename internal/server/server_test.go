@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"supmr"
+	"supmr/internal/jobspec"
+)
+
+// startServer brings up a server on a per-test socket and returns a
+// connected client plus the socket path. Everything is torn down with
+// the test.
+func startServer(t *testing.T, ec supmr.EngineConfig) (*Client, string) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "supmrd.sock")
+	srv, err := New(Config{Socket: sock, Engine: ec})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, sock
+}
+
+// TestServerDigestsMatchDirectRuns is the protocol end-to-end: two jobs
+// submitted concurrently over the socket produce digests identical to
+// the same specs run directly (no engine, no server).
+func TestServerDigestsMatchDirectRuns(t *testing.T) {
+	specs := []jobspec.Spec{
+		{App: "wordcount", Size: 96 << 10, Seed: 3, ChunkBytes: 16 << 10, Tenant: "alice"},
+		{App: "sort", Size: 80 << 10, Seed: 23, ChunkBytes: 20 << 10, Tenant: "bob"},
+	}
+	direct := make([]*jobspec.Result, len(specs))
+	for i, s := range specs {
+		res, err := jobspec.Run(context.Background(), s, nil)
+		if err != nil {
+			t.Fatalf("direct %s: %v", s.App, err)
+		}
+		direct[i] = res
+	}
+
+	c, sock := startServer(t, supmr.EngineConfig{Workers: 4, MaxJobs: 2})
+	ids := make([]int64, len(specs))
+	for i, s := range specs {
+		id, err := c.Submit(s)
+		if err != nil {
+			t.Fatalf("submit %s: %v", s.App, err)
+		}
+		ids[i] = id
+	}
+	// Both jobs run concurrently on the engine; wait for each on its own
+	// client so neither wait serializes the other.
+	var wg sync.WaitGroup
+	views := make([]*JobView, len(specs))
+	errs := make([]error, len(specs))
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wc, err := Dial(sock)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer wc.Close()
+			views[i], errs[i] = wc.Wait(ids[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range specs {
+		if errs[i] != nil {
+			t.Fatalf("wait %s: %v", s.App, errs[i])
+		}
+		v := views[i]
+		if v.State != StateDone {
+			t.Fatalf("%s: state %s, error %q", s.App, v.State, v.Error)
+		}
+		if v.Result == nil || v.Result.Digest == "" {
+			t.Fatalf("%s: missing result/digest: %+v", s.App, v)
+		}
+		if v.Result.Digest != direct[i].Digest {
+			t.Errorf("%s: server digest %s != direct digest %s", s.App, v.Result.Digest, direct[i].Digest)
+		}
+		if v.Result.OutputPairs != direct[i].OutputPairs {
+			t.Errorf("%s: server pairs %d != direct pairs %d", s.App, v.Result.OutputPairs, direct[i].OutputPairs)
+		}
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Completed != 2 {
+		t.Errorf("engine completed %d jobs, want 2", stats.Completed)
+	}
+	if _, ok := stats.Tenants["alice"]; !ok {
+		t.Errorf("tenant rollup missing alice: %v", stats.Tenants)
+	}
+	jobs, err := c.List()
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(jobs) != 2 || jobs[0].ID >= jobs[1].ID {
+		t.Errorf("list returned %+v, want 2 jobs oldest first", jobs)
+	}
+}
+
+func TestServerRejectsBadSpecs(t *testing.T) {
+	c, _ := startServer(t, supmr.EngineConfig{Workers: 2})
+	cases := []jobspec.Spec{
+		{},                               // missing app
+		{App: "mapreduce-bitcoin-miner"}, // unknown app
+		{App: "wordcount", IOLanes: -1},
+		{App: "wordcount", PrefetchDepth: -2},
+		{App: "wordcount", Budget: -1},
+		{App: "histogram", Budget: 1 << 20}, // array container cannot spill
+		{App: "wordcount", Runtime: "phoenix"},
+	}
+	for _, s := range cases {
+		if _, err := c.Submit(s); err == nil {
+			t.Errorf("spec %+v accepted, want rejection", s)
+		}
+	}
+	if stats, err := c.Stats(); err != nil || stats.Submitted != 0 {
+		t.Errorf("rejected specs reached the engine: %+v (err %v)", stats, err)
+	}
+}
+
+func TestServerCancel(t *testing.T) {
+	c, _ := startServer(t, supmr.EngineConfig{Workers: 2})
+	// A slow job: simulated bandwidth stretches ingest far beyond the
+	// test's patience, so cancel hits it mid-run.
+	id, err := c.Submit(jobspec.Spec{App: "wordcount", Size: 8 << 20, ChunkBytes: 64 << 10, BW: 1 << 20})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := c.Status(id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if v.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Cancel(id); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	v, err := c.Wait(id)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if v.State != StateCancelled {
+		t.Fatalf("state after cancel = %s (error %q), want %s", v.State, v.Error, StateCancelled)
+	}
+	if !strings.Contains(v.Error, "cancel") {
+		t.Errorf("cancelled job error %q does not mention cancellation", v.Error)
+	}
+}
+
+func TestServerUnknownJobAndOp(t *testing.T) {
+	c, _ := startServer(t, supmr.EngineConfig{Workers: 2})
+	if _, err := c.Status(42); err == nil || !strings.Contains(err.Error(), "no job") {
+		t.Errorf("status of unknown job: %v", err)
+	}
+	if _, err := c.roundTrip(Request{Op: "frobnicate"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("unknown op: %v", err)
+	}
+}
+
+// TestServerStaleSocketReclaim pins the restart path: a socket file
+// left behind by a dead server must not block a new one.
+func TestServerStaleSocketReclaim(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "supmrd.sock")
+	srv, err := New(Config{Socket: sock, Engine: supmr.EngineConfig{Workers: 1}})
+	if err != nil {
+		t.Fatalf("first server: %v", err)
+	}
+	// Simulate a crash: close the listener without removing the file.
+	srv.ln.(*net.UnixListener).SetUnlinkOnClose(false)
+	srv.ln.Close()
+	srv.eng.Close()
+
+	srv2, err := New(Config{Socket: sock, Engine: supmr.EngineConfig{Workers: 1}})
+	if err != nil {
+		t.Fatalf("server on stale socket: %v", err)
+	}
+	srv2.Close()
+}

@@ -30,7 +30,7 @@ import (
 // SortRuns sorts each run in place, in parallel on the executor. This is
 // the high-utilization prefix both merge algorithms share ("all cores
 // sorting small lists in parallel").
-func SortRuns[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) error {
+func SortRuns[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) error {
 	_, err := ex.ForEach("sort", metrics.StateUser, len(runs), func(i int) error {
 		kv.SortPairs(runs[i], less)
 		return nil
@@ -60,7 +60,7 @@ func mergeTwo[K any, V any](a, b []kv.Pair[K, V], less kv.Less[K], dst []kv.Pair
 // pairs until one remains. Each round processes every key again, and the
 // number of concurrently mergeable pairs (and hence busy workers) halves
 // every round. Runs must already be sorted.
-func PairwiseMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) ([]kv.Pair[K, V], error) {
+func PairwiseMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
 	if len(runs) == 0 {
 		return nil, nil
 	}
@@ -106,7 +106,7 @@ const samplesPerRun = 32
 // key space into one consistent range per worker; every worker
 // loser-tree-merges its column of run slices into a disjoint region of
 // the output.
-func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) ([]kv.Pair[K, V], error) {
+func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
 	// Drop empty runs.
 	var rs [][]kv.Pair[K, V]
 	total := 0
@@ -330,7 +330,7 @@ func (m MergeAlgo) String() string {
 }
 
 // Merge dispatches to the selected algorithm. Runs must be sorted.
-func Merge[K any, V any](algo MergeAlgo, runs [][]kv.Pair[K, V], less kv.Less[K], ex *exec.Pool) ([]kv.Pair[K, V], error) {
+func Merge[K any, V any](algo MergeAlgo, runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
 	switch algo {
 	case MergePWay:
 		return PWayMerge(runs, less, ex)

@@ -86,7 +86,7 @@ func (sp *Spiller[K, V]) Over(c container.Container[K, V]) bool {
 // tolerate re-reducing its own output, which every combiner-style app
 // does) and sorted on the pool's compute workers under the "spill"
 // phase label, then the disjoint sorted partitions merge into one run.
-func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool *exec.Pool) ([]kv.Pair[K, V], error) {
+func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool exec.Executor) ([]kv.Pair[K, V], error) {
 	parts := c.Partitions()
 	runs := make([][]kv.Pair[K, V], parts)
 	_, err := pool.ForEach("spill", metrics.StateUser, parts, func(p int) error {
@@ -135,7 +135,7 @@ func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool *exec.Pool) ([]
 // prefetch and executes while the next map round computes, showing up
 // as IO-wait on the IO worker. At most one spill write may be in
 // flight: callers Join before the next SpillAsync and before merging.
-func (sp *Spiller[K, V]) SpillAsync(pairs []kv.Pair[K, V], pool *exec.Pool) {
+func (sp *Spiller[K, V]) SpillAsync(pairs []kv.Pair[K, V], pool exec.Executor) {
 	if sp.pending != nil {
 		panic("spill: SpillAsync with a spill write already in flight; Join first")
 	}

@@ -201,6 +201,24 @@ type Config struct {
 	// ahead. Deeper rings smooth over ingest jitter at the cost of that
 	// many resident chunk buffers.
 	PrefetchDepth int
+	// Engine, when set, submits the job to a shared multi-job Engine
+	// instead of creating a dedicated worker pool: the run passes
+	// admission control, receives a memory grant carved from the
+	// engine's global budget (MemoryBudget becomes the request, the
+	// grant may be smaller), and its operations interleave with
+	// concurrent jobs under the fair-share scheduler. Output is
+	// byte-identical to a solo run; Workers/IOLanes here are ignored
+	// (the engine's substrate wins) and TraceContexts plus
+	// Report.Allocs are disabled (process-wide instruments cannot be
+	// attributed to one of several concurrent jobs).
+	Engine *Engine
+	// Tenant names the submitting tenant for the engine's per-tenant
+	// stats rollup (engine mode only; "" rolls up under "default").
+	Tenant string
+	// Weight is the job's fair-share weight on the engine's operation
+	// scheduler (engine mode only; minimum and default 1 — a weight-2
+	// job receives twice the operation service of a weight-1 job).
+	Weight int
 }
 
 // Report is the outcome of a run: globally key-sorted output pairs,
@@ -272,7 +290,8 @@ func mapreduceOptions(cfg Config) mapreduce.Options {
 // job (the execution engine of internal/exec): map, reduce, sort and
 // merge draw compute workers from it, ingest runs on its dedicated IO
 // worker, and cfg.Context cancellation or a panicking task aborts the
-// whole pipeline with a job error.
+// whole pipeline with a job error. With cfg.Engine set, the job is
+// instead submitted to the shared multi-job engine (see Engine).
 func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V], cfg Config) (*Report[K, V], error) {
 	if job == nil {
 		return nil, errors.New("supmr: nil job")
@@ -282,6 +301,9 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 	}
 	if cont == nil {
 		return nil, errors.New("supmr: nil container")
+	}
+	if cfg.Engine != nil {
+		return runOnEngine(cfg.Engine, job, input, cont, cfg)
 	}
 	clk := cfg.clock()
 	timer := metrics.NewTimer(clk.Now).WithAllocs()
@@ -299,14 +321,56 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		Now:       clk.Now,
 	})
 	defer pool.Close()
+	rep, err := runWithExecutor(job, input, cont, cfg, runSubstrate{
+		pool:   pool,
+		clk:    clk,
+		timer:  timer,
+		rec:    rec,
+		budget: cfg.MemoryBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Allocs = timer.Allocs()
+	if rec != nil {
+		bucket := cfg.TraceBucket
+		if bucket <= 0 {
+			bucket = 100 * time.Millisecond
+		}
+		rep.Trace = rec.Build(bucket, rep.Times.Total)
+		rep.Markers = markers.Markers()
+	}
+	return rep, nil
+}
+
+// runSubstrate is the execution substrate a run is bound to: a
+// dedicated pool for a solo run, a JobPool handle plus shared freelist
+// and budget grant in engine mode.
+type runSubstrate struct {
+	pool  exec.Executor
+	clk   storage.Clock
+	timer *metrics.Timer
+	rec   *metrics.UtilRecorder
+	// budget is the container-residency cap for this run: the config's
+	// MemoryBudget for a solo run, the engine's carved grant otherwise.
+	budget int64
+	// frees, when set, is the engine's shared chunk-buffer freelist.
+	frees *chunk.FreeList
+}
+
+// runWithExecutor is the runtime-selection body shared by solo and
+// engine-mode runs: it builds the spill store when a budget is set,
+// runs the configured runtime on the substrate's executor, and
+// assembles the substrate-independent part of the Report.
+func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V], cfg Config, sub runSubstrate) (*Report[K, V], error) {
 	ro := mapreduce.Options{
 		Workers:  cfg.Workers,
 		Splits:   cfg.Splits,
 		Merge:    cfg.mergeAlgo(),
 		Boundary: cfg.boundary(),
-		Timer:    timer,
-		Recorder: rec,
-		Pool:     pool,
+		Timer:    sub.timer,
+		Recorder: sub.rec,
+		Pool:     sub.pool,
 	}
 
 	var (
@@ -314,13 +378,13 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		err error
 	)
 	var store *spill.Store
-	if cfg.MemoryBudget > 0 {
+	if sub.budget > 0 {
 		if cfg.Runtime != RuntimeSupMR {
 			return nil, errors.New("supmr: MemoryBudget requires RuntimeSupMR (the traditional runtime ingests everything up front; bounding the container would not bound the job)")
 		}
 		dev := cfg.SpillDevice
 		if dev == nil {
-			dev = storage.NewNullDevice(clk)
+			dev = storage.NewNullDevice(sub.clk)
 		}
 		sc := spill.StoreConfig{Device: dev}
 		if cfg.Faults != nil {
@@ -339,12 +403,13 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		co := core.Options{
 			Options:        ro,
 			ResetEachRound: cfg.ResetEachRound,
-			MemoryBudget:   cfg.MemoryBudget,
+			MemoryBudget:   sub.budget,
 			SpillStore:     store,
 			Retry:          cfg.Retry,
 			FaultCounters:  cfg.faultCounters(),
 			PrefetchDepth:  cfg.PrefetchDepth,
 			IOLanes:        cfg.IOLanes,
+			Freelist:       sub.frees,
 		}
 		if cfg.AdaptiveChunks {
 			initial := cfg.ChunkBytes
@@ -364,18 +429,10 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats, Allocs: timer.Allocs()}
+	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats}
 	rep.Stats.Faults = cfg.faultCounters().Snapshot()
 	if store != nil {
 		rep.SpillBytes = store.Series()
-	}
-	if rec != nil {
-		bucket := cfg.TraceBucket
-		if bucket <= 0 {
-			bucket = 100 * time.Millisecond
-		}
-		rep.Trace = rec.Build(bucket, res.Times.Total)
-		rep.Markers = markers.Markers()
 	}
 	return rep, nil
 }

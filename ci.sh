@@ -30,6 +30,8 @@ go test -race -count=1 \
     ./internal/container/ \
     ./internal/sortalgo/ \
     ./internal/spill/ \
+    ./internal/cdc/ \
+    ./internal/memo/ \
     ./internal/faults/ \
     ./internal/apps/ \
     ./internal/sched/ \
@@ -56,6 +58,15 @@ echo "== race-mode multi-job chaos gate =="
 # submissions — must produce outcomes byte-identical to solo runs, with
 # per-job stats isolated and no goroutine leaks.
 go test -race -count=1 -run 'TestChaosConcurrentEngine|TestEngine' .
+
+echo "== race-mode incremental recompute gate =="
+# The memo invariants under the race detector: a cold run, a 1% append
+# and an incremental re-run against the warm store must produce
+# byte-identical digests (TestMemoIncrementalAppend), memo-on must
+# match the -memo=off ablation across apps (TestMemoOffOnDigests...),
+# and injected memo-device faults must degrade to misses, never to
+# corrupted output (TestMemoChaos...).
+go test -race -count=1 -run 'TestMemo' .
 
 echo "== ingest lane throughput gate =="
 # The tentpole claim, gated: segmented reads across 4 IO lanes must
@@ -87,6 +98,27 @@ fi
 
 echo "== ingest sweep artifact (BENCH_ingest.json) =="
 go run ./cmd/benchtable -ingest-json BENCH_ingest.json
+
+echo "== incremental recompute artifact and speedup gate (BENCH_memo.json) =="
+# The tentpole claim, gated: after appending 1% to the input, a re-run
+# against the warm memo store must beat a cold run of the same grown
+# input by >= 5x (measured ~7.5x) while staying byte-identical to both
+# the cold reference and the -memo=off ablation.
+memo_out=$(go run ./cmd/benchtable -memo-json BENCH_memo.json)
+echo "$memo_out"
+memo_speedup=$(echo "$memo_out" | awk -F'[=x]' '/^speedup=/ { print $2 }')
+if [[ -z "$memo_speedup" ]]; then
+    echo "could not parse speedup from the memo benchmark" >&2
+    exit 1
+fi
+if ! awk -v s="$memo_speedup" 'BEGIN { exit !(s >= 5) }'; then
+    echo "incremental re-run only ${memo_speedup}x vs cold (want >= 5x)" >&2
+    exit 1
+fi
+if ! echo "$memo_out" | grep -q 'digests_match=true'; then
+    echo "incremental/coldref/memo-off digests diverge" >&2
+    exit 1
+fi
 
 echo "== map hot path allocation gate =="
 # A steady-state flat-combiner map wave must stay (near) allocation-free.
@@ -179,6 +211,29 @@ for pair in "wc:$direct_wc" "sort:$direct_sort"; do
         exit 1
     fi
 done
+# Memoized submissions against the server's shared store: the first
+# populates it, the repeat must replay from cache (memo hits > 0) and
+# both must stay byte-identical to the direct -memo=off digest above.
+"$smoke_dir/supmr" submit -socket "$sock" -app wordcount -size 256k -chunk 32k -seed 3 \
+    -memo -wait > "$smoke_dir/memo1.out"
+"$smoke_dir/supmr" submit -socket "$sock" -app wordcount -size 256k -chunk 32k -seed 3 \
+    -memo -wait > "$smoke_dir/memo2.out"
+direct_digest=$(echo "$direct_wc" | grep -o 'digest=[0-9a-f]*')
+for out in memo1 memo2; do
+    memo_digest=$(grep -o 'digest=[0-9a-f]*' "$smoke_dir/$out.out")
+    if [[ -z "$memo_digest" || "$memo_digest" != "$direct_digest" ]]; then
+        echo "$out digest mismatch: direct '$direct_digest' vs memo '$memo_digest'" >&2
+        cat "$smoke_dir/$out.out" >&2
+        exit 1
+    fi
+done
+if ! grep -qE 'memo: [1-9][0-9]* hits' "$smoke_dir/memo2.out"; then
+    echo "repeat memo submission did not hit the shared cache:" >&2
+    cat "$smoke_dir/memo2.out" >&2
+    exit 1
+fi
+echo "memoized submissions replay from the shared store, digests unchanged"
+
 "$smoke_dir/supmr" stats -socket "$sock"
 kill -TERM "$supmrd_pid"
 wait "$supmrd_pid" || { echo "supmrd exited dirty" >&2; exit 1; }

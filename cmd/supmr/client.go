@@ -69,8 +69,11 @@ func submitMain(args []string) {
 		weight   = fs.String("weight", "1", "fair-share weight on the engine scheduler")
 		faults   = fs.String("faults", "", "deterministic fault plan (see supmr -faults)")
 		retries  = fs.String("retries", "", "retry policy for transient faults (see supmr -retries)")
+		memoKey  = fs.String("memo-key", "", "memo cache key space (default: derived from the app and its parameters)")
 		wait     = fs.Bool("wait", false, "block until the job finishes and print its result")
 	)
+	memo := onOffFlag(false)
+	fs.Var(&memo, "memo", "content-addressed incremental recompute against the server's shared memo store; a re-submission over mostly unchanged content replays cached map output")
 	fs.Parse(args)
 	spec := jobspec.Spec{
 		App:           *app,
@@ -87,6 +90,8 @@ func submitMain(args []string) {
 		Weight:        parseCount(*weight),
 		Faults:        *faults,
 		Retries:       *retries,
+		Memo:          bool(memo),
+		MemoKey:       *memoKey,
 	}
 	if spec.Runtime == "supmr" {
 		spec.Runtime = "" // spec default
@@ -178,6 +183,11 @@ func statsMain(args []string) {
 			cliutil.FormatBytes(st.BudgetRemaining), cliutil.FormatBytes(st.BudgetTotal))
 	}
 	fmt.Printf("chunks: %d gets, %d recycled\n", st.ChunkGets, st.ChunkReuses)
+	if st.Memo != nil {
+		m := st.Memo
+		fmt.Printf("memo: %d hits, %d misses, %d entries (%s resident), %d stored, %d evicted, %d torn\n",
+			m.Hits, m.Misses, m.Entries, cliutil.FormatBytes(m.Bytes), m.Stored, m.Evicted, m.Torn)
+	}
 	for name, t := range st.Tenants {
 		fmt.Printf("tenant %-12s %d jobs (%d failed), %d pairs, %s ingested, %s spilled, %v busy\n",
 			name, t.Jobs, t.Failed, t.OutputPairs,
@@ -201,8 +211,15 @@ func printJob(v server.JobView) {
 		if v.Result.SpilledRuns > 0 {
 			fmt.Printf("\n  spill: %d runs, %d bytes", v.Result.SpilledRuns, v.Result.SpilledBytes)
 		}
+		if v.Result.MemoHits > 0 || v.Result.MemoMisses > 0 {
+			fmt.Printf("\n  memo: %d hits, %d misses, %s saved",
+				v.Result.MemoHits, v.Result.MemoMisses, cliutil.FormatBytes(v.Result.MemoBytesSaved))
+		}
 		if v.Result.Faults != "" {
 			fmt.Printf("\n  faults: %s", v.Result.Faults)
+		}
+		for _, n := range v.Result.Notes {
+			fmt.Printf("\n  note: %s", n)
 		}
 	}
 	fmt.Println()

@@ -58,9 +58,12 @@ func main() {
 		ioLanes   = flag.String("io-lanes", "1", "IO lanes for striped ingest: each chunk read splits into this many segments read in parallel (supmr runtime)")
 		prefetch  = flag.String("prefetch-depth", "1", "prefetch ring depth: ingest chunks kept in flight ahead of the map wave (supmr runtime)")
 		digest    = flag.Bool("digest", false, "print the output digest instead of the full report, for diffing against a server-mode run (wordcount/sort/histogram/grep)")
+		memoBudg  = flag.String("memo-budget", "64m", "memo-store byte budget; least-recently-used entries evict beyond it")
 	)
 	flatComb := onOffFlag(true)
 	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
+	memo := onOffFlag(false)
+	flag.Var(&memo, "memo", "content-addressed incremental recompute: content-defined chunking plus a per-chunk map/combine memo cache (supmr runtime, single-file inputs); off is the ablation spelling")
 	flag.Parse()
 
 	if *energy {
@@ -82,7 +85,7 @@ func main() {
 			App: *app, Runtime: rtName, Size: parseSize(*size), Seed: *seed,
 			ChunkBytes: parseSize(*chunkSz), Budget: parseSize(*budget), BW: parseSize(*bw),
 			IOLanes: parseCount(*ioLanes), PrefetchDepth: parseCount(*prefetch),
-			Pattern: *pattern, Faults: *faultsStr, Retries: *retries,
+			Pattern: *pattern, Faults: *faultsStr, Retries: *retries, Memo: bool(memo),
 		}, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "supmr:", err)
@@ -99,6 +102,7 @@ func main() {
 		adaptive: *adaptive, hybrid: *hybrid, energy: *energy, pattern: *pattern,
 		flatComb: bool(flatComb), faults: *faultsStr, retries: *retries,
 		ioLanes: parseCount(*ioLanes), prefetch: parseCount(*prefetch),
+		memo: bool(memo), memoBudget: parseSize(*memoBudg),
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "supmr: interrupted")
@@ -123,6 +127,8 @@ type runOpts struct {
 	seed                     int64
 	faults, retries          string
 	ioLanes, prefetch        int
+	memo                     bool
+	memoBudget               int64
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -207,11 +213,28 @@ func run(ctx context.Context, o runOpts) error {
 		cfg.MemoryBudget = o.budget
 		cfg.SpillDevice = dev // spill contends with ingest for the same bandwidth
 	}
+	if o.memo {
+		switch app {
+		case "kmeans":
+			return fmt.Errorf("-memo is incompatible with -app kmeans: map output depends on the evolving centroids, not just chunk content, so cached chunks would replay stale assignments")
+		case "invindex":
+			return fmt.Errorf("-memo is incompatible with -app invindex: []string values have no cache codec")
+		}
+		cfg.Memo = true
+		cfg.MemoBudget = o.memoBudget
+		// Key the cache by everything that shapes map output besides the
+		// chunk content: the app and, for grep, its pattern list.
+		cfg.MemoKeySpace = app
+		if app == "grep" {
+			cfg.MemoKeySpace = "grep:" + o.pattern
+		}
+	}
 
 	var (
 		times  fmt.Stringer
 		stats  *supmr.Stats
 		allocs fmt.Stringer
+		notes  []string
 		tr     interface{ ASCII(int) string }
 		report func()
 	)
@@ -221,7 +244,7 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, stats, allocs = &rep.Times, &rep.Stats, rep.Allocs
+		times, stats, allocs, notes = &rep.Times, &rep.Stats, rep.Allocs, rep.Notes
 		report = func() {
 			fmt.Printf("distinct words: %d  occurrences kept: %d  map waves: %d\n",
 				len(rep.Pairs), rep.Stats.IntermediateN, rep.Stats.MapWaves)
@@ -239,7 +262,7 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, stats = &rep.Times, &rep.Stats
+		times, stats, notes = &rep.Times, &rep.Stats, rep.Notes
 		report = func() {
 			fmt.Printf("records sorted: %d  map waves: %d  merge rounds: %d\n",
 				len(rep.Pairs), rep.Stats.MapWaves, rep.Stats.MergeRounds)
@@ -257,7 +280,7 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, stats = &rep.Times, &rep.Stats
+		times, stats, notes = &rep.Times, &rep.Stats, rep.Notes
 		report = func() {
 			fmt.Printf("byte values seen: %d  map waves: %d\n", len(rep.Pairs), rep.Stats.MapWaves)
 		}
@@ -300,7 +323,7 @@ func run(ctx context.Context, o runOpts) error {
 		if err != nil {
 			return err
 		}
-		times, stats, allocs = &rep.Times, &rep.Stats, rep.Allocs
+		times, stats, allocs, notes = &rep.Times, &rep.Stats, rep.Allocs, rep.Notes
 		report = func() {
 			for _, p := range rep.Pairs {
 				fmt.Printf("  %-16s %d matching lines\n", p.Key, p.Val)
@@ -363,6 +386,14 @@ func run(ctx context.Context, o runOpts) error {
 	if stats != nil && stats.SpilledRuns > 0 {
 		fmt.Printf("spill: %d runs, %d bytes written, merged in %d round(s) (budget %d)\n",
 			stats.SpilledRuns, stats.SpilledBytes, stats.MergeRounds, o.budget)
+	}
+	if stats != nil && (stats.MemoHits > 0 || stats.MemoMisses > 0) {
+		fmt.Printf("memo: %d hits, %d misses, %s saved (budget %s)\n",
+			stats.MemoHits, stats.MemoMisses,
+			cliutil.FormatBytes(stats.MemoBytesSaved), cliutil.FormatBytes(o.memoBudget))
+	}
+	for _, n := range notes {
+		fmt.Println("note:", n)
 	}
 	if stats != nil && stats.Faults.Any() {
 		fmt.Println("faults:", stats.Faults.String())

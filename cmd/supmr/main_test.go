@@ -128,12 +128,53 @@ func TestBadKnobsExitUsage(t *testing.T) {
 		{"prefetch-garbage", []string{"-prefetch-depth", "lots"}, "bad count"},
 		{"budget-negative", []string{"-budget", "-5m"}, "negative size"},
 		{"size-garbage", []string{"-size", "12q"}, "bad size"},
+		{"memo-budget-negative", []string{"-memo-budget", "-2m"}, "negative size"},
+		{"memo-budget-garbage", []string{"-memo-budget", "lots"}, "bad size"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			args := append([]string{"-app", "wordcount", "-size", "64k", "-bw", "0"}, tc.args...)
+			cmd := exec.CommandContext(ctx, os.Args[0], args...)
+			cmd.Env = append(os.Environ(), "SUPMR_RUN_MAIN=1")
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("want exit 2, got %v; stderr:\n%s", err, stderr.String())
+			}
+			out := stderr.String()
+			if !strings.HasPrefix(out, "supmr: ") || !strings.Contains(out, tc.want) {
+				t.Fatalf("stderr %q does not explain the usage error (want %q)", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestBadSubmitKnobsExitUsage covers the submission path: `supmr
+// submit` validates its knobs — the fair-share weight included — and
+// exits 2 with a descriptive error before dialing the server socket,
+// so no supmrd is needed for these cases.
+func TestBadSubmitKnobsExitUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"weight-zero", []string{"-weight", "0"}, "below minimum"},
+		{"weight-negative", []string{"-weight", "-3"}, "below minimum"},
+		{"weight-garbage", []string{"-weight", "heavy"}, "bad count"},
+		{"io-lanes-zero", []string{"-io-lanes", "0"}, "below minimum"},
+		{"budget-negative", []string{"-budget", "-1m"}, "negative size"},
+		{"memo-key-without-memo", []string{"-memo-key", "k"}, "memo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			args := append([]string{"submit", "-socket", "/nonexistent/supmrd.sock", "-app", "wordcount"}, tc.args...)
 			cmd := exec.CommandContext(ctx, os.Args[0], args...)
 			cmd.Env = append(os.Environ(), "SUPMR_RUN_MAIN=1")
 			var stderr bytes.Buffer

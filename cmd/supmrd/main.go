@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"supmr"
@@ -32,7 +33,10 @@ func main() {
 		maxJobs    = flag.String("max-jobs", "4", "concurrently running jobs; further submissions queue")
 		maxPending = flag.Int("max-pending", -2, "pending-job backlog bound; -1 = unbounded, 0 = reject when busy (default 2*max-jobs)")
 		opSlots    = flag.String("op-slots", "1", "compute operations (map waves, spill drains, merges) running at once")
+		memoBudg   = flag.String("memo-budget", "64m", "shared memo-store byte budget; least-recently-used entries evict beyond it")
 	)
+	memo := memoFlag(true)
+	flag.Var(&memo, "memo", "host a shared memo store: memoized submissions (supmr submit -memo) replay cached map output across jobs; off disables it")
 	flag.Parse()
 
 	ec := supmr.EngineConfig{
@@ -53,6 +57,17 @@ func main() {
 		}
 		ec.MaxPending = maxPending
 	}
+	memoState := "off"
+	if memo {
+		store, err := supmr.NewMemoStore(supmr.MemoConfig{Budget: parseSize(*memoBudg)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supmrd:", err)
+			os.Exit(2)
+		}
+		defer store.Close()
+		ec.Memo = store
+		memoState = cliutil.FormatBytes(parseSize(*memoBudg))
+	}
 
 	srv, err := server.New(server.Config{Socket: *socket, Engine: ec})
 	if err != nil {
@@ -69,13 +84,38 @@ func main() {
 		srv.Close()
 	}()
 
-	fmt.Printf("supmrd: listening on %s (workers=%d io-lanes=%d budget=%s max-jobs=%d)\n",
-		*socket, ec.Workers, ec.IOLanes, cliutil.FormatBytes(ec.MemoryBudget), ec.MaxJobs)
+	fmt.Printf("supmrd: listening on %s (workers=%d io-lanes=%d budget=%s max-jobs=%d memo=%s)\n",
+		*socket, ec.Workers, ec.IOLanes, cliutil.FormatBytes(ec.MemoryBudget), ec.MaxJobs, memoState)
 	if err := srv.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, "supmrd:", err)
 		os.Exit(1)
 	}
 }
+
+// memoFlag is a boolean flag that also accepts on/off, so the ablation
+// reads naturally as -memo=off.
+type memoFlag bool
+
+func (f *memoFlag) String() string {
+	if bool(*f) {
+		return "on"
+	}
+	return "off"
+}
+
+func (f *memoFlag) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "on", "true", "1", "yes":
+		*f = true
+	case "off", "false", "0", "no":
+		*f = false
+	default:
+		return fmt.Errorf("invalid value %q (want on or off)", s)
+	}
+	return nil
+}
+
+func (f *memoFlag) IsBoolFlag() bool { return true }
 
 // parseSize parses "64", "64k", "4m", "2g" into bytes; bad or negative
 // values are a usage error.

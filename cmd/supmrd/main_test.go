@@ -42,6 +42,8 @@ func TestBadKnobsExitUsage(t *testing.T) {
 		{"op-slots-zero", []string{"-op-slots", "0"}, "below minimum"},
 		{"max-pending-bad", []string{"-max-pending", "-5"}, "-max-pending"},
 		{"workers-negative", []string{"-workers", "-1"}, "-workers"},
+		{"memo-budget-negative", []string{"-memo-budget", "-8m"}, "negative size"},
+		{"memo-budget-garbage", []string{"-memo-budget", "big"}, "bad size"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

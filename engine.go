@@ -53,6 +53,12 @@ type EngineConfig struct {
 	OpSlots int
 	// Clock provides the engine-wide job clock (default: wall clock).
 	Clock storage.Clock
+	// Memo, when set, is the engine's shared memo store: memoized
+	// submissions (Config.Memo) without a store of their own publish to
+	// and replay from it, so one tenant's cold run warms the next
+	// submission over the same content. The engine does not close it —
+	// the owner does, after Engine.Close.
+	Memo *MemoStore
 }
 
 // Engine is the shared multi-job substrate: one worker pool, one set of
@@ -77,6 +83,7 @@ type Engine struct {
 	adm    *sched.Admission
 	budget *sched.Budget
 	frees  *chunk.FreeList
+	memo   *MemoStore
 
 	mu        sync.Mutex
 	closed    bool
@@ -128,6 +135,9 @@ type EngineStats struct {
 	// Tenants is the per-tenant rollup, keyed by Config.Tenant
 	// ("" submissions roll up under "default").
 	Tenants map[string]TenantStats
+	// Memo snapshots the engine's shared memo store (nil when the
+	// engine was built without one).
+	Memo *MemoStats `json:",omitempty"`
 }
 
 // NewEngine builds the shared substrate. Close it when no more jobs
@@ -156,6 +166,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		adm:     sched.NewAdmission(maxJobs, maxPending),
 		budget:  sched.NewBudget(cfg.MemoryBudget, maxJobs),
 		frees:   chunk.NewFreeList(),
+		memo:    cfg.Memo,
 		tenants: make(map[string]*TenantStats),
 	}
 }
@@ -198,6 +209,10 @@ func (e *Engine) Stats() EngineStats {
 	}
 	for name, t := range e.tenants {
 		s.Tenants[name] = *t
+	}
+	if e.memo != nil {
+		ms := e.memo.Stats()
+		s.Memo = &ms
 	}
 	return s
 }
@@ -259,6 +274,9 @@ func runOnEngine[K comparable, V any](e *Engine, job Job[K, V], input Stream, co
 	if err := e.err(); err != nil {
 		return nil, err
 	}
+	if cfg.Weight < 0 {
+		return nil, fmt.Errorf("supmr: negative Weight %d: the engine fair-share weight must be at least 1 (0 selects the default)", cfg.Weight)
+	}
 	tenant := cfg.Tenant
 	if tenant == "" {
 		tenant = "default"
@@ -292,7 +310,16 @@ func runOnEngine[K comparable, V any](e *Engine, job Job[K, V], input Stream, co
 		timer:  metrics.NewTimer(e.clk.Now),
 		budget: grant,
 		frees:  e.frees,
+		memo:   e.memo,
 	})
+	if rep != nil {
+		rep.Notes = append(rep.Notes,
+			"engine mode: per-phase allocation metering disabled (process-wide instrument cannot be attributed to one of several concurrent jobs)")
+		if cfg.TraceContexts > 0 {
+			rep.Notes = append(rep.Notes,
+				"engine mode: utilization trace disabled (TraceContexts ignored; process-wide instrument)")
+		}
+	}
 	var stats *Stats
 	if rep != nil {
 		stats = &rep.Stats

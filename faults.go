@@ -86,10 +86,13 @@ func (c Config) wrapInputs(files []Input) []Input {
 }
 
 // faultBacking wraps every spill run's payload with the injector so
-// run writes can tear and run read-back can fail.
+// run writes can tear and run read-back can fail. prefix names the
+// per-run fault sites ("" defaults to "run", the spill path; the memo
+// store uses "memo" so its entries fault independently).
 type faultBacking struct {
-	inj   *faults.Injector
-	inner spill.Backing
+	inj    *faults.Injector
+	inner  spill.Backing
+	prefix string
 }
 
 func (b faultBacking) NewRun(id int) (spill.RunData, error) {
@@ -97,5 +100,9 @@ func (b faultBacking) NewRun(id int) (spill.RunData, error) {
 	if err != nil {
 		return nil, err
 	}
-	return b.inj.WrapBlockFile(fmt.Sprintf("run%d", id), data), nil
+	p := b.prefix
+	if p == "" {
+		p = "run"
+	}
+	return b.inj.WrapBlockFile(fmt.Sprintf("%s%d", p, id), data), nil
 }

@@ -1,0 +1,139 @@
+// Package cdc implements content-defined chunking with a gear rolling
+// hash. A Chunker places chunk boundaries at positions where a hash of
+// the recent bytes matches a mask, so the boundaries are a function of
+// the content alone: appending bytes to an input, or editing bytes
+// inside one chunk, never shifts a boundary in the unchanged prefix.
+// That stability is what makes per-chunk memoization O(delta) on
+// re-runs instead of O(input) — see internal/memo.
+//
+// The scheme follows FastCDC's shape: hashing restarts at every chunk,
+// no boundary is accepted before Min bytes, a boundary is declared when
+// the masked gear hash is zero, and a cut is forced at Max bytes so a
+// pathological input cannot produce unbounded chunks. The expected
+// chunk length is Min + Avg for content that behaves randomly.
+package cdc
+
+import "fmt"
+
+// gearTable is the 256-entry byte-to-random mapping driving the gear
+// hash. It is generated once, deterministically, from a fixed seed with
+// a splitmix64 generator, so chunk boundaries — and therefore every
+// content hash keyed off them — are identical across processes and
+// runs.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range t {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// Chunker holds the boundary policy. Min and Max bound every emitted
+// chunk (except a final short chunk at end of input); Avg sets the mask
+// width, so the expected gap between content boundaries is roughly Avg
+// bytes past Min.
+type Chunker struct {
+	Min int // no boundary before this many bytes
+	Avg int // target content-defined gap; rounded down to a power of two
+	Max int // forced boundary at this many bytes
+
+	mask uint64
+}
+
+// New validates the policy and precomputes the hash mask.
+func New(min, avg, max int) (*Chunker, error) {
+	if min <= 0 || avg <= 0 || max <= 0 {
+		return nil, fmt.Errorf("cdc: sizes must be positive (min=%d avg=%d max=%d)", min, avg, max)
+	}
+	if min > avg || avg > max {
+		return nil, fmt.Errorf("cdc: need min <= avg <= max (min=%d avg=%d max=%d)", min, avg, max)
+	}
+	c := &Chunker{Min: min, Avg: avg, Max: max}
+	c.mask = maskFor(avg)
+	return c, nil
+}
+
+// maskFor picks the widest power-of-two mask not exceeding avg, so a
+// random hash matches once every ~2^bits positions.
+func maskFor(avg int) uint64 {
+	bits := 0
+	for v := avg; v > 1; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		return 0
+	}
+	return (1 << uint(bits)) - 1
+}
+
+// Cut returns the length of the next chunk at the front of data, or -1
+// when more bytes are needed to decide. The decision depends only on
+// data[:cut] — never on bytes past the returned boundary — which is the
+// property the boundary-stability fuzz test pins: feeding a longer
+// buffer with the same prefix yields the same cut.
+//
+// atEOF marks data as the complete remainder of the input; the final
+// (possibly short) chunk is then cut at len(data).
+func (c *Chunker) Cut(data []byte, atEOF bool) int {
+	n := len(data)
+	if n == 0 {
+		if atEOF {
+			return 0
+		}
+		return -1
+	}
+	if n <= c.Min {
+		if atEOF {
+			return n
+		}
+		if n == c.Max { // Min == Max: fixed-size chunking degenerate case
+			return n
+		}
+		return -1
+	}
+	limit := n
+	if limit > c.Max {
+		limit = c.Max
+	}
+	var h uint64
+	// The hash warms up over the Min prefix so the boundary test at
+	// position Min already sees Min bytes of context; gear's h<<1 decay
+	// means only the last ~64 bytes matter, keeping the decision local.
+	warm := c.Min - 64
+	if warm < 0 {
+		warm = 0
+	}
+	for i := warm; i < c.Min; i++ {
+		h = h<<1 + gearTable[data[i]]
+	}
+	for i := c.Min; i < limit; i++ {
+		h = h<<1 + gearTable[data[i]]
+		if h&c.mask == 0 {
+			return i + 1
+		}
+	}
+	if limit == c.Max {
+		return c.Max
+	}
+	if atEOF {
+		return n
+	}
+	return -1
+}
+
+// Split returns every chunk length of data, in order. It is the
+// whole-buffer convenience over Cut, used by tests and tools.
+func (c *Chunker) Split(data []byte) []int {
+	var cuts []int
+	for len(data) > 0 {
+		n := c.Cut(data, true)
+		cuts = append(cuts, n)
+		data = data[n:]
+	}
+	return cuts
+}

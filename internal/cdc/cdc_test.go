@@ -1,0 +1,189 @@
+package cdc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+func newT(t *testing.T, min, avg, max int) *Chunker {
+	t.Helper()
+	c, err := New(min, avg, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadPolicies(t *testing.T) {
+	cases := [][3]int{{0, 4, 8}, {4, 0, 8}, {4, 8, 0}, {-1, 4, 8}, {8, 4, 16}, {4, 16, 8}}
+	for _, c := range cases {
+		if _, err := New(c[0], c[1], c[2]); err == nil {
+			t.Errorf("New(%d,%d,%d) accepted a bad policy", c[0], c[1], c[2])
+		}
+	}
+	if _, err := New(64, 256, 1024); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+}
+
+func TestSplitCoversInputWithinBounds(t *testing.T) {
+	c := newT(t, 256, 1024, 4096)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(7)).Read(data)
+	cuts := c.Split(data)
+	total := 0
+	for i, n := range cuts {
+		total += n
+		last := i == len(cuts)-1
+		if n > c.Max {
+			t.Fatalf("chunk %d is %d bytes, above max %d", i, n, c.Max)
+		}
+		if !last && n < c.Min {
+			t.Fatalf("non-final chunk %d is %d bytes, below min %d", i, n, c.Min)
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("chunks cover %d bytes of %d", total, len(data))
+	}
+	if len(cuts) < 3 {
+		t.Fatalf("only %d chunks over 1 MiB with avg 1 KiB — mask not matching", len(cuts))
+	}
+	// The average should be in the right ballpark: between Min and Max,
+	// and within a loose factor of Min+Avg for random content.
+	avg := total / len(cuts)
+	if avg < c.Min || avg > c.Max {
+		t.Fatalf("mean chunk %d outside [min=%d, max=%d]", avg, c.Min, c.Max)
+	}
+}
+
+func TestCutNeedsMoreData(t *testing.T) {
+	c := newT(t, 256, 1024, 4096)
+	data := make([]byte, 100) // below Min
+	if got := c.Cut(data, false); got != -1 {
+		t.Fatalf("Cut below Min without EOF = %d, want -1", got)
+	}
+	if got := c.Cut(data, true); got != len(data) {
+		t.Fatalf("Cut below Min at EOF = %d, want %d", got, len(data))
+	}
+	if got := c.Cut(nil, true); got != 0 {
+		t.Fatalf("Cut(nil, true) = %d, want 0", got)
+	}
+	if got := c.Cut(nil, false); got != -1 {
+		t.Fatalf("Cut(nil, false) = %d, want -1", got)
+	}
+}
+
+func TestForcedCutAtMax(t *testing.T) {
+	c := newT(t, 64, 128, 512)
+	// Constant data: the gear hash never masks to zero on a single
+	// repeated byte (with overwhelming probability for this table), so
+	// every cut is the forced Max cut.
+	data := bytes.Repeat([]byte{'x'}, 4096)
+	cuts := c.Split(data)
+	for i, n := range cuts[:len(cuts)-1] {
+		if n != c.Max {
+			t.Fatalf("chunk %d on constant input = %d, want forced max %d", i, n, c.Max)
+		}
+	}
+}
+
+func TestDeterministicAcrossChunkers(t *testing.T) {
+	a := newT(t, 256, 1024, 4096)
+	b := newT(t, 256, 1024, 4096)
+	data := make([]byte, 1<<18)
+	rand.New(rand.NewSource(11)).Read(data)
+	ca, cb := a.Split(data), b.Split(data)
+	if len(ca) != len(cb) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("cut %d differs: %d vs %d", i, ca[i], cb[i])
+		}
+	}
+}
+
+// chunkHashes splits data and hashes each chunk's content.
+func chunkHashes(c *Chunker, data []byte) [][32]byte {
+	var hs [][32]byte
+	for _, n := range c.Split(data) {
+		hs = append(hs, sha256.Sum256(data[:n]))
+		data = data[n:]
+	}
+	return hs
+}
+
+// TestAppendStability is the deterministic core of the fuzz property:
+// appending bytes must not move any boundary before the final chunk of
+// the original input, so every non-final chunk hash is preserved.
+func TestAppendStability(t *testing.T) {
+	c := newT(t, 128, 512, 2048)
+	base := make([]byte, 200<<10)
+	rand.New(rand.NewSource(3)).Read(base)
+	suffix := make([]byte, 2<<10)
+	rand.New(rand.NewSource(4)).Read(suffix)
+
+	before := chunkHashes(c, base)
+	after := chunkHashes(c, append(append([]byte{}, base...), suffix...))
+	if len(before) < 2 {
+		t.Fatal("need at least two chunks for the property to bite")
+	}
+	stable := before[:len(before)-1]
+	if len(after) < len(stable) {
+		t.Fatalf("append shrank the chunk list: %d -> %d", len(before), len(after))
+	}
+	for i, h := range stable {
+		if after[i] != h {
+			t.Fatalf("append shifted boundary of chunk %d", i)
+		}
+	}
+}
+
+// FuzzBoundaryStability proves the two CDC invariants on arbitrary
+// content: (1) appending bytes never shifts a boundary before the final
+// chunk of the original input, and (2) identical content always
+// produces identical chunk hashes.
+func FuzzBoundaryStability(f *testing.F) {
+	f.Add([]byte("hello world, this is a seed corpus entry"), []byte("tail"))
+	f.Add(bytes.Repeat([]byte{0}, 3000), []byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte("abcd"), 1000), bytes.Repeat([]byte{'z'}, 600))
+	f.Fuzz(func(t *testing.T, base, suffix []byte) {
+		c, err := New(64, 256, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := chunkHashes(c, base)
+		again := chunkHashes(c, append([]byte{}, base...))
+		if len(again) != len(before) {
+			t.Fatalf("identical content produced %d vs %d chunks", len(again), len(before))
+		}
+		for i := range before {
+			if again[i] != before[i] {
+				t.Fatalf("identical content produced different hash for chunk %d", i)
+			}
+		}
+		if len(before) == 0 {
+			return
+		}
+		after := chunkHashes(c, append(append([]byte{}, base...), suffix...))
+		stable := before[:len(before)-1]
+		if len(after) < len(stable) {
+			t.Fatalf("append shrank the chunk list: %d -> %d", len(before), len(after))
+		}
+		for i, h := range stable {
+			if after[i] != h {
+				t.Fatalf("append shifted boundary of chunk %d (of %d)", i, len(before))
+			}
+		}
+		// Coverage: every chunk within bounds.
+		rest := base
+		for i, n := range c.Split(base) {
+			if n > c.Max || (n < c.Min && n != len(rest)) {
+				t.Fatalf("chunk %d length %d violates [min=%d,max=%d]", i, n, c.Min, c.Max)
+			}
+			rest = rest[n:]
+		}
+	})
+}

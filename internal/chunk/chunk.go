@@ -24,6 +24,12 @@ type Chunk struct {
 	Data  []byte
 	Files []string
 
+	// Sum is the SHA-256 of Data, computed on the ingest path when the
+	// stream hashes chunks (CDC ingest for the memo cache). HasSum
+	// distinguishes a real hash from a zero value.
+	Sum    [32]byte
+	HasSum bool
+
 	backing []byte    // full pooled buffer backing Data
 	free    *FreeList // freelist to return to on Release; nil when unpooled
 }

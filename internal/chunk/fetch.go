@@ -87,6 +87,7 @@ func (l *FreeList) acquire(capHint int64) *Chunk {
 	// applications may retain it past the map wave (the inverted index
 	// emits it into the container as posting lists).
 	c.Files = nil
+	c.HasSum = false
 	c.free = l
 	return c
 }

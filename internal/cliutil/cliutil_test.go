@@ -96,4 +96,17 @@ func TestKnobErrorsAreDescriptive(t *testing.T) {
 	if _, err := ParseSize("-5m"); err == nil || !strings.Contains(err.Error(), "negative size") {
 		t.Errorf("ParseSize(-5m): %v", err)
 	}
+	// The submit path's -weight knob rides ParseCount with minimum 1: a
+	// zero or negative fair-share weight must carry both the value and
+	// the floor, since the scheduler treats weight 0 as "default" only
+	// when the field is omitted programmatically, never via the flag.
+	for _, bad := range []string{"0", "-3"} {
+		_, err := ParseCount(bad, 1)
+		if err == nil || !strings.Contains(err.Error(), bad) || !strings.Contains(err.Error(), "below minimum 1") {
+			t.Errorf("ParseCount(%s) as -weight: %v", bad, err)
+		}
+	}
+	if _, err := ParseCount("heavy", 1); err == nil || !strings.Contains(err.Error(), "heavy") {
+		t.Errorf("ParseCount(heavy) as -weight: %v", err)
+	}
 }

@@ -29,6 +29,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"supmr/internal/faults"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
+	"supmr/internal/memo"
 	"supmr/internal/metrics"
 	"supmr/internal/sortalgo"
 	"supmr/internal/spill"
@@ -111,6 +113,18 @@ type Options struct {
 	// all submissions reuse each other's chunk buffers. Nil gives the
 	// job a private freelist.
 	Freelist *chunk.FreeList
+	// MemoStore, when set, enables content-addressed memoization: every
+	// ingest chunk is keyed by its content hash under MemoSpace, a hit
+	// replays the cached map/combine output past the map wave, and a
+	// miss is mapped, drained per chunk and published back to the cache.
+	// Requires an app whose key/value types have spill codecs.
+	// MemoryBudget is ignored in memo mode — the container is drained
+	// after every chunk, so its residency never exceeds one chunk's
+	// combined output.
+	MemoStore *memo.Store
+	// MemoSpace namespaces memo cache keys (application identity plus
+	// any parameters that change its output for the same input bytes).
+	MemoSpace string
 }
 
 // Result aliases the runtime result type.
@@ -150,9 +164,24 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	cont.Reset()
 	ro.ResetContainer = false
 
-	// The memory budget: a spiller when configured, nil otherwise.
+	// The memo cache: the typed layer over the shared store, resolved up
+	// front so jobs whose key/value types cannot serialize refuse to
+	// start instead of failing at the first publish.
+	var cache *memo.Cache[K, V]
+	if opts.MemoStore != nil {
+		var err error
+		cache, err = memo.NewCache[K, V](opts.MemoStore, opts.MemoSpace)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The memory budget: a spiller when configured, nil otherwise. Memo
+	// mode never spills — per-chunk drains keep the container's
+	// residency bounded by one chunk's combined output regardless of any
+	// budget (the facade surfaces this as a report note).
 	var spiller *spill.Spiller[K, V]
-	if opts.MemoryBudget > 0 {
+	if opts.MemoryBudget > 0 && cache == nil {
 		if _, ok := any(cont).(container.Unspillable); ok {
 			return nil, fmt.Errorf("core: container %T cannot spill (its footprint is fixed by construction); run without a memory budget", cont)
 		}
@@ -343,6 +372,10 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	if first.err != nil && !errors.Is(first.err, io.EOF) {
 		return fail(first.err)
 	}
+	// memoRuns collects one key-sorted run per chunk, in chunk order:
+	// decoded cache payloads for hits, freshly drained combiner output
+	// for misses. The memo merge streams them all in one pass.
+	var memoRuns [][]kv.Pair[K, V]
 	cur := first.c
 	for cur != nil {
 		if err := pool.Err(); err != nil {
@@ -369,16 +402,84 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 		if len(drained) > 0 {
 			spiller.SpillAsync(drained, pool)
 		}
+		// Memo lookup, serial and in chunk order on the IO lane, so the
+		// operation order any fault plan sees at the memo site is a pure
+		// function of the input. A cache failure (injected fault, torn
+		// write caught by the digest) is swallowed into a miss — the
+		// store counts it — and only a pool-level error fails the job.
+		var (
+			hit      bool
+			hitPairs []kv.Pair[K, V]
+			memoKey  memo.Key
+		)
+		if cache != nil {
+			sum := cur.Sum
+			if !cur.HasSum {
+				sum = sha256.Sum256(cur.Data)
+			}
+			memoKey = cache.Key(sum)
+			timer.EndPhase(metrics.PhaseReadMap)
+			timer.StartPhase(metrics.PhaseMemo)
+			h := pool.GoIO("memo", metrics.StateIOWait, func() error {
+				hitPairs, hit, _ = cache.Get(memoKey)
+				return nil
+			})
+			err := h.Wait()
+			timer.EndPhase(metrics.PhaseMemo)
+			timer.StartPhase(metrics.PhaseReadMap)
+			if err != nil {
+				return fail(err)
+			}
+		}
 		// Give the ingest pump a scheduling slot so it reaches the
 		// storage device (issuing its reservation and parking in the
 		// device wait) before the mappers monopolize the CPUs; on
 		// low-core machines it would otherwise start the read only
 		// after the map wave finishes, defeating the double-buffering.
 		runtime.Gosched()
-		mapDur, mapErr := runMappers(cur)
-		cur.Release() // the wave is done with the bytes; recycle the buffer
-		if mapErr != nil {
-			return fail(mapErr)
+		var mapDur time.Duration
+		if hit {
+			// The chunk's bytes were read and hashed but are never
+			// mapped: the cached run replays straight into the merge.
+			if len(hitPairs) > 0 {
+				memoRuns = append(memoRuns, hitPairs)
+			}
+			stats.MemoHits++
+			stats.MemoBytesSaved += cur.Size()
+			stats.BytesIngested += cur.Size()
+			cur.Release()
+		} else {
+			var mapErr error
+			mapDur, mapErr = runMappers(cur)
+			cur.Release() // the wave is done with the bytes; recycle the buffer
+			if mapErr != nil {
+				return fail(mapErr)
+			}
+			if cache != nil {
+				// Drain this chunk's combined output and publish it,
+				// synchronously on the IO lane: lookup(i), publish(i),
+				// lookup(i+1) is a deterministic op order, and a failed
+				// publish only skips the cache entry, never the job.
+				timer.EndPhase(metrics.PhaseReadMap)
+				timer.StartPhase(metrics.PhaseMemo)
+				pairs, err := spill.DrainContainer(cont, app.Less, app.Reduce, pool, "memo")
+				if err == nil {
+					h := pool.GoIO("memo", metrics.StateIOWait, func() error {
+						cache.Put(memoKey, pairs)
+						return nil
+					})
+					err = h.Wait()
+				}
+				timer.EndPhase(metrics.PhaseMemo)
+				timer.StartPhase(metrics.PhaseReadMap)
+				if err != nil {
+					return fail(err)
+				}
+				if len(pairs) > 0 {
+					memoRuns = append(memoRuns, pairs)
+				}
+				stats.MemoMisses++
+			}
 		}
 		// Join the next chunk, counting how the ring performed: a chunk
 		// already buffered is a prefetch hit; otherwise the map workers
@@ -415,6 +516,27 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	stats.IntermediateN = cont.Len()
 	if lanes > 1 {
 		stats.IngestLaneBytes = pool.LaneBytes()
+	}
+
+	// Memo mode: the container drained into per-chunk runs as the
+	// pipeline ran, so there is nothing left to reduce. One streaming
+	// pass merges the chunk runs in chunk order, re-reducing keys that
+	// appear in several chunks — the same associativity contract the
+	// budgeted external merge relies on, so memo output is
+	// byte-identical to the unmemoized pipeline's.
+	if cache != nil {
+		timer.StartPhase(metrics.PhaseMerge)
+		merged, rounds, err := mergeChunkRuns(app, memoRuns, pool)
+		timer.EndPhase(metrics.PhaseMerge)
+		if err != nil {
+			pool.Abort(err)
+			return nil, err
+		}
+		stats.Runs = len(memoRuns)
+		stats.MergeRounds = rounds
+		stats.OutputPairs = len(merged)
+		stats.Tasks = pool.TaskStats()
+		return &Result[K, V]{Pairs: merged, Times: timer.Finish(), Stats: stats}, nil
 	}
 
 	// Join the last spill write before reducing: the merge below must
@@ -482,6 +604,27 @@ func externalMerge[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V]
 	// device waits of run reads are attributed to the job's workers.
 	var merged []kv.Pair[K, V]
 	_, err := pool.ForEach("merge", metrics.StateUser, 1, func(int) error {
+		var mErr error
+		merged, mErr = sortalgo.MergeSources(srcs, app.Less, app.Reduce, nil)
+		return mErr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, 1, nil
+}
+
+// mergeChunkRuns is the memo-mode merge: one streaming loser-tree pass
+// over the per-chunk runs (cache hits and fresh drains alike, in chunk
+// order), re-reducing keys whose values were split across chunks. Like
+// the external merge, memoization adds merge sources, not merge rounds.
+func mergeChunkRuns[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], pool exec.Executor) ([]kv.Pair[K, V], int, error) {
+	var merged []kv.Pair[K, V]
+	_, err := pool.ForEach("merge", metrics.StateUser, 1, func(int) error {
+		srcs := make([]sortalgo.Source[K, V], len(runs))
+		for i, r := range runs {
+			srcs[i] = sortalgo.NewSliceSource(r)
+		}
 		var mErr error
 		merged, mErr = sortalgo.MergeSources(srcs, app.Less, app.Reduce, nil)
 		return mErr

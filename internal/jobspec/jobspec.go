@@ -47,6 +47,18 @@ type Spec struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Weight is the fair-share weight on the engine (default 1).
 	Weight int `json:"weight,omitempty"`
+	// Memo enables content-addressed incremental recompute: ingest
+	// switches to content-defined chunking and each chunk's map/combine
+	// output is memoized in the engine's shared store (or a private
+	// per-run store when running without an engine store), so a
+	// re-submission over mostly unchanged content replays cached output
+	// instead of mapping it again. Supmr runtime only.
+	Memo bool `json:"memo,omitempty"`
+	// MemoKey namespaces the job's cache entries. Empty derives a key
+	// space from the app (and, for grep, its patterns) so distinct
+	// applications sharing the engine store never replay each other's
+	// output.
+	MemoKey string `json:"memo_key,omitempty"`
 	// Faults is a cliutil fault-plan string (e.g. "seed=7,read-err-every=5").
 	Faults string `json:"faults,omitempty"`
 	// Retries is a cliutil retry-policy string (e.g. "4" or "attempts=4,base=100us").
@@ -68,6 +80,15 @@ type Result struct {
 	SpilledRuns  int    `json:"spilled_runs,omitempty"`
 	SpilledBytes int64  `json:"spilled_bytes,omitempty"`
 	Faults       string `json:"faults,omitempty"`
+	// MemoHits/MemoMisses count ingest chunks replayed from and
+	// published to the memo cache; MemoBytesSaved is the payload bytes
+	// of hit chunks, which were hashed but never mapped.
+	MemoHits       int   `json:"memo_hits,omitempty"`
+	MemoMisses     int   `json:"memo_misses,omitempty"`
+	MemoBytesSaved int64 `json:"memo_bytes_saved,omitempty"`
+	// Notes surfaces configuration caveats the run adapted to (engine
+	// instruments disabled, memo ignoring the budget).
+	Notes []string `json:"notes,omitempty"`
 }
 
 // apps the server knows how to build workloads for.
@@ -106,7 +127,13 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("jobspec: prefetch_depth must be positive, got %d", s.PrefetchDepth)
 	}
 	if s.Weight < 0 {
-		return fmt.Errorf("jobspec: negative weight %d", s.Weight)
+		return fmt.Errorf("jobspec: negative weight %d (fair-share weight must be at least 1; omit for the default)", s.Weight)
+	}
+	if s.Memo && s.Runtime == "traditional" {
+		return fmt.Errorf("jobspec: memo requires the supmr runtime (the traditional runtime ingests the whole input as one chunk)")
+	}
+	if s.MemoKey != "" && !s.Memo {
+		return fmt.Errorf("jobspec: memo_key set without memo")
 	}
 	if s.Budget > 0 {
 		if s.Runtime == "traditional" {
@@ -197,6 +224,23 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 		cfg.MemoryBudget = spec.Budget
 		cfg.SpillDevice = dev // spill contends with ingest for the same bandwidth
 	}
+	if spec.Memo {
+		cfg.Memo = true
+		cfg.MemoKeySpace = spec.MemoKey
+		if cfg.MemoKeySpace == "" {
+			// Derive a key space covering everything that shapes a chunk's
+			// map output besides its content: the app and, for grep, its
+			// pattern list.
+			cfg.MemoKeySpace = spec.App
+			if spec.App == "grep" {
+				p := spec.Pattern
+				if p == "" {
+					p = "ERROR"
+				}
+				cfg.MemoKeySpace = "grep:" + p
+			}
+		}
+	}
 
 	switch spec.App {
 	case "wordcount":
@@ -241,14 +285,18 @@ func execJob[K comparable, V any](job supmr.Job[K, V], f supmr.Input, cont supmr
 		return nil, err
 	}
 	res := &Result{
-		App:          app,
-		Runtime:      rtName,
-		OutputPairs:  len(rep.Pairs),
-		Digest:       Digest(rep.Pairs),
-		Times:        rep.Times.String(),
-		MapWaves:     rep.Stats.MapWaves,
-		SpilledRuns:  rep.Stats.SpilledRuns,
-		SpilledBytes: rep.Stats.SpilledBytes,
+		App:            app,
+		Runtime:        rtName,
+		OutputPairs:    len(rep.Pairs),
+		Digest:         Digest(rep.Pairs),
+		Times:          rep.Times.String(),
+		MapWaves:       rep.Stats.MapWaves,
+		SpilledRuns:    rep.Stats.SpilledRuns,
+		SpilledBytes:   rep.Stats.SpilledBytes,
+		MemoHits:       rep.Stats.MemoHits,
+		MemoMisses:     rep.Stats.MemoMisses,
+		MemoBytesSaved: rep.Stats.MemoBytesSaved,
+		Notes:          rep.Notes,
 	}
 	if rep.Stats.Faults.Any() {
 		res.Faults = rep.Stats.Faults.String()

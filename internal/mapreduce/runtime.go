@@ -115,6 +115,15 @@ type Stats struct {
 	// IngestLaneBytes is the payload bytes each IO lane carried during
 	// ingest, indexed by lane; nil when the job ran a single lane.
 	IngestLaneBytes []int64
+	// MemoHits counts ingest chunks whose map/combine output replayed
+	// from the content-addressed memo cache, skipping the map wave.
+	MemoHits int
+	// MemoMisses counts ingest chunks that were mapped and published to
+	// the memo cache (memoized runs only).
+	MemoMisses int
+	// MemoBytesSaved is the total payload bytes of memo-hit chunks —
+	// input that was read and hashed but never mapped.
+	MemoBytesSaved int64
 	// Tasks is the executor's per-phase task instrumentation: task
 	// counts, queue-wait and busy durations keyed by phase label.
 	Tasks map[string]metrics.TaskStats

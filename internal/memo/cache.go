@@ -1,0 +1,148 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"supmr/internal/kv"
+	"supmr/internal/spill"
+)
+
+// Cache is the typed view over a Store for one job type: it derives
+// entry keys from chunk content hashes under a key space, and
+// serializes per-chunk map/combine output with the spill run codecs
+// (uvarint-framed key/value records, identical to spill run files).
+// Jobs whose key or value types have no codec cannot memoize; NewCache
+// refuses up front.
+type Cache[K comparable, V any] struct {
+	store *Store
+	space []byte
+	kc    spill.Codec[K]
+	vc    spill.Codec[V]
+}
+
+// NewCache builds the typed layer. space namespaces keys so different
+// applications (or explicitly separated key spaces) sharing one store
+// never collide: the same chunk content yields different entry keys
+// under different spaces.
+func NewCache[K comparable, V any](store *Store, space string) (*Cache[K, V], error) {
+	if store == nil {
+		return nil, fmt.Errorf("memo: cache requires a store")
+	}
+	kc, err := spill.CodecFor[K]()
+	if err != nil {
+		return nil, fmt.Errorf("memo: key %w", err)
+	}
+	vc, err := spill.CodecFor[V]()
+	if err != nil {
+		return nil, fmt.Errorf("memo: value %w", err)
+	}
+	return &Cache[K, V]{store: store, space: []byte(space), kc: kc, vc: vc}, nil
+}
+
+// Key derives the entry key for one chunk's content hash: a SHA-256
+// over the key space and the content sum, length-framed so distinct
+// (space, sum) inputs cannot collide by concatenation.
+func (c *Cache[K, V]) Key(sum [32]byte) Key {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(c.space)))
+	h.Write(n[:])
+	h.Write(c.space)
+	h.Write(sum[:])
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Get fetches and decodes the cached pairs for k. ok reports a usable
+// hit; a present-but-unreadable entry (fault, torn write, corrupt
+// frame) returns ok=false with the error for accounting — the caller
+// recomputes either way.
+func (c *Cache[K, V]) Get(k Key) (pairs []kv.Pair[K, V], ok bool, err error) {
+	payload, records, err := c.store.Get(k)
+	if err != nil {
+		return nil, false, err
+	}
+	if payload == nil {
+		return nil, false, nil
+	}
+	pairs = make([]kv.Pair[K, V], 0, records)
+	for pos := 0; pos < len(payload); {
+		kb, n, err := frame(payload, pos)
+		if err != nil {
+			return nil, false, fmt.Errorf("memo: entry %x: %w", k[:4], err)
+		}
+		pos = n
+		vb, n, err := frame(payload, pos)
+		if err != nil {
+			return nil, false, fmt.Errorf("memo: entry %x: %w", k[:4], err)
+		}
+		pos = n
+		key, err := c.kc.Decode(kb)
+		if err != nil {
+			return nil, false, fmt.Errorf("memo: entry %x: %w", k[:4], err)
+		}
+		val, err := c.vc.Decode(vb)
+		if err != nil {
+			return nil, false, fmt.Errorf("memo: entry %x: %w", k[:4], err)
+		}
+		pairs = append(pairs, kv.Pair[K, V]{Key: key, Val: val})
+	}
+	return pairs, true, nil
+}
+
+// frame decodes one uvarint-framed field of payload at pos, returning
+// the field bytes and the position after it.
+func frame(payload []byte, pos int) ([]byte, int, error) {
+	u, n := binary.Uvarint(payload[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("corrupt length prefix at %d", pos)
+	}
+	pos += n
+	if u > uint64(len(payload)-pos) {
+		return nil, 0, fmt.Errorf("field length %d exceeds remaining %d bytes", u, len(payload)-pos)
+	}
+	return payload[pos : pos+int(u)], pos + int(u), nil
+}
+
+// Put serializes pairs and publishes them under k. The pairs should be
+// the chunk's full combined output in its stable (key-sorted) order, so
+// a later hit replays them as a ready-sorted merge source.
+func (c *Cache[K, V]) Put(k Key, pairs []kv.Pair[K, V]) error {
+	var buf []byte
+	var scratch []byte
+	for _, p := range pairs {
+		scratch = c.kc.Append(scratch[:0], p.Key)
+		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+		buf = append(buf, scratch...)
+		scratch = c.vc.Append(scratch[:0], p.Val)
+		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+		buf = append(buf, scratch...)
+	}
+	return c.store.Put(k, buf, int64(len(pairs)))
+}
+
+// PayloadBytes reports how large pairs would serialize, without
+// publishing — used to attribute IO-lane op cost before a Put.
+func (c *Cache[K, V]) PayloadBytes(pairs []kv.Pair[K, V]) int64 {
+	var scratch []byte
+	var total int64
+	for _, p := range pairs {
+		scratch = c.kc.Append(scratch[:0], p.Key)
+		total += int64(uvarintLen(uint64(len(scratch)))) + int64(len(scratch))
+		scratch = c.vc.Append(scratch[:0], p.Val)
+		total += int64(uvarintLen(uint64(len(scratch)))) + int64(len(scratch))
+	}
+	return total
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,279 @@
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+
+	"supmr/internal/kv"
+	"supmr/internal/spill"
+	"supmr/internal/storage"
+)
+
+func newStore(t *testing.T, budget int64) *Store {
+	t.Helper()
+	s, err := NewStore(Config{Device: storage.NewNullDevice(storage.NewFakeClock()), Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func keyOf(s string) Key { return Key(sha256.Sum256([]byte(s))) }
+
+func TestStoreRoundtrip(t *testing.T) {
+	s := newStore(t, 0)
+	payload := bytes.Repeat([]byte("abc123"), 10_000)
+	if err := s.Put(keyOf("k1"), payload, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, records, err := s.Get(keyOf("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) || records != 7 {
+		t.Fatalf("roundtrip mismatch: %d bytes, %d records", len(got), records)
+	}
+	if miss, _, err := s.Get(keyOf("absent")); err != nil || miss != nil {
+		t.Fatalf("absent key: payload=%v err=%v, want clean miss", miss != nil, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stored != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != int64(len(payload)) {
+		t.Fatalf("resident bytes = %d, want %d", st.Bytes, len(payload))
+	}
+}
+
+func TestStoreChargesDevice(t *testing.T) {
+	clk := storage.NewFakeClock()
+	dev, err := storage.NewDisk(storage.DiskConfig{Name: "m", Bandwidth: 1 << 20}, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(Config{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	payload := make([]byte, 1<<19) // half the bandwidth: ~0.5 virtual s per pass
+	if err := s.Put(keyOf("k"), payload, 1); err != nil {
+		t.Fatal(err)
+	}
+	afterPut := clk.Now()
+	if afterPut <= 0 {
+		t.Fatal("Put charged no device time")
+	}
+	if _, _, err := s.Get(keyOf("k")); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() <= afterPut {
+		t.Fatal("Get charged no device time")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := newStore(t, 100)
+	pay := func(n int) []byte { return bytes.Repeat([]byte{'x'}, n) }
+	for i := 0; i < 3; i++ {
+		if err := s.Put(keyOf(fmt.Sprintf("k%d", i)), pay(40), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3x40 > 100: k0 (least recent) must be gone, k1/k2 resident.
+	if p, _, _ := s.Get(keyOf("k0")); p != nil {
+		t.Fatal("k0 survived eviction")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if p, _, err := s.Get(keyOf(k)); err != nil || p == nil {
+			t.Fatalf("%s evicted or unreadable (err=%v)", k, err)
+		}
+	}
+	// Touch k1, then add k3: k2 is now least recent and must go.
+	if _, _, err := s.Get(keyOf("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyOf("k3"), pay(40), 1); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, _ := s.Get(keyOf("k2")); p != nil {
+		t.Fatal("k2 survived eviction despite being least recent")
+	}
+	if p, _, err := s.Get(keyOf("k1")); err != nil || p == nil {
+		t.Fatalf("recently-used k1 evicted (err=%v)", err)
+	}
+	if st := s.Stats(); st.Evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", st.Evicted)
+	}
+	if err := s.Put(keyOf("huge"), pay(200), 1); err == nil {
+		t.Fatal("over-budget payload accepted")
+	}
+}
+
+// tornBacking persists only a prefix of every write but reports full
+// success — the silent tear the digest check must catch.
+type tornBacking struct{ keep int }
+
+func (b tornBacking) NewRun(id int) (spill.RunData, error) {
+	inner, _ := spill.MemBacking{}.NewRun(id)
+	return tornRun{inner: inner, keep: b.keep}, nil
+}
+
+type tornRun struct {
+	inner spill.RunData
+	keep  int
+}
+
+func (r tornRun) WriteAt(p []byte, off int64) (int, error) {
+	q := p
+	if len(q) > r.keep {
+		q = q[:r.keep]
+	}
+	if _, err := r.inner.WriteAt(q, off); err != nil {
+		return 0, err
+	}
+	// Pad the tail so reads see zeros where the tear lost data.
+	if len(p) > len(q) {
+		if _, err := r.inner.WriteAt(make([]byte, len(p)-len(q)), off+int64(len(q))); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+func (r tornRun) ReadAt(p []byte, off int64) (int, error) { return r.inner.ReadAt(p, off) }
+func (r tornRun) Close() error                            { return r.inner.Close() }
+
+func TestTornWriteDetectedAsMiss(t *testing.T) {
+	s, err := NewStore(Config{
+		Device:  storage.NewNullDevice(storage.NewFakeClock()),
+		Backing: tornBacking{keep: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	payload := bytes.Repeat([]byte("payload!"), 100)
+	if err := s.Put(keyOf("k"), payload, 1); err != nil {
+		t.Fatalf("the tear is silent; Put must succeed: %v", err)
+	}
+	got, _, err := s.Get(keyOf("k"))
+	if err == nil {
+		t.Fatalf("torn entry read back without error (%d bytes)", len(got))
+	}
+	st := s.Stats()
+	if st.Torn != 1 || st.ReadErrors != 1 {
+		t.Fatalf("stats = %+v, want Torn=1 ReadErrors=1", st)
+	}
+	// The damaged entry must be evicted: the next Get is a clean miss.
+	if p, _, err := s.Get(keyOf("k")); err != nil || p != nil {
+		t.Fatalf("damaged entry not evicted: payload=%v err=%v", p != nil, err)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after eviction, want 0", st.Entries)
+	}
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	s := newStore(t, 0)
+	if err := s.Put(keyOf("k"), []byte("old"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyOf("k"), []byte("newer"), 2); err != nil {
+		t.Fatal(err)
+	}
+	got, records, err := s.Get(keyOf("k"))
+	if err != nil || string(got) != "newer" || records != 2 {
+		t.Fatalf("got %q records=%d err=%v", got, records, err)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats = %+v, want 1 entry of 5 bytes", st)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := newStore(t, 10_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := keyOf(fmt.Sprintf("k%d", i%20))
+				if i%3 == 0 {
+					payload := bytes.Repeat([]byte{byte(i)}, 100+i)
+					if err := s.Put(k, payload, int64(i)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, _, err := s.Get(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCacheRoundtripAndKeySpaces(t *testing.T) {
+	s := newStore(t, 0)
+	c, err := NewCache[string, int64](s, "wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []kv.Pair[string, int64]{{Key: "alpha", Val: 3}, {Key: "beta", Val: 1}, {Key: "gamma", Val: 9}}
+	sum := sha256.Sum256([]byte("chunk content"))
+	if err := c.Put(c.Key(sum), pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(c.Key(sum))
+	if err != nil || !ok {
+		t.Fatalf("hit failed: ok=%v err=%v", ok, err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range pairs {
+		if got[i] != pairs[i] {
+			t.Fatalf("pair %d = %+v, want %+v", i, got[i], pairs[i])
+		}
+	}
+	// A different key space must not see the entry.
+	other, err := NewCache[string, int64](s, "grep:ERROR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := other.Get(other.Key(sum)); ok || err != nil {
+		t.Fatalf("cross-space hit: ok=%v err=%v", ok, err)
+	}
+	if c.PayloadBytes(pairs) == 0 {
+		t.Fatal("PayloadBytes reported zero for non-empty pairs")
+	}
+}
+
+func TestCacheRejectsUncodableTypes(t *testing.T) {
+	s := newStore(t, 0)
+	if _, err := NewCache[string, []string](s, "invindex"); err == nil {
+		t.Fatal("[]string values have no codec; NewCache must refuse")
+	}
+}
+
+func TestCacheEmptyPairs(t *testing.T) {
+	s := newStore(t, 0)
+	c, err := NewCache[string, int64](s, "wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := c.Key(sha256.Sum256([]byte("empty chunk")))
+	if err := c.Put(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(k)
+	if err != nil || !ok || len(got) != 0 {
+		t.Fatalf("empty entry: pairs=%d ok=%v err=%v", len(got), ok, err)
+	}
+}

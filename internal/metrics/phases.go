@@ -25,6 +25,7 @@ const (
 	PhaseMap
 	PhaseReadMap // fused ingest/map rounds of the SupMR pipeline
 	PhaseSpill   // budget-triggered container drains (internal/spill)
+	PhaseMemo    // memo-cache lookups, per-chunk drains and publishes (internal/memo)
 	PhaseReduce
 	PhaseMerge
 	PhaseCleanup
@@ -44,6 +45,8 @@ func (p Phase) String() string {
 		return "read+map"
 	case PhaseSpill:
 		return "spill"
+	case PhaseMemo:
+		return "memo"
 	case PhaseReduce:
 		return "reduce"
 	case PhaseMerge:

@@ -87,11 +87,22 @@ func (sp *Spiller[K, V]) Over(c container.Container[K, V]) bool {
 // does) and sorted on the pool's compute workers under the "spill"
 // phase label, then the disjoint sorted partitions merge into one run.
 func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool exec.Executor) ([]kv.Pair[K, V], error) {
+	return DrainContainer(c, sp.less, sp.reduce, pool, "spill")
+}
+
+// DrainContainer is the container-to-sorted-run primitive behind both
+// the budget spill path and the memo cache's per-chunk drains: reduce
+// and sort every partition on the pool's compute workers under label,
+// merge the disjoint sorted partitions, and Reset the container. The
+// partial reduce requires reduce to be associative and tolerant of
+// re-reducing its own output — the standing combiner contract.
+func DrainContainer[K comparable, V any](c container.Container[K, V], less kv.Less[K],
+	reduce func(K, []V) V, pool exec.Executor, label string) ([]kv.Pair[K, V], error) {
 	parts := c.Partitions()
 	runs := make([][]kv.Pair[K, V], parts)
-	_, err := pool.ForEach("spill", metrics.StateUser, parts, func(p int) error {
-		r := c.Reduce(p, sp.reduce, nil)
-		kv.SortPairs(r, sp.less)
+	_, err := pool.ForEach(label, metrics.StateUser, parts, func(p int) error {
+		r := c.Reduce(p, reduce, nil)
+		kv.SortPairs(r, less)
 		runs[p] = r
 		return nil
 	})
@@ -115,13 +126,13 @@ func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool exec.Executor) 
 		total += len(r)
 	}
 	var merged []kv.Pair[K, V]
-	_, err = pool.ForEach("spill", metrics.StateUser, 1, func(int) error {
+	_, err = pool.ForEach(label, metrics.StateUser, 1, func(int) error {
 		srcs := make([]sortalgo.Source[K, V], len(nonEmpty))
 		for i, r := range nonEmpty {
 			srcs[i] = sortalgo.NewSliceSource(r)
 		}
 		var mErr error
-		merged, mErr = sortalgo.MergeSources(srcs, sp.less, sp.reduce, make([]kv.Pair[K, V], 0, total))
+		merged, mErr = sortalgo.MergeSources(srcs, less, reduce, make([]kv.Pair[K, V], 0, total))
 		return mErr
 	})
 	if err != nil {

@@ -217,8 +217,38 @@ type Config struct {
 	Tenant string
 	// Weight is the job's fair-share weight on the engine's operation
 	// scheduler (engine mode only; minimum and default 1 — a weight-2
-	// job receives twice the operation service of a weight-1 job).
+	// job receives twice the operation service of a weight-1 job; 0
+	// selects the default, negative values are rejected).
 	Weight int
+	// Memo enables content-addressed incremental recompute (SupMR
+	// runtime, single-file inputs): ingest switches to content-defined
+	// chunking (boundaries derived from chunk content, so appends and
+	// local edits do not shift downstream chunks), each chunk's
+	// map/combine output is memoized in a MemoStore keyed by the chunk's
+	// content hash, and a chunk whose key hits the cache skips the map
+	// wave entirely — its cached combined output replays into the merge.
+	// Output is byte-identical to a memo-off run. ChunkBytes sizes the
+	// content-defined chunks (min ChunkBytes/2, target ChunkBytes,
+	// max 2*ChunkBytes). Incompatible with AdaptiveChunks,
+	// ResetEachRound and the traditional runtime; MemoryBudget is
+	// ignored (the memo path drains the container after every chunk, so
+	// residency stays bounded without a spiller — see Report.Notes).
+	Memo bool
+	// MemoStore is the cache a memoized run uses. Nil selects the
+	// engine's shared store (engine mode, EngineConfig.Memo) or, solo, a
+	// private store living only for this run. Share one store across
+	// runs to make re-runs incremental. Jobs with different key/value
+	// types or different applications sharing a store must use distinct
+	// MemoKeySpace values.
+	MemoStore *MemoStore
+	// MemoKeySpace namespaces this job's cache entries within the store
+	// so distinct applications never replay each other's output ("" is a
+	// valid shared namespace).
+	MemoKeySpace string
+	// MemoBudget caps the private store built when neither MemoStore
+	// nor an engine store is supplied (default 64 MiB). Ignored when a
+	// store is supplied — its own budget governs.
+	MemoBudget int64
 }
 
 // Report is the outcome of a run: globally key-sorted output pairs,
@@ -242,6 +272,10 @@ type Report[K comparable, V any] struct {
 	// one point per run written (empty when no memory budget was set or
 	// nothing spilled).
 	SpillBytes []metrics.SeriesPoint
+	// Notes lists configuration caveats the run silently adapted to —
+	// instruments disabled in engine mode, knobs ignored in memo mode —
+	// so a report never hides that a requested measurement is absent.
+	Notes []string
 }
 
 // Stats re-exports the execution statistics type found in
@@ -356,6 +390,9 @@ type runSubstrate struct {
 	budget int64
 	// frees, when set, is the engine's shared chunk-buffer freelist.
 	frees *chunk.FreeList
+	// memo, when set, is the engine's shared memo store, used by
+	// memoized submissions that bring no store of their own.
+	memo *MemoStore
 }
 
 // runWithExecutor is the runtime-selection body shared by solo and
@@ -377,8 +414,12 @@ func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Cont
 		res *mapreduce.Result[K, V]
 		err error
 	)
+	if err := cfg.validateMemo(); err != nil {
+		return nil, err
+	}
+	var notes []string
 	var store *spill.Store
-	if sub.budget > 0 {
+	if cfg.wouldSpill(sub.budget) {
 		if cfg.Runtime != RuntimeSupMR {
 			return nil, errors.New("supmr: MemoryBudget requires RuntimeSupMR (the traditional runtime ingests everything up front; bounding the container would not bound the job)")
 		}
@@ -399,6 +440,20 @@ func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Cont
 		}
 		defer store.Close()
 	}
+	var memoSt *MemoStore
+	if cfg.Memo {
+		var owned bool
+		memoSt, owned, err = cfg.memoStoreFor(sub)
+		if err != nil {
+			return nil, err
+		}
+		if owned {
+			defer memoSt.Close()
+		}
+		if cfg.MemoryBudget > 0 {
+			notes = append(notes, "memo: MemoryBudget ignored (per-chunk drains bound container residency without the spill path)")
+		}
+	}
 	if cfg.Runtime == RuntimeSupMR {
 		co := core.Options{
 			Options:        ro,
@@ -410,6 +465,10 @@ func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Cont
 			PrefetchDepth:  cfg.PrefetchDepth,
 			IOLanes:        cfg.IOLanes,
 			Freelist:       sub.frees,
+		}
+		if memoSt != nil {
+			co.MemoStore = memoSt.store
+			co.MemoSpace = cfg.MemoKeySpace
 		}
 		if cfg.AdaptiveChunks {
 			initial := cfg.ChunkBytes
@@ -429,7 +488,7 @@ func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Cont
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats}
+	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats, Notes: notes}
 	rep.Stats.Faults = cfg.faultCounters().Snapshot()
 	if store != nil {
 		rep.SpillBytes = store.Series()
@@ -482,6 +541,24 @@ func StreamFile(file Input, cfg Config) (Stream, error) {
 		return nil, errors.New("supmr: nil input file")
 	}
 	file = cfg.wrapInput(file)
+	if cfg.Memo {
+		if err := cfg.validateMemo(); err != nil {
+			return nil, err
+		}
+		// Content-defined chunking: cut points derive from chunk content,
+		// so a re-run over appended or locally edited input re-produces
+		// the unchanged chunks' hashes and hits the memo cache. Sizes
+		// bracket ChunkBytes: expected cut ≈ min + avg-mask target.
+		min := cfg.ChunkBytes / 2
+		if min < 1 {
+			min = 1
+		}
+		cdcStream, err := chunk.NewCDCFile(file, min, min, 2*cfg.ChunkBytes, cfg.boundary())
+		if err != nil {
+			return nil, fmt.Errorf("supmr: %w", err)
+		}
+		return cdcStream, nil
+	}
 	chunkBytes := cfg.ChunkBytes
 	if chunkBytes <= 0 && cfg.AdaptiveChunks && cfg.Runtime == RuntimeSupMR {
 		// No explicit size: start from the static advisor's pick and let
@@ -509,6 +586,9 @@ func StreamFile(file Input, cfg Config) (Stream, error) {
 // intra-file chunking by default, hybrid inter/intra-file chunking when
 // cfg.HybridChunks is set.
 func StreamFiles(files []Input, cfg Config) (Stream, error) {
+	if cfg.Memo {
+		return nil, errors.New("supmr: Memo requires a single-file input (RunFile/StreamFile): multi-file chunk composition is not content-stable across file-set changes")
+	}
 	files = cfg.wrapInputs(files)
 	var (
 		s   Stream

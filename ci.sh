@@ -59,6 +59,14 @@ echo "== race-mode multi-job chaos gate =="
 # per-job stats isolated and no goroutine leaks.
 go test -race -count=1 -run 'TestChaosConcurrentEngine|TestEngine' .
 
+echo "== race-mode sort-path gate =="
+# The radix/columnar invariants under the race detector: every
+# fixed-width-key app must produce digests byte-identical to its
+# -radixsort=off ablation across both runtimes, with faults and under a
+# spill budget (TestRadixAblation...), and the branch-free merge trees
+# must agree with the comparison reference (TestMerge, fuzz seeds).
+go test -race -count=1 -run 'TestRadixAblation|TestMerge' .
+
 echo "== race-mode incremental recompute gate =="
 # The memo invariants under the race detector: a cold run, a 1% append
 # and an incremental re-run against the warm store must produce
@@ -120,6 +128,27 @@ if ! echo "$memo_out" | grep -q 'digests_match=true'; then
     exit 1
 fi
 
+echo "== sort-path artifact and speedup gate (BENCH_sort.json) =="
+# The tentpole claim, gated: on fixed-width-key sort (terasort records)
+# the radix run sort plus columnar p-way merge must beat the
+# comparison path by >= 1.5x (measured ~2.9x), with every radix-on
+# digest byte-identical to its -radixsort=off ablation.
+sort_out=$(go run ./cmd/benchtable -sort-json BENCH_sort.json)
+echo "$sort_out"
+sort_speedup=$(echo "$sort_out" | awk -F'[=x]' '/^speedup=/ { print $2 }')
+if [[ -z "$sort_speedup" ]]; then
+    echo "could not parse speedup from the sort benchmark" >&2
+    exit 1
+fi
+if ! awk -v s="$sort_speedup" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "radix sort path only ${sort_speedup}x vs comparison (want >= 1.5x)" >&2
+    exit 1
+fi
+if ! echo "$sort_out" | grep -q 'digests_match=true'; then
+    echo "radix/comparison sort digests diverge" >&2
+    exit 1
+fi
+
 echo "== map hot path allocation gate =="
 # A steady-state flat-combiner map wave must stay (near) allocation-free.
 # Measured ~22 allocs/op; the gate allows generous headroom for GC and
@@ -149,6 +178,13 @@ echo "== race-mode budget-constrained pipeline run =="
 go run -race ./cmd/supmr -app wordcount -runtime supmr \
     -size 2m -chunk 128k -bw 0 -workers 4 -budget 64k
 
+echo "== race-mode radix sort pipeline run =="
+# Fixed-width keys under a spill budget: radix run sorts, the columnar
+# spill drains, and the lookahead streaming merge all on the race
+# detector's watch.
+go run -race ./cmd/supmr -app sort -runtime supmr \
+    -size 1m -chunk 128k -bw 0 -workers 4 -budget 128k
+
 echo "== faulted CLI run recovers with retries =="
 # Built (not `go run`) so the exit code and stderr are the command's own.
 supmr_bin=$(mktemp -d)/supmr
@@ -156,6 +192,26 @@ go build -o "$supmr_bin" ./cmd/supmr
 "$supmr_bin" -app wordcount -runtime supmr \
     -size 1m -chunk 128k -bw 0 -workers 4 \
     -faults seed=1,read-err-every=5 -retries 4
+
+echo "== radix ablation digest gate =="
+# -radixsort=off must be byte-identical to the default fast path:
+# clean, faulted-with-retries, and budget-constrained (spill plus
+# external merge) runs, for both fixed-key apps the digest mode covers.
+for args in \
+    "-app sort -size 200k -chunk 20k -bw 0 -seed 23" \
+    "-app histogram -size 256k -chunk 32k -bw 0 -seed 5" \
+    "-app sort -size 200k -chunk 20k -bw 0 -seed 23 -faults seed=1,read-err-every=7 -retries 4" \
+    "-app sort -size 200k -chunk 20k -bw 0 -seed 23 -budget 32k"; do
+    radix_on=$("$supmr_bin" -digest $args)
+    radix_off=$("$supmr_bin" -digest -radixsort=off $args)
+    if [[ -z "$radix_on" || "$radix_on" != "$radix_off" ]]; then
+        echo "radix ablation digest mismatch for '$args':" >&2
+        echo " on:  $radix_on" >&2
+        echo " off: $radix_off" >&2
+        exit 1
+    fi
+done
+echo "radix on/off digests identical"
 
 echo "== faulted CLI run must fail cleanly =="
 # A permanent ingest fault has to surface as exit 1 with one wrapped

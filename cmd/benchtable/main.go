@@ -40,8 +40,17 @@ func main() {
 		real       = flag.Bool("real", true, "run the scaled real executions")
 		ingestJSON = flag.String("ingest-json", "", "write the multi-lane ingest sweep to this file and exit")
 		memoJSON   = flag.String("memo-json", "", "write the incremental-recompute (memo) benchmark to this file and exit")
+		sortJSON   = flag.String("sort-json", "", "write the sort-path (radix/columnar) benchmark to this file and exit")
 	)
 	flag.Parse()
+
+	if *sortJSON != "" {
+		if err := sortSweep(*sortJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtable:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ingestJSON != "" {
 		if err := ingestSweep(*ingestJSON); err != nil {
@@ -287,6 +296,146 @@ func memoSweep(path string) error {
 	for _, r := range rows {
 		fmt.Printf("%-12s %8d B  %8.2f ms  hits=%-4d misses=%-4d saved=%d B\n",
 			r.Run, r.InputBytes, r.WallMS, r.MemoHits, r.MemoMisses, r.BytesSaved)
+	}
+	fmt.Printf("speedup=%.2fx digests_match=%v\n", speedup, match)
+	return nil
+}
+
+// sortRow is one configuration of the sort-path benchmark.
+type sortRow struct {
+	Run        string  `json:"run"`
+	Merge      string  `json:"merge"`
+	Radix      bool    `json:"radix"`
+	Spill      bool    `json:"spill"`
+	RunSortMS  float64 `json:"runsort_ms"`
+	MergeMS    float64 `json:"merge_ms"`
+	SortPathMS float64 `json:"sortpath_ms"`
+	RadixRuns  int     `json:"radix_runs"`
+	Digest     string  `json:"digest"`
+}
+
+// sortSweep measures the vectorized sort/merge path end to end and
+// writes the CI artifact BENCH_sort.json: terasort records (fixed
+// 10-byte keys) run with the comparison path (-radixsort=off) and with
+// the radix/columnar fast path, under both merge algorithms and under a
+// memory budget that forces the spill/external-merge path. Each
+// configuration runs several times and keeps its fastest sort path
+// (run-sort + merge) to damp scheduler noise; the headline speedup
+// compares the p-way comparison path against the p-way radix path,
+// which is the pairing Table II's merge column uses. Devices are
+// infinitely fast, so charged IO time is zero and the sort path is
+// pure compute.
+func sortSweep(path string) error {
+	const (
+		size = 48 << 20
+		reps = 3
+	)
+	records := int64(size) / workload.TeraRecordSize
+
+	run := func(label, merge string, radixOn, spill bool) (sortRow, error) {
+		best := sortRow{Run: label, Merge: merge, Radix: radixOn, Spill: spill}
+		for i := 0; i < reps; i++ {
+			m := supmr.MergePairwise
+			if merge == "pway" {
+				m = supmr.MergePWay
+			}
+			cfg := supmr.Config{Splits: 64, Boundary: supmr.CRLFRecords, Merge: &m}
+			if !radixOn {
+				off := false
+				cfg.RadixSort = &off
+			}
+			clk := supmr.NewClock()
+			dev := supmr.NewFastDevice(clk)
+			cfg.Clock = clk
+			if spill {
+				cfg.Runtime = supmr.RuntimeSupMR
+				cfg.ChunkBytes = size / 8
+				cfg.MemoryBudget = size / 4
+				cfg.SpillDevice = dev
+			}
+			f, err := supmr.TeraFile("sort", records, 7, dev)
+			if err != nil {
+				return sortRow{}, err
+			}
+			rep, err := supmr.RunFile[string, uint64](supmr.SortJob(), f, supmr.SortContainer(), cfg)
+			if err != nil {
+				return sortRow{}, err
+			}
+			rs := rep.Times.Get(metrics.PhaseRunSort).Seconds() * 1000
+			mg := rep.Times.Get(metrics.PhaseMerge).Seconds() * 1000
+			if i == 0 || rs+mg < best.SortPathMS {
+				best.RunSortMS = rs
+				best.MergeMS = mg
+				best.SortPathMS = rs + mg
+				best.RadixRuns = rep.Stats.RadixRuns
+			}
+			if i == 0 {
+				best.Digest = jobspec.Digest(rep.Pairs)
+			}
+		}
+		return best, nil
+	}
+
+	configs := []struct {
+		label, merge string
+		radix, spill bool
+	}{
+		{"pairwise-cmp", "pairwise", false, false},
+		{"pairwise-radix", "pairwise", true, false},
+		{"pway-cmp", "pway", false, false},
+		{"pway-radix", "pway", true, false},
+		{"spill-cmp", "pway", false, true},
+		{"spill-radix", "pway", true, true},
+	}
+	var rows []sortRow
+	for _, c := range configs {
+		r, err := run(c.label, c.merge, c.radix, c.spill)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r)
+	}
+	byRun := func(name string) sortRow {
+		for _, r := range rows {
+			if r.Run == name {
+				return r
+			}
+		}
+		return sortRow{}
+	}
+	speedup := byRun("pway-cmp").SortPathMS / byRun("pway-radix").SortPathMS
+	// Spill runs budget the container, so partial reduce can differ from
+	// the in-memory rounds — compare digests within each substrate.
+	inMem, spilled := rows[0].Digest, byRun("spill-cmp").Digest
+	match := true
+	for _, r := range rows {
+		want := inMem
+		if r.Spill {
+			want = spilled
+		}
+		if r.Digest != want {
+			match = false
+		}
+	}
+	out := struct {
+		Benchmark  string    `json:"benchmark"`
+		InputBytes int64     `json:"input_bytes"`
+		Records    int64     `json:"records"`
+		Reps       int       `json:"reps"`
+		Rows       []sortRow `json:"rows"`
+		Speedup    float64   `json:"speedup_radix_vs_comparison"`
+		DigestsOK  bool      `json:"digests_match"`
+	}{"sort-path", size, records, reps, rows, speedup, match}
+	jdata, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(jdata, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-14s merge=%-8s radix=%-5v runsort=%8.2f ms  merge=%8.2f ms  sortpath=%8.2f ms  radixruns=%d\n",
+			r.Run, r.Merge, r.Radix, r.RunSortMS, r.MergeMS, r.SortPathMS, r.RadixRuns)
 	}
 	fmt.Printf("speedup=%.2fx digests_match=%v\n", speedup, match)
 	return nil

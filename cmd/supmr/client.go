@@ -74,6 +74,8 @@ func submitMain(args []string) {
 	)
 	memo := onOffFlag(false)
 	fs.Var(&memo, "memo", "content-addressed incremental recompute against the server's shared memo store; a re-submission over mostly unchanged content replays cached map output")
+	radix := onOffFlag(true)
+	fs.Var(&radix, "radixsort", "radix sort/columnar merge fast path for fixed-width-key apps; off is the comparison-sort ablation")
 	fs.Parse(args)
 	spec := jobspec.Spec{
 		App:           *app,
@@ -92,6 +94,7 @@ func submitMain(args []string) {
 		Retries:       *retries,
 		Memo:          bool(memo),
 		MemoKey:       *memoKey,
+		RadixOff:      !bool(radix),
 	}
 	if spec.Runtime == "supmr" {
 		spec.Runtime = "" // spec default
@@ -214,6 +217,9 @@ func printJob(v server.JobView) {
 		if v.Result.MemoHits > 0 || v.Result.MemoMisses > 0 {
 			fmt.Printf("\n  memo: %d hits, %d misses, %s saved",
 				v.Result.MemoHits, v.Result.MemoMisses, cliutil.FormatBytes(v.Result.MemoBytesSaved))
+		}
+		if v.Result.RadixRuns > 0 {
+			fmt.Printf("\n  sortpath: %d run(s) radix-sorted", v.Result.RadixRuns)
 		}
 		if v.Result.Faults != "" {
 			fmt.Printf("\n  faults: %s", v.Result.Faults)

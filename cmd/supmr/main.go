@@ -64,6 +64,8 @@ func main() {
 	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
 	memo := onOffFlag(false)
 	flag.Var(&memo, "memo", "content-addressed incremental recompute: content-defined chunking plus a per-chunk map/combine memo cache (supmr runtime, single-file inputs); off is the ablation spelling")
+	radix := onOffFlag(true)
+	flag.Var(&radix, "radixsort", "radix sort/columnar merge fast path for fixed-width-key apps (sort/histogram/linreg); off falls back to comparison sort everywhere (ablation, byte-identical output)")
 	flag.Parse()
 
 	if *energy {
@@ -86,6 +88,7 @@ func main() {
 			ChunkBytes: parseSize(*chunkSz), Budget: parseSize(*budget), BW: parseSize(*bw),
 			IOLanes: parseCount(*ioLanes), PrefetchDepth: parseCount(*prefetch),
 			Pattern: *pattern, Faults: *faultsStr, Retries: *retries, Memo: bool(memo),
+			RadixOff: !bool(radix),
 		}, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "supmr:", err)
@@ -102,7 +105,7 @@ func main() {
 		adaptive: *adaptive, hybrid: *hybrid, energy: *energy, pattern: *pattern,
 		flatComb: bool(flatComb), faults: *faultsStr, retries: *retries,
 		ioLanes: parseCount(*ioLanes), prefetch: parseCount(*prefetch),
-		memo: bool(memo), memoBudget: parseSize(*memoBudg),
+		memo: bool(memo), memoBudget: parseSize(*memoBudg), radix: bool(radix),
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "supmr: interrupted")
@@ -129,6 +132,7 @@ type runOpts struct {
 	ioLanes, prefetch        int
 	memo                     bool
 	memoBudget               int64
+	radix                    bool
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -212,6 +216,10 @@ func run(ctx context.Context, o runOpts) error {
 		}
 		cfg.MemoryBudget = o.budget
 		cfg.SpillDevice = dev // spill contends with ingest for the same bandwidth
+	}
+	if !o.radix {
+		off := false
+		cfg.RadixSort = &off
 	}
 	if o.memo {
 		switch app {
@@ -397,6 +405,9 @@ func run(ctx context.Context, o runOpts) error {
 	}
 	if stats != nil && stats.Faults.Any() {
 		fmt.Println("faults:", stats.Faults.String())
+	}
+	if stats != nil && stats.RadixRuns > 0 {
+		fmt.Printf("sortpath: %d run(s) radix-sorted\n", stats.RadixRuns)
 	}
 	if stats != nil && (o.ioLanes > 1 || o.prefetch > 1) {
 		fmt.Printf("ingest: %d prefetch hits, %s stalled", stats.PrefetchHits, stats.IngestStall.Round(time.Microsecond))

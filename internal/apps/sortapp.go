@@ -40,6 +40,12 @@ func (Sort) Reduce(_ string, vs []uint64) uint64 {
 // Less orders keys lexicographically (terasort order).
 func (Sort) Less(a, b string) bool { return a < b }
 
+// FixedKey opts into the radix/columnar sort fast path: terasort keys
+// are exactly TeraKeySize raw bytes, already in lexicographic order.
+func (Sort) FixedKey() kv.FixedKeyCodec[string] {
+	return kv.StringFixedKey(workload.TeraKeySize)
+}
+
 // Boundary returns the \r\n record boundary of the sort input. The
 // fixed record width would permit chunk.FixedBoundary too; CRLF matches
 // the paper's description of the split function.

@@ -158,11 +158,20 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	if timer == nil {
 		timer = metrics.NewTimer(pool.Now)
 	}
+	ro.Timer = timer // MergePhase brackets its own run-sort/merge sub-phases
 
 	// Fresh container at job start; never again (unless the ablation
 	// flag asks for the broken behaviour).
 	cont.Reset()
 	ro.ResetContainer = false
+
+	// The fixed-key sort fast path: resolved once so the spill drains,
+	// the external merge and the in-memory merge all agree on it.
+	var fixed *kv.FixedKeyCodec[K]
+	if !ro.RadixDisabled {
+		fixed = kv.FixedKeyOf[K, V](app)
+	}
+	drainRadixRuns := 0 // radix-sorted spill/memo drains, folded into Stats.RadixRuns
 
 	// The memo cache: the typed layer over the shared store, resolved up
 	// front so jobs whose key/value types cannot serialize refuse to
@@ -194,6 +203,7 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 			return nil, err
 		}
 		spiller.SetRetry(opts.Retry, opts.FaultCounters)
+		spiller.SetFixedKey(fixed)
 	}
 
 	depth := opts.PrefetchDepth
@@ -391,7 +401,9 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 			timer.StartPhase(metrics.PhaseSpill)
 			err := spiller.Join() // at most one spill write in flight
 			if err == nil {
-				drained, err = spiller.Drain(cont, pool)
+				var nRad int
+				drained, nRad, err = spiller.Drain(cont, pool)
+				drainRadixRuns += nRad
 			}
 			timer.EndPhase(metrics.PhaseSpill)
 			timer.StartPhase(metrics.PhaseReadMap)
@@ -462,7 +474,8 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 				// publish only skips the cache entry, never the job.
 				timer.EndPhase(metrics.PhaseReadMap)
 				timer.StartPhase(metrics.PhaseMemo)
-				pairs, err := spill.DrainContainer(cont, app.Less, app.Reduce, pool, "memo")
+				pairs, nRad, err := spill.DrainContainer(cont, app.Less, app.Reduce, fixed, pool, "memo")
+				drainRadixRuns += nRad
 				if err == nil {
 					h := pool.GoIO("memo", metrics.StateIOWait, func() error {
 						cache.Put(memoKey, pairs)
@@ -564,22 +577,22 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	stats.Runs = len(runs) + stats.SpilledRuns
 	stats.ReduceBusy = reduceBusy
 
-	timer.StartPhase(metrics.PhaseMerge)
 	var (
-		merged []kv.Pair[K, V]
-		rounds int
+		merged    []kv.Pair[K, V]
+		rounds    int
+		radixRuns int
 	)
 	if spiller != nil && spiller.RunCount() > 0 {
-		merged, rounds, err = externalMerge(app, runs, spiller, pool)
+		merged, rounds, radixRuns, err = externalMerge(app, runs, spiller, fixed, pool, timer)
 	} else {
-		merged, rounds, err = mapreduce.MergePhase(app, runs, ro)
+		merged, rounds, radixRuns, err = mapreduce.MergePhase(app, runs, ro)
 	}
-	timer.EndPhase(metrics.PhaseMerge)
 	if err != nil {
 		pool.Abort(err)
 		return nil, err
 	}
 	stats.MergeRounds = rounds
+	stats.RadixRuns = radixRuns + drainRadixRuns
 	stats.OutputPairs = len(merged)
 	stats.Tasks = pool.TaskStats()
 
@@ -587,14 +600,19 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 }
 
 // externalMerge is the budgeted merge: the in-memory residue runs sort
-// in parallel, then one streaming loser-tree pass consumes them
-// together with every on-disk run, re-reducing keys whose values were
-// split across spills. The round count stays 1 — spilling adds merge
-// sources, not merge rounds, preserving the paper's single-round
-// property (§IV).
-func externalMerge[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], spiller *spill.Spiller[K, V], pool exec.Executor) ([]kv.Pair[K, V], int, error) {
-	if err := sortalgo.SortRuns(runs, app.Less, pool); err != nil {
-		return nil, 0, err
+// in parallel (radix fast path when the app has a fixed-key codec),
+// then one streaming loser-tree pass consumes them together with every
+// on-disk run, re-reducing keys whose values were split across spills.
+// The round count stays 1 — spilling adds merge sources, not merge
+// rounds, preserving the paper's single-round property (§IV). Run-sort
+// and merge time are bracketed separately, like mapreduce.MergePhase.
+func externalMerge[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], spiller *spill.Spiller[K, V],
+	fixed *kv.FixedKeyCodec[K], pool exec.Executor, timer *metrics.Timer) ([]kv.Pair[K, V], int, int, error) {
+	timer.StartPhase(metrics.PhaseRunSort)
+	radixRuns, err := sortalgo.SortRunsWith(runs, app.Less, fixed, pool)
+	timer.EndPhase(metrics.PhaseRunSort)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	srcs := spiller.Sources()
 	for _, r := range runs {
@@ -603,15 +621,17 @@ func externalMerge[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V]
 	// One streaming pass over all sources; run it as a pool task so the
 	// device waits of run reads are attributed to the job's workers.
 	var merged []kv.Pair[K, V]
-	_, err := pool.ForEach("merge", metrics.StateUser, 1, func(int) error {
+	timer.StartPhase(metrics.PhaseMerge)
+	_, err = pool.ForEach("merge", metrics.StateUser, 1, func(int) error {
 		var mErr error
 		merged, mErr = sortalgo.MergeSources(srcs, app.Less, app.Reduce, nil)
 		return mErr
 	})
+	timer.EndPhase(metrics.PhaseMerge)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return merged, 1, nil
+	return merged, 1, radixRuns, nil
 }
 
 // mergeChunkRuns is the memo-mode merge: one streaming loser-tree pass

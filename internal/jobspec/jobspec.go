@@ -59,6 +59,10 @@ type Spec struct {
 	// applications sharing the engine store never replay each other's
 	// output.
 	MemoKey string `json:"memo_key,omitempty"`
+	// RadixOff disables the fixed-width-key sort fast path (radix run
+	// sort + columnar merge) — the -radixsort=off ablation. Output is
+	// byte-identical either way.
+	RadixOff bool `json:"radix_off,omitempty"`
 	// Faults is a cliutil fault-plan string (e.g. "seed=7,read-err-every=5").
 	Faults string `json:"faults,omitempty"`
 	// Retries is a cliutil retry-policy string (e.g. "4" or "attempts=4,base=100us").
@@ -74,9 +78,12 @@ type Result struct {
 	// Digest is the hex SHA-256 over the output pairs rendered one per
 	// line as "key\tvalue\n" — identical runs produce identical digests
 	// whether executed directly, solo, or on a shared engine.
-	Digest       string `json:"digest"`
-	Times        string `json:"times"`
-	MapWaves     int    `json:"map_waves"`
+	Digest   string `json:"digest"`
+	Times    string `json:"times"`
+	MapWaves int    `json:"map_waves"`
+	// RadixRuns counts the runs sorted by the radix fast path (0 when
+	// the app has no fixed-width key codec or the ablation disabled it).
+	RadixRuns    int    `json:"radix_runs,omitempty"`
 	SpilledRuns  int    `json:"spilled_runs,omitempty"`
 	SpilledBytes int64  `json:"spilled_bytes,omitempty"`
 	Faults       string `json:"faults,omitempty"`
@@ -206,6 +213,10 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 		Tenant:        spec.Tenant,
 		Weight:        spec.Weight,
 	}
+	if spec.RadixOff {
+		off := false
+		cfg.RadixSort = &off
+	}
 	if spec.Faults != "" {
 		plan, err := cliutil.ParseFaultPlan(spec.Faults)
 		if err != nil {
@@ -291,6 +302,7 @@ func execJob[K comparable, V any](job supmr.Job[K, V], f supmr.Input, cont supmr
 		Digest:         Digest(rep.Pairs),
 		Times:          rep.Times.String(),
 		MapWaves:       rep.Stats.MapWaves,
+		RadixRuns:      rep.Stats.RadixRuns,
 		SpilledRuns:    rep.Stats.SpilledRuns,
 		SpilledBytes:   rep.Stats.SpilledBytes,
 		MemoHits:       rep.Stats.MemoHits,

@@ -83,6 +83,104 @@ type Combiner[V any] interface {
 	Combine(a, b V) V
 }
 
+// FixedKeyCodec describes a fixed-width, order-preserving byte encoding
+// for an app's keys: Put writes exactly Width bytes into dst such that
+// lexicographic (big-endian, unsigned) byte order equals the app's Less
+// order. Apps with such keys — 10-byte terasort records, integer bucket
+// ids — opt into the radix-partitioned run sort and the columnar
+// loser-tree merge; everything else stays on the comparison path.
+//
+// Put returns false when the key cannot be encoded in Width bytes (for
+// example a string of unexpected length); the caller then falls back to
+// the comparison sort for that run. The encoding must be injective for
+// keys that compare unequal, and equal bytes for keys that compare
+// equal, so the radix path orders keys exactly like Less. Byte-identical
+// output between the two paths additionally requires keys to be unique
+// within each run (true for post-reduce runs: containers emit one pair
+// per key per partition), because the radix sort is stable while
+// SortPairs is not.
+type FixedKeyCodec[K any] struct {
+	// Width is the encoded key size in bytes; must be > 0.
+	Width int
+	// Put encodes k into dst[:Width]. len(dst) >= Width is the
+	// caller's responsibility.
+	Put func(dst []byte, k K) bool
+}
+
+// FixedKeyApp is the opt-in trait: apps whose keys have a fixed-width
+// order-preserving encoding return the codec here.
+type FixedKeyApp[K any] interface {
+	FixedKey() FixedKeyCodec[K]
+}
+
+// FixedKeyOf returns the app's fixed-key codec, or nil when the app does
+// not opt in (or returns a malformed codec).
+func FixedKeyOf[K comparable, V any](app App[K, V]) *FixedKeyCodec[K] {
+	fa, ok := app.(FixedKeyApp[K])
+	if !ok {
+		return nil
+	}
+	c := fa.FixedKey()
+	if c.Width <= 0 || c.Put == nil {
+		return nil
+	}
+	return &c
+}
+
+// StringFixedKey encodes width-byte strings as their raw bytes. Strings
+// of any other length are rejected (Put returns false), which routes the
+// containing run to the comparison sort.
+func StringFixedKey(width int) FixedKeyCodec[string] {
+	return FixedKeyCodec[string]{
+		Width: width,
+		Put: func(dst []byte, k string) bool {
+			if len(k) != width {
+				return false
+			}
+			copy(dst[:width], k)
+			return true
+		},
+	}
+}
+
+// IntFixedKey encodes ints as 8 big-endian bytes with the sign bit
+// flipped, so unsigned byte order equals signed integer order.
+func IntFixedKey() FixedKeyCodec[int] {
+	return FixedKeyCodec[int]{
+		Width: 8,
+		Put: func(dst []byte, k int) bool {
+			u := uint64(k) ^ (1 << 63)
+			dst[0] = byte(u >> 56)
+			dst[1] = byte(u >> 48)
+			dst[2] = byte(u >> 40)
+			dst[3] = byte(u >> 32)
+			dst[4] = byte(u >> 24)
+			dst[5] = byte(u >> 16)
+			dst[6] = byte(u >> 8)
+			dst[7] = byte(u)
+			return true
+		},
+	}
+}
+
+// Uint64FixedKey encodes uint64 keys as 8 big-endian bytes.
+func Uint64FixedKey() FixedKeyCodec[uint64] {
+	return FixedKeyCodec[uint64]{
+		Width: 8,
+		Put: func(dst []byte, k uint64) bool {
+			dst[0] = byte(k >> 56)
+			dst[1] = byte(k >> 48)
+			dst[2] = byte(k >> 40)
+			dst[3] = byte(k >> 32)
+			dst[4] = byte(k >> 24)
+			dst[5] = byte(k >> 16)
+			dst[6] = byte(k >> 8)
+			dst[7] = byte(k)
+			return true
+		},
+	}
+}
+
 // SortPairs sorts ps in place by key using less (pdq-free, simple
 // introsort-style quicksort with insertion sort for small ranges). The
 // standard library sort is interface-based; this generic version avoids

@@ -63,6 +63,20 @@ type Options struct {
 	// traditional runtime has a single map wave, so this is safe; it
 	// exists so the persistent-container ablation can flip it.
 	ResetContainer bool
+	// RadixDisabled turns off the fixed-width-key sort fast path (radix
+	// run sort + columnar merge) — the -radixsort=off ablation. The zero
+	// value keeps the fast path enabled for apps that opt in via
+	// kv.FixedKeyApp.
+	RadixDisabled bool
+}
+
+// fixedKey resolves the app's fixed-key codec for these options: nil
+// when the app does not opt in or the ablation disabled the fast path.
+func fixedKey[K comparable, V any](app kv.App[K, V], opts Options) *kv.FixedKeyCodec[K] {
+	if opts.RadixDisabled {
+		return nil
+	}
+	return kv.FixedKeyOf[K, V](app)
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +114,7 @@ type Stats struct {
 	IntermediateN int // container entries after map
 	Runs          int // sorted runs entering merge
 	MergeRounds   int // pairwise rounds the merge algorithm performed
+	RadixRuns     int // runs sorted by the radix fast path (0 = all comparison)
 	OutputPairs   int
 	SpilledRuns   int           // key-sorted runs the spill layer wrote to storage
 	SpilledBytes  int64         // payload bytes the spill layer wrote to storage
@@ -216,14 +231,25 @@ func ReducePhaseTimed[K comparable, V any](app kv.App[K, V], cont container.Cont
 }
 
 // MergePhase sorts each run in parallel and merges them with the
-// selected algorithm, returning the globally sorted output and the
-// number of pairwise rounds an iterative merge would perform.
-func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], opts Options) ([]kv.Pair[K, V], int, error) {
+// selected algorithm, returning the globally sorted output, the number
+// of pairwise rounds an iterative merge would perform, and how many runs
+// took the radix fast path. When opts.Timer is set, the run-sort and
+// merge halves are timed separately (PhaseRunSort vs PhaseMerge) so
+// reports can attribute the sort-path speedup.
+func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], opts Options) ([]kv.Pair[K, V], int, int, error) {
 	opts = opts.withDefaults()
 	pool, release := opts.pool()
 	defer release()
-	if err := sortalgo.SortRuns(runs, app.Less, pool); err != nil {
-		return nil, 0, err
+	codec := fixedKey(app, opts)
+	if opts.Timer != nil {
+		opts.Timer.StartPhase(metrics.PhaseRunSort)
+	}
+	radixRuns, err := sortalgo.SortRunsWith(runs, app.Less, codec, pool)
+	if opts.Timer != nil {
+		opts.Timer.EndPhase(metrics.PhaseRunSort)
+	}
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	rounds := sortalgo.Rounds(len(runs))
 	if opts.Merge == sortalgo.MergePWay {
@@ -232,11 +258,17 @@ func MergePhase[K comparable, V any](app kv.App[K, V], runs [][]kv.Pair[K, V], o
 			rounds = 0
 		}
 	}
-	merged, err := sortalgo.Merge(opts.Merge, runs, app.Less, pool)
-	if err != nil {
-		return nil, 0, err
+	if opts.Timer != nil {
+		opts.Timer.StartPhase(metrics.PhaseMerge)
 	}
-	return merged, rounds, nil
+	merged, err := sortalgo.MergeWith(opts.Merge, runs, app.Less, codec, pool)
+	if opts.Timer != nil {
+		opts.Timer.EndPhase(metrics.PhaseMerge)
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return merged, rounds, radixRuns, nil
 }
 
 // Ingest reads the entire input stream into memory on the pool's
@@ -321,6 +353,7 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 	if timer == nil {
 		timer = metrics.NewTimer(pool.Now)
 	}
+	opts.Timer = timer // MergePhase brackets its own sub-phases
 
 	timer.StartPhase(metrics.PhaseRead)
 	ch, err := IngestChunk(input, pool)
@@ -351,9 +384,7 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 		return nil, err
 	}
 
-	timer.StartPhase(metrics.PhaseMerge)
-	merged, rounds, err := MergePhase(app, runs, opts)
-	timer.EndPhase(metrics.PhaseMerge)
+	merged, rounds, radixRuns, err := MergePhase(app, runs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +399,7 @@ func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont contain
 			IntermediateN: interN,
 			Runs:          len(runs),
 			MergeRounds:   rounds,
+			RadixRuns:     radixRuns,
 			OutputPairs:   len(merged),
 			MapBusy:       mapBusy,
 			ReduceBusy:    reduceBusy,

@@ -27,6 +27,7 @@ const (
 	PhaseSpill   // budget-triggered container drains (internal/spill)
 	PhaseMemo    // memo-cache lookups, per-chunk drains and publishes (internal/memo)
 	PhaseReduce
+	PhaseRunSort // per-run sorting (radix or comparison) feeding the merge
 	PhaseMerge
 	PhaseCleanup
 	numPhases
@@ -49,6 +50,8 @@ func (p Phase) String() string {
 		return "memo"
 	case PhaseReduce:
 		return "reduce"
+	case PhaseRunSort:
+		return "runsort"
 	case PhaseMerge:
 		return "merge"
 	case PhaseCleanup:
@@ -216,7 +219,9 @@ func FormatTable2(title string, rows []Table2Row) string {
 			fmtDur(read),
 			mapCell,
 			fmtDur(r.Times.Get(PhaseReduce)),
-			fmtDur(r.Times.Get(PhaseMerge)),
+			// Table II's merge column covers the whole merge phase,
+			// which internally splits into run-sort + merge proper.
+			fmtDur(r.Times.Get(PhaseMerge)+r.Times.Get(PhaseRunSort)),
 		)
 	}
 	return b.String()

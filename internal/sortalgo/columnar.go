@@ -1,0 +1,222 @@
+package sortalgo
+
+// Columnar fixed-key merge: the cache-conscious counterpart of the radix
+// run sort. Instead of striding over fat kv.Pair structs (string header +
+// value = 24+ bytes apiece) for every comparison, the merge encodes each
+// input column's keys once into recycled arenas:
+//
+//   - pre[i]:  the first 8 encoded key bytes as a big-endian uint64, so
+//     the common-case comparison is one integer compare over a dense
+//     array;
+//   - tail[i]: the remaining Width-8 bytes (terasort: 2), consulted only
+//     when prefixes collide.
+//
+// A sentinel-padded power-of-two loser tree merges the columns. The
+// replay loop folds the comparison result into masked index arithmetic —
+// no data-dependent branch on the winner/loser select — and each head
+// advance touches the prefix a few cache lines ahead of the consumption
+// point (run-head prefetch). Exhausted and padding columns carry a
+// MaxUint64 prefix and a tie index pushed past every live column, so the
+// loop needs no liveness branches either.
+//
+// Equal keys resolve by column index, matching mergeTwo's preference for
+// the left run and the comparison loser tree's tie rule, so the columnar
+// path is byte-identical to the generic one.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"supmr/internal/kv"
+)
+
+// colPrefetchDist is how many keys ahead of the consuming head each
+// advance touches — two cache lines of upcoming prefixes stay warm.
+const colPrefetchDist = 16
+
+var colPrePool sync.Pool // *[]uint64
+
+// prefetchSink absorbs the prefetch touches so the loads cannot be
+// dead-code eliminated; one atomic add per merge call.
+var prefetchSink atomic.Uint64
+
+func getScratchU64(n int) []uint64 {
+	if v := colPrePool.Get(); v != nil {
+		if b := *(v.(*[]uint64)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+func putScratchU64(b []uint64) {
+	if cap(b) > 0 {
+		colPrePool.Put(&b)
+	}
+}
+
+// bePrefix returns the first min(w, 8) bytes of buf as a big-endian
+// uint64, left-aligned (zero-padded) so fixed-width lexicographic order
+// equals unsigned integer order.
+func bePrefix(buf []byte, w int) uint64 {
+	if w >= 8 {
+		return binary.BigEndian.Uint64(buf)
+	}
+	var v uint64
+	for i := 0; i < w; i++ {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v << (8 * uint(8-w))
+}
+
+// b2i returns 1 for true, 0 for false; the compiler lowers it to a
+// flag-set instruction, not a branch.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// columnarMerge merges the sorted columns into dst via the columnar
+// loser tree. Returns (dst, false) — with dst unwritten — when any key
+// fails to encode; the caller falls back to the generic tree.
+func columnarMerge[K any, V any](cols [][]kv.Pair[K, V], codec kv.FixedKeyCodec[K], dst []kv.Pair[K, V]) ([]kv.Pair[K, V], bool) {
+	k := len(cols)
+	if k == 0 {
+		return dst, true
+	}
+	if k == 1 {
+		return append(dst, cols[0]...), true
+	}
+	w := codec.Width
+	tw := w - 8
+	if tw < 0 {
+		tw = 0
+	}
+	total := 0
+	for _, c := range cols {
+		total += len(c)
+	}
+
+	// Encode all keys into one prefix arena (plus a tail arena for
+	// widths beyond 8 bytes); both recycle across merge calls.
+	pre := getScratchU64(total)
+	defer putScratchU64(pre)
+	var tails []byte
+	if tw > 0 {
+		tails = getScratchBytes(total * tw)
+		defer putScratchBytes(tails)
+	}
+	buf := make([]byte, w)
+	ints := make([]int, 2*k)
+	bases, ends := ints[:k], ints[k:2*k]
+	pos := 0
+	for c, col := range cols {
+		bases[c] = pos
+		for _, p := range col {
+			if !codec.Put(buf, p.Key) {
+				return dst, false
+			}
+			pre[pos] = bePrefix(buf, w)
+			if tw > 0 {
+				copy(tails[pos*tw:(pos+1)*tw], buf[8:w])
+			}
+			pos++
+		}
+		ends[c] = pos
+	}
+
+	// Sentinel-padded power-of-two tree state. cur[c] is column c's head
+	// prefix (MaxUint64 once exhausted); tie[c] is the equal-key /
+	// exhaustion rank: live columns rank by index, exhausted and padding
+	// columns by index+m, so every live head outranks every dead one.
+	m := 2
+	for m < k {
+		m <<= 1
+	}
+	state := make([]int, 3*m)
+	heads, tie, nodes := state[:m], state[m:2*m], state[2*m:3*m]
+	cur := getScratchU64(m)
+	defer putScratchU64(cur)
+	for c := 0; c < m; c++ {
+		if c < k && bases[c] < ends[c] {
+			heads[c] = bases[c]
+			cur[c] = pre[bases[c]]
+			tie[c] = c
+		} else {
+			cur[c] = math.MaxUint64
+			tie[c] = c + m
+		}
+	}
+
+	// tieLess breaks prefix ties: tail bytes first (when both columns
+	// are live and the key extends past 8 bytes), then rank.
+	tieLess := func(a, b int) bool {
+		if tw > 0 && tie[a] < m && tie[b] < m {
+			ta := tails[heads[a]*tw : (heads[a]+1)*tw]
+			tb := tails[heads[b]*tw : (heads[b]+1)*tw]
+			if c := bytes.Compare(ta, tb); c != 0 {
+				return c < 0
+			}
+		}
+		return tie[a] < tie[b]
+	}
+
+	// Build: play all leaves bottom-up, keeping losers in the nodes.
+	winners := make([]int, 2*m)
+	for i := 0; i < m; i++ {
+		winners[m+i] = i
+	}
+	for node := m - 1; node >= 1; node-- {
+		a, b := winners[2*node], winners[2*node+1]
+		win, lose := a, b
+		if cur[b] < cur[a] || (cur[b] == cur[a] && tieLess(b, a)) {
+			win, lose = b, a
+		}
+		winners[node] = win
+		nodes[node] = lose
+	}
+	winner := winners[1]
+
+	var sink uint64
+	for tie[winner] < m {
+		wc := winner
+		h := heads[wc]
+		dst = append(dst, cols[wc][h-bases[wc]])
+		h++
+		if h == ends[wc] {
+			cur[wc] = math.MaxUint64
+			tie[wc] += m
+		} else {
+			heads[wc] = h
+			cur[wc] = pre[h]
+			if pf := h + colPrefetchDist; pf < ends[wc] {
+				sink += pre[pf] // run-head prefetch
+			}
+		}
+		// Replay from the leaf: the select is masked index arithmetic,
+		// branch-free on the (overwhelmingly common) distinct-prefix
+		// path; equal prefixes fall to the rare tie comparison.
+		for node := (m + wc) >> 1; node > 0; node >>= 1 {
+			l := nodes[node]
+			cl, cw := cur[l], cur[wc]
+			if cl != cw {
+				mask := -b2i(cl < cw)
+				nodes[node] = (wc & mask) | (l &^ mask)
+				wc = (l & mask) | (wc &^ mask)
+				continue
+			}
+			if tieLess(l, wc) {
+				nodes[node] = wc
+				wc = l
+			}
+		}
+		winner = wc
+	}
+	prefetchSink.Add(sink)
+	return dst, true
+}

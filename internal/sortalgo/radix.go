@@ -1,0 +1,156 @@
+package sortalgo
+
+// LSD radix partitioning for fixed-width keys: the vectorized run-sort
+// fast path. Apps with a kv.FixedKeyCodec (terasort's 10-byte records,
+// integer bucket ids) have their runs sorted by counting passes over
+// digit bytes instead of comparison sorting — O(w·n) sequential array
+// traffic with no branches on key values, versus O(n log n) unpredictable
+// comparisons. Two details matter for the hot path:
+//
+//   - Keys are encoded once into a recycled row-major byte arena, so each
+//     digit pass reads one byte per element from a dense array and the
+//     final permutation is applied to the fat kv.Pair structs exactly
+//     once, by cycle-walking in place.
+//
+//   - Digit positions that are constant across the whole run are skipped.
+//     Range-partitioned runs (KeyRange containers, p-way splitter ranges)
+//     share long key prefixes, so most passes vanish.
+//
+// The sort is stable (counting passes preserve ties in input order).
+// kv.SortPairs is not, so byte-identical -radixsort=off ablation output
+// relies on keys being unique within each run — true for post-reduce
+// runs, where containers emit one pair per key per partition.
+
+import (
+	"sync"
+
+	"supmr/internal/kv"
+)
+
+// radixMinLen is the run length below which the comparison sort's
+// constant factors beat the encode + count passes.
+const radixMinLen = 48
+
+// Recycled scratch arenas: encoded key rows and permutation index
+// buffers survive across runs and rounds (PR 3 freelist discipline).
+var (
+	radixBytePool sync.Pool // *[]byte
+	radixIdxPool  sync.Pool // *[]uint32
+)
+
+func getScratchBytes(n int) []byte {
+	if v := radixBytePool.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putScratchBytes(b []byte) {
+	if cap(b) > 0 {
+		radixBytePool.Put(&b)
+	}
+}
+
+func getScratchIdx(n int) []uint32 {
+	if v := radixIdxPool.Get(); v != nil {
+		if b := *(v.(*[]uint32)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]uint32, n)
+}
+
+func putScratchIdx(b []uint32) {
+	if cap(b) > 0 {
+		radixIdxPool.Put(&b)
+	}
+}
+
+// RadixSortPairs sorts ps in place by the codec's fixed-width key
+// encoding, least-significant digit first. It returns false — leaving ps
+// untouched — when the run is too small to benefit or any key fails to
+// encode; the caller falls back to kv.SortPairs.
+func RadixSortPairs[K any, V any](ps []kv.Pair[K, V], codec kv.FixedKeyCodec[K]) bool {
+	n := len(ps)
+	w := codec.Width
+	if n < radixMinLen || w <= 0 || n >= 1<<31 {
+		return false
+	}
+
+	keys := getScratchBytes(n * w)
+	defer putScratchBytes(keys)
+
+	// Encode every key into its row, recording which digit positions
+	// actually vary relative to the first key.
+	diff := make([]byte, w)
+	first := keys[:w]
+	if !codec.Put(first, ps[0].Key) {
+		return false
+	}
+	for i := 1; i < n; i++ {
+		row := keys[i*w : i*w+w]
+		if !codec.Put(row, ps[i].Key) {
+			return false
+		}
+		for d := 0; d < w; d++ {
+			diff[d] |= row[d] ^ first[d]
+		}
+	}
+
+	idx := getScratchIdx(2 * n)
+	defer putScratchIdx(idx)
+	a, b := idx[:n], idx[n:2*n]
+	for i := range a {
+		a[i] = uint32(i)
+	}
+
+	// LSD counting passes over the varying digits only. Each pass is
+	// stable, so the final order is (key bytes, original index).
+	var count [256]uint32
+	for d := w - 1; d >= 0; d-- {
+		if diff[d] == 0 {
+			continue
+		}
+		count = [256]uint32{}
+		for _, id := range a {
+			count[keys[int(id)*w+d]]++
+		}
+		pos := uint32(0)
+		for i := 0; i < 256; i++ {
+			c := count[i]
+			count[i] = pos
+			pos += c
+		}
+		for _, id := range a {
+			digit := keys[int(id)*w+d]
+			b[count[digit]] = id
+			count[digit]++
+		}
+		a, b = b, a
+	}
+
+	// Apply the permutation (sorted[j] = ps[a[j]]) in place by walking
+	// its cycles; the high bit marks visited entries, so no pair scratch
+	// buffer is needed.
+	const visited = 1 << 31
+	for i := 0; i < n; i++ {
+		if a[i]&visited != 0 || int(a[i]) == i {
+			continue
+		}
+		tmp := ps[i]
+		cur := i
+		for {
+			nxt := int(a[cur])
+			a[cur] |= visited
+			if nxt == i {
+				ps[cur] = tmp
+				break
+			}
+			ps[cur] = ps[nxt]
+			cur = nxt
+		}
+	}
+	return true
+}

@@ -21,6 +21,7 @@ package sortalgo
 
 import (
 	"slices"
+	"sync/atomic"
 
 	"supmr/internal/exec"
 	"supmr/internal/kv"
@@ -31,11 +32,25 @@ import (
 // the high-utilization prefix both merge algorithms share ("all cores
 // sorting small lists in parallel").
 func SortRuns[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) error {
+	_, err := SortRunsWith(runs, less, nil, ex)
+	return err
+}
+
+// SortRunsWith is SortRuns with an optional fixed-key codec: runs whose
+// keys encode at the codec's width are radix-sorted (see radix.go), the
+// rest fall back to the comparison sort. Returns how many runs took the
+// radix path. codec == nil is plain SortRuns.
+func SortRunsWith[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], codec *kv.FixedKeyCodec[K], ex exec.Executor) (int, error) {
+	var radixRuns atomic.Int64
 	_, err := ex.ForEach("sort", metrics.StateUser, len(runs), func(i int) error {
+		if codec != nil && RadixSortPairs(runs[i], *codec) {
+			radixRuns.Add(1)
+			return nil
+		}
 		kv.SortPairs(runs[i], less)
 		return nil
 	})
-	return err
+	return int(radixRuns.Load()), err
 }
 
 // mergeTwo merges sorted a and b into dst (which must have capacity
@@ -60,28 +75,55 @@ func mergeTwo[K any, V any](a, b []kv.Pair[K, V], less kv.Less[K], dst []kv.Pair
 // pairs until one remains. Each round processes every key again, and the
 // number of concurrently mergeable pairs (and hence busy workers) halves
 // every round. Runs must already be sorted.
+//
+// All rounds write into two flat buffers allocated up front and
+// ping-ponged: round r merges out of one buffer (or the input runs) into
+// the other, so the per-round, per-pair `make` churn of the original
+// Phoenix loop is gone. An odd leftover run is copied into the round's
+// output buffer alongside the merges, keeping each round's live data
+// confined to a single buffer and the rounds free of read/write
+// aliasing.
 func PairwiseMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
 	if len(runs) == 0 {
 		return nil, nil
 	}
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	bufA := make([]kv.Pair[K, V], total)
+	bufB := make([]kv.Pair[K, V], total)
+	out, next := bufA, bufB
 	cur := runs
 	for len(cur) > 1 {
 		pairs := len(cur) / 2
-		nextRuns := make([][]kv.Pair[K, V], pairs+len(cur)%2)
+		odd := len(cur) % 2
+		nextRuns := make([][]kv.Pair[K, V], pairs+odd)
+		offs := make([]int, pairs+odd+1)
+		for p := 0; p < pairs; p++ {
+			offs[p+1] = offs[p] + len(cur[2*p]) + len(cur[2*p+1])
+		}
+		if odd == 1 {
+			offs[pairs+1] = offs[pairs] + len(cur[len(cur)-1])
+		}
 		round := cur
-		_, err := ex.ForEach("merge", metrics.StateUser, pairs, func(p int) error {
-			a, b := round[2*p], round[2*p+1]
-			dst := make([]kv.Pair[K, V], 0, len(a)+len(b))
-			nextRuns[p] = mergeTwo(a, b, less, dst)
+		_, err := ex.ForEach("merge", metrics.StateUser, pairs+odd, func(p int) error {
+			dst := out[offs[p]:offs[p]:offs[p+1]]
+			if p == pairs {
+				nextRuns[p] = append(dst, round[len(round)-1]...)
+				return nil
+			}
+			nextRuns[p] = mergeTwo(round[2*p], round[2*p+1], less, dst)
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		if len(cur)%2 == 1 {
-			nextRuns[pairs] = cur[len(cur)-1]
-		}
 		cur = nextRuns
+		out, next = next, out
 	}
 	return cur[0], nil
 }
@@ -107,6 +149,15 @@ const samplesPerRun = 32
 // loser-tree-merges its column of run slices into a disjoint region of
 // the output.
 func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
+	return PWayMergeWith(runs, less, nil, ex)
+}
+
+// PWayMergeWith is PWayMerge with an optional fixed-key codec: when
+// present, each worker merges its column set through the columnar loser
+// tree (columnar.go) — encoded key prefixes in recycled arenas, masked
+// branch-free replay — falling back to the generic tree if any key fails
+// to encode. Output is byte-identical either way.
+func PWayMergeWith[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], codec *kv.FixedKeyCodec[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
 	// Drop empty runs.
 	var rs [][]kv.Pair[K, V]
 	total := 0
@@ -209,7 +260,13 @@ func PWayMerge[K any, V any](runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Ex
 				cols = append(cols, seg)
 			}
 		}
-		loserTreeMerge(cols, less, out[offsets[s]:offsets[s]:offsets[s+1]])
+		dst := out[offsets[s]:offsets[s]:offsets[s+1]]
+		if codec != nil && len(cols) >= 2 {
+			if _, ok := columnarMerge(cols, *codec, dst); ok {
+				return nil
+			}
+		}
+		loserTreeMerge(cols, less, dst)
 		return nil
 	})
 	if err != nil {
@@ -237,6 +294,13 @@ func lowerBound[K any, V any](r []kv.Pair[K, V], key K, less kv.Less[K]) int {
 // with sufficient capacity) using a tournament tree of losers, the
 // classic structure for merging N ordered runs with ~log2(N) comparisons
 // per output element (Salzberg 1989).
+//
+// The tree is padded to a power of two with sentinel leaves, so build
+// and replay are uniform bottom-up loops with no -1 sentinels or
+// first-visit branches: replay walks exactly log2(m) nodes via index
+// halving. Equal keys resolve by column index (matching mergeTwo's
+// preference for the left run and the columnar tree's tie rule), making
+// every merge path emit duplicates in the same deterministic order.
 func loserTreeMerge[K any, V any](cols [][]kv.Pair[K, V], less kv.Less[K], dst []kv.Pair[K, V]) []kv.Pair[K, V] {
 	k := len(cols)
 	switch k {
@@ -247,61 +311,58 @@ func loserTreeMerge[K any, V any](cols [][]kv.Pair[K, V], less kv.Less[K], dst [
 	case 2:
 		return mergeTwo(cols[0], cols[1], less, dst)
 	}
-	// heads[i] is the next unconsumed index of cols[i]; exhausted columns
-	// are treated as +infinity in the tree.
-	heads := make([]int, k)
-	// tree[1..k-1] hold loser column ids; tree[0] holds the winner.
-	tree := make([]int, k)
-	exhausted := func(c int) bool { return heads[c] >= len(cols[c]) }
-	// beats reports whether column a's head wins (is less than) column
-	// b's head; exhausted columns always lose.
+	m := 2
+	for m < k {
+		m <<= 1
+	}
+	// heads[c] is the next unconsumed index of cols[c]; columns past k
+	// and exhausted columns act as +infinity sentinels.
+	state := make([]int, 2*m)
+	heads, nodes := state[:m], state[m:2*m]
+	exhausted := func(c int) bool { return c >= k || heads[c] >= len(cols[c]) }
+	// beats reports whether column a's head strictly precedes column
+	// b's: by key, then by column index; sentinels always lose.
 	beats := func(a, b int) bool {
-		if exhausted(a) {
-			return false
+		ea, eb := exhausted(a), exhausted(b)
+		if ea || eb {
+			return !ea || (eb && a < b)
 		}
-		if exhausted(b) {
+		ka, kb := cols[a][heads[a]].Key, cols[b][heads[b]].Key
+		if less(ka, kb) {
 			return true
 		}
-		return less(cols[a][heads[a]].Key, cols[b][heads[b]].Key)
+		if less(kb, ka) {
+			return false
+		}
+		return a < b
 	}
 
-	// Build the tree by playing each column up from its leaf.
-	for i := range tree {
-		tree[i] = -1
+	// Build bottom-up: winners bubble toward the root, each internal
+	// node keeps the loser of its match.
+	winners := make([]int, 2*m)
+	for i := 0; i < m; i++ {
+		winners[m+i] = i
 	}
-	for c := 0; c < k; c++ {
-		winner := c
-		// Leaf position for column c in the implicit tournament.
-		for node := (k + c) / 2; node >= 1; node /= 2 {
-			if tree[node] == -1 {
-				tree[node] = winner
-				winner = -1
-				break
-			}
-			if beats(tree[node], winner) {
-				winner, tree[node] = tree[node], winner
-			}
+	for node := m - 1; node >= 1; node-- {
+		a, b := winners[2*node], winners[2*node+1]
+		if beats(b, a) {
+			a, b = b, a
 		}
-		if winner != -1 {
-			tree[0] = winner
-		}
+		winners[node] = a
+		nodes[node] = b
 	}
+	w := winners[1]
 
-	for {
-		w := tree[0]
-		if exhausted(w) {
-			break
-		}
+	for !exhausted(w) {
 		dst = append(dst, cols[w][heads[w]])
 		heads[w]++
-		// Replay w from its leaf to the root.
-		winner := w
-		for node := (k + w) / 2; node >= 1; node /= 2 {
-			if beats(tree[node], winner) {
-				winner, tree[node] = tree[node], winner
+		// Replay from w's leaf to the root by index halving.
+		for node := (m + w) >> 1; node > 0; node >>= 1 {
+			if l := nodes[node]; beats(l, w) {
+				nodes[node] = w
+				w = l
 			}
 		}
-		tree[0] = winner
 	}
 	return dst
 }
@@ -331,9 +392,17 @@ func (m MergeAlgo) String() string {
 
 // Merge dispatches to the selected algorithm. Runs must be sorted.
 func Merge[K any, V any](algo MergeAlgo, runs [][]kv.Pair[K, V], less kv.Less[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
+	return MergeWith(algo, runs, less, nil, ex)
+}
+
+// MergeWith is Merge with an optional fixed-key codec, which routes the
+// p-way merge through the columnar loser tree. The pairwise baseline
+// stays comparison-based by design — it exists to measure the merge the
+// paper replaces.
+func MergeWith[K any, V any](algo MergeAlgo, runs [][]kv.Pair[K, V], less kv.Less[K], codec *kv.FixedKeyCodec[K], ex exec.Executor) ([]kv.Pair[K, V], error) {
 	switch algo {
 	case MergePWay:
-		return PWayMerge(runs, less, ex)
+		return PWayMergeWith(runs, less, codec, ex)
 	default:
 		return PairwiseMerge(runs, less, ex)
 	}

@@ -41,23 +41,39 @@ func (s *sliceSource[K, V]) Next() (kv.Pair[K, V], bool, error) {
 }
 
 // sourceTree is a tournament tree of losers over streaming sources: the
-// same structure loserTreeMerge uses for slices, with heads held as
-// buffered pairs pulled from each source on demand.
+// sentinel-padded power-of-two structure loserTreeMerge uses for slices,
+// with two buffered pairs per source. The second buffer is the run-head
+// prefetch: the next record is pulled from a source one pop before it is
+// compared, so incremental spill-run decoding happens off the
+// comparison's critical path. Equal keys resolve by source index, the
+// same tie rule as the in-memory trees, so spill-run groups form in
+// deterministic run order.
 type sourceTree[K any, V any] struct {
-	srcs  []Source[K, V]
-	heads []kv.Pair[K, V] // current head per source
-	live  []bool          // head valid (source not exhausted)
-	tree  []int           // tree[1..k-1] losers, tree[0] winner
-	less  kv.Less[K]
+	srcs   []Source[K, V]
+	heads  []kv.Pair[K, V] // current head per source (padded to m)
+	nexts  []kv.Pair[K, V] // prefetched following record per source
+	live   []bool          // head valid (source not exhausted)
+	nlive  []bool          // prefetched record valid
+	nodes  []int           // nodes[1..m-1] hold loser ids
+	winner int
+	m      int // power-of-two leaf count; [k, m) are sentinels
+	less   kv.Less[K]
 }
 
 func newSourceTree[K any, V any](srcs []Source[K, V], less kv.Less[K]) (*sourceTree[K, V], error) {
 	k := len(srcs)
+	m := 2
+	for m < k {
+		m <<= 1
+	}
 	t := &sourceTree[K, V]{
 		srcs:  srcs,
-		heads: make([]kv.Pair[K, V], k),
-		live:  make([]bool, k),
-		tree:  make([]int, k),
+		heads: make([]kv.Pair[K, V], m),
+		nexts: make([]kv.Pair[K, V], m),
+		live:  make([]bool, m),
+		nlive: make([]bool, m),
+		nodes: make([]int, m),
+		m:     m,
 		less:  less,
 	}
 	for c := 0; c < k; c++ {
@@ -66,66 +82,77 @@ func newSourceTree[K any, V any](srcs []Source[K, V], less kv.Less[K]) (*sourceT
 			return nil, err
 		}
 		t.heads[c], t.live[c] = p, ok
-	}
-	// Build the tree by playing each column up from its leaf.
-	for i := range t.tree {
-		t.tree[i] = -1
-	}
-	for c := 0; c < k; c++ {
-		winner := c
-		for node := (k + c) / 2; node >= 1; node /= 2 {
-			if t.tree[node] == -1 {
-				t.tree[node] = winner
-				winner = -1
-				break
+		if ok {
+			p, ok, err = srcs[c].Next()
+			if err != nil {
+				return nil, err
 			}
-			if t.beats(t.tree[node], winner) {
-				winner, t.tree[node] = t.tree[node], winner
-			}
-		}
-		if winner != -1 {
-			t.tree[0] = winner
+			t.nexts[c], t.nlive[c] = p, ok
 		}
 	}
+	// Build bottom-up: winners bubble toward the root, each internal
+	// node keeps the loser of its match.
+	winners := make([]int, 2*m)
+	for i := 0; i < m; i++ {
+		winners[m+i] = i
+	}
+	for node := m - 1; node >= 1; node-- {
+		a, b := winners[2*node], winners[2*node+1]
+		if t.beats(b, a) {
+			a, b = b, a
+		}
+		winners[node] = a
+		t.nodes[node] = b
+	}
+	t.winner = winners[1]
 	return t, nil
 }
 
-// beats reports whether source a's head wins (is less than) source b's;
-// exhausted sources always lose.
+// beats reports whether source a's head strictly precedes source b's: by
+// key, then by source index; exhausted sources and sentinels always
+// lose.
 func (t *sourceTree[K, V]) beats(a, b int) bool {
-	if !t.live[a] {
-		return false
+	la, lb := t.live[a], t.live[b]
+	if !la || !lb {
+		return la || (!lb && a < b)
 	}
-	if !t.live[b] {
+	ka, kb := t.heads[a].Key, t.heads[b].Key
+	if t.less(ka, kb) {
 		return true
 	}
-	return t.less(t.heads[a].Key, t.heads[b].Key)
+	if t.less(kb, ka) {
+		return false
+	}
+	return a < b
 }
 
-// pop removes and returns the globally smallest head, refilling from its
-// source and replaying the tree. ok=false when every source is dry.
+// pop removes and returns the globally smallest head, promoting the
+// prefetched record, refilling the prefetch slot, and replaying the tree
+// from the winner's leaf by index halving. ok=false when every source is
+// dry.
 func (t *sourceTree[K, V]) pop() (kv.Pair[K, V], bool, error) {
-	w := t.tree[0]
+	w := t.winner
 	if !t.live[w] {
 		var zero kv.Pair[K, V]
 		return zero, false, nil
 	}
 	out := t.heads[w]
-	p, ok, err := t.srcs[w].Next()
-	if err != nil {
-		var zero kv.Pair[K, V]
-		return zero, false, err
+	t.heads[w], t.live[w] = t.nexts[w], t.nlive[w]
+	if t.nlive[w] {
+		p, ok, err := t.srcs[w].Next()
+		if err != nil {
+			var zero kv.Pair[K, V]
+			return zero, false, err
+		}
+		t.nexts[w], t.nlive[w] = p, ok
 	}
-	t.heads[w], t.live[w] = p, ok
-	// Replay w from its leaf to the root.
-	k := len(t.srcs)
-	winner := w
-	for node := (k + w) / 2; node >= 1; node /= 2 {
-		if t.beats(t.tree[node], winner) {
-			winner, t.tree[node] = t.tree[node], winner
+	for node := (t.m + w) >> 1; node > 0; node >>= 1 {
+		if l := t.nodes[node]; t.beats(l, w) {
+			t.nodes[node] = w
+			w = l
 		}
 	}
-	t.tree[0] = winner
+	t.winner = w
 	return out, true, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"supmr/internal/container"
 	"supmr/internal/exec"
@@ -26,6 +27,7 @@ type Spiller[K comparable, V any] struct {
 	reduce func(K, []V) V
 	kc     Codec[K]
 	vc     Codec[V]
+	fixed  *kv.FixedKeyCodec[K] // optional radix fast path for drain sorts
 
 	pending *exec.Handle
 	retry   *faults.Retrier // nil: no retry
@@ -71,6 +73,11 @@ func (sp *Spiller[K, V]) SetRetry(p faults.RetryPolicy, ctr *faults.Counters) {
 	sp.retry = faults.NewRetrier(p, sp.store.Device().Clock(), ctr)
 }
 
+// SetFixedKey hands the spiller the app's fixed-key codec so drain
+// sorts take the radix fast path; nil keeps the comparison sort (the
+// -radixsort=off ablation).
+func (sp *Spiller[K, V]) SetFixedKey(c *kv.FixedKeyCodec[K]) { sp.fixed = c }
+
 // Budget returns the configured budget in bytes.
 func (sp *Spiller[K, V]) Budget() int64 { return sp.budget }
 
@@ -86,8 +93,9 @@ func (sp *Spiller[K, V]) Over(c container.Container[K, V]) bool {
 // tolerate re-reducing its own output, which every combiner-style app
 // does) and sorted on the pool's compute workers under the "spill"
 // phase label, then the disjoint sorted partitions merge into one run.
-func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool exec.Executor) ([]kv.Pair[K, V], error) {
-	return DrainContainer(c, sp.less, sp.reduce, pool, "spill")
+// The int reports how many partition sorts took the radix fast path.
+func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool exec.Executor) ([]kv.Pair[K, V], int, error) {
+	return DrainContainer(c, sp.less, sp.reduce, sp.fixed, pool, "spill")
 }
 
 // DrainContainer is the container-to-sorted-run primitive behind both
@@ -95,19 +103,28 @@ func (sp *Spiller[K, V]) Drain(c container.Container[K, V], pool exec.Executor) 
 // and sort every partition on the pool's compute workers under label,
 // merge the disjoint sorted partitions, and Reset the container. The
 // partial reduce requires reduce to be associative and tolerant of
-// re-reducing its own output — the standing combiner contract.
+// re-reducing its own output — the standing combiner contract. A
+// non-nil fixed-key codec routes partition sorts through the radix fast
+// path; post-reduce partitions have unique keys, so the output is
+// byte-identical either way. The int return counts the partition
+// sorts that took the radix path (the Stats.RadixRuns contribution).
 func DrainContainer[K comparable, V any](c container.Container[K, V], less kv.Less[K],
-	reduce func(K, []V) V, pool exec.Executor, label string) ([]kv.Pair[K, V], error) {
+	reduce func(K, []V) V, fixed *kv.FixedKeyCodec[K], pool exec.Executor, label string) ([]kv.Pair[K, V], int, error) {
 	parts := c.Partitions()
 	runs := make([][]kv.Pair[K, V], parts)
+	var radixed atomic.Int64
 	_, err := pool.ForEach(label, metrics.StateUser, parts, func(p int) error {
 		r := c.Reduce(p, reduce, nil)
-		kv.SortPairs(r, less)
+		if fixed != nil && sortalgo.RadixSortPairs(r, *fixed) {
+			radixed.Add(1)
+		} else {
+			kv.SortPairs(r, less)
+		}
 		runs[p] = r
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	c.Reset()
 	nonEmpty := runs[:0]
@@ -117,7 +134,7 @@ func DrainContainer[K comparable, V any](c container.Container[K, V], less kv.Le
 		}
 	}
 	if len(nonEmpty) == 1 {
-		return nonEmpty[0], nil
+		return nonEmpty[0], int(radixed.Load()), nil
 	}
 	// Partitions hold disjoint key sets, so this is a pure merge; run it
 	// as one pool task to keep it on (and attributed to) the pool.
@@ -136,9 +153,9 @@ func DrainContainer[K comparable, V any](c container.Container[K, V], less kv.Le
 		return mErr
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return merged, nil
+	return merged, int(radixed.Load()), nil
 }
 
 // SpillAsync writes the drained pairs as one run on the pool's IO lane

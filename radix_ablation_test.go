@@ -1,0 +1,191 @@
+package supmr
+
+// Ablation coverage for the radix/columnar sort path: -radixsort=off
+// must be byte-identical to the default fast path for every
+// fixed-width-key app, under both runtimes, with injected faults, and
+// under a spill budget — the gate ci.sh re-runs under the race
+// detector.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"supmr/internal/storage"
+	"supmr/internal/workload"
+)
+
+// radixRun executes job over data with the radix path on or off and
+// returns the rendered output plus the report.
+func radixRun[K comparable, V any](t *testing.T, job Job[K, V], mkCont func() Container[K, V],
+	data []byte, cfg Config, radixOn bool) (string, *Report[K, V]) {
+	t.Helper()
+	cfg = applyIngestEnv(cfg)
+	cfg.Workers = 4
+	if !radixOn {
+		off := false
+		cfg.RadixSort = &off
+	}
+	rep, err := RunBytes(job, data, mkCont(), cfg)
+	if err != nil {
+		t.Fatalf("radix=%v: %v", radixOn, err)
+	}
+	return renderPairs(rep.Pairs), rep
+}
+
+func teraData(records int, seed uint64) []byte {
+	data := make([]byte, records*workload.TeraRecordSize)
+	workload.TeraGen{Seed: seed}.Fill()(0, data)
+	return data
+}
+
+func TestRadixAblationDigests(t *testing.T) {
+	text := genText(t, 128<<10, 5)
+	// 8000 records over 64 key-range partitions gives ~125 pairs per
+	// run, comfortably past the radix cutover so the counter assertions
+	// are non-vacuous.
+	tera := teraData(8000, 5)
+	for _, rt := range []Runtime{RuntimeTraditional, RuntimeSupMR} {
+		rt := rt
+		name := "traditional"
+		if rt == RuntimeSupMR {
+			name = "supmr"
+		}
+		cfg := Config{Runtime: rt, ChunkBytes: 16 << 10}
+
+		t.Run(name+"/sort", func(t *testing.T) {
+			sortCfg := cfg
+			sortCfg.Boundary = CRLFRecords
+			sortCfg.ChunkBytes = 20 << 10
+			on, onRep := radixRun[string, uint64](t, SortJob(),
+				func() Container[string, uint64] { return SortContainer() }, tera, sortCfg, true)
+			off, offRep := radixRun[string, uint64](t, SortJob(),
+				func() Container[string, uint64] { return SortContainer() }, tera, sortCfg, false)
+			if on != off {
+				t.Fatalf("sort digests diverge: %d vs %d bytes", len(on), len(off))
+			}
+			if onRep.Stats.RadixRuns == 0 {
+				t.Error("radix-on sort reported no radix-sorted runs")
+			}
+			if offRep.Stats.RadixRuns != 0 {
+				t.Errorf("radix-off sort reported %d radix runs", offRep.Stats.RadixRuns)
+			}
+		})
+		t.Run(name+"/histogram", func(t *testing.T) {
+			job := HistogramJob()
+			on, _ := radixRun[int, int64](t, job,
+				func() Container[int, int64] { return job.NewContainer(8) }, text, cfg, true)
+			off, _ := radixRun[int, int64](t, job,
+				func() Container[int, int64] { return job.NewContainer(8) }, text, cfg, false)
+			if on != off {
+				t.Fatal("histogram digests diverge")
+			}
+		})
+		t.Run(name+"/linreg", func(t *testing.T) {
+			job := LinearRegressionJob()
+			lrCfg := cfg
+			lrCfg.Boundary = FixedRecords(2)
+			on, _ := radixRun[int, float64](t, job,
+				func() Container[int, float64] { return job.NewContainer() }, text, lrCfg, true)
+			off, _ := radixRun[int, float64](t, job,
+				func() Container[int, float64] { return job.NewContainer() }, text, lrCfg, false)
+			if on != off {
+				t.Fatal("linreg digests diverge")
+			}
+		})
+		t.Run(name+"/wordcount-control", func(t *testing.T) {
+			// No fixed-key codec: the toggle must be a no-op and the
+			// counter must stay zero either way.
+			on, onRep := radixRun[string, int64](t, WordCountJob(),
+				func() Container[string, int64] { return WordCountContainer(16) }, text, cfg, true)
+			off, _ := radixRun[string, int64](t, WordCountJob(),
+				func() Container[string, int64] { return WordCountContainer(16) }, text, cfg, false)
+			if on != off {
+				t.Fatal("wordcount digests diverge")
+			}
+			if onRep.Stats.RadixRuns != 0 {
+				t.Errorf("wordcount reported %d radix runs without a codec", onRep.Stats.RadixRuns)
+			}
+		})
+	}
+}
+
+// TestRadixAblationFaultedAndBudgeted covers the hard corners: the
+// retry path re-reads chunks, and the budget path routes runs through
+// the spill drain plus the streaming external merge — radix on/off
+// must stay byte-identical through both.
+func TestRadixAblationFaultedAndBudgeted(t *testing.T) {
+	tera := teraData(8000, 9)
+	retry := RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond}
+
+	run := func(radixOn bool, faulted bool, budget int64) (string, *Report[string, uint64]) {
+		t.Helper()
+		clk := storage.NewFakeClock()
+		cfg := Config{
+			Runtime: RuntimeSupMR, ChunkBytes: 64 << 10,
+			Boundary: CRLFRecords, Clock: clk,
+		}
+		if faulted {
+			cfg.Faults = NewFaultInjector(FaultPlan{Seed: 3, ReadErrEvery: 5}, clk)
+			cfg.Retry = retry
+		}
+		if budget > 0 {
+			cfg.MemoryBudget = budget
+			cfg.SpillDevice = NewFastDevice(clk)
+		}
+		return radixRun[string, uint64](t, SortJob(),
+			func() Container[string, uint64] { return SortContainer() }, tera, cfg, radixOn)
+	}
+
+	for _, c := range []struct {
+		name    string
+		faulted bool
+		budget  int64
+	}{
+		{"faulted", true, 0},
+		{"budgeted", false, 256 << 10},
+		{"faulted-budgeted", true, 256 << 10},
+	} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			on, onRep := run(true, c.faulted, c.budget)
+			off, _ := run(false, c.faulted, c.budget)
+			if on != off {
+				t.Fatalf("%s digests diverge", c.name)
+			}
+			if c.budget > 0 {
+				if onRep.Stats.SpilledRuns == 0 {
+					t.Fatal("budgeted run did not spill; the external-merge comparison is vacuous")
+				}
+				if onRep.Stats.RadixRuns == 0 {
+					t.Error("budgeted radix-on run radix-sorted no spill drains")
+				}
+			}
+		})
+	}
+}
+
+// TestRadixAblationMergeAlgos pins both in-memory merge algorithms to
+// the same bytes with the toggle in either position (the columnar tree
+// only engages under pway; pairwise keeps the comparison merge but
+// shares the radix run sort).
+func TestRadixAblationMergeAlgos(t *testing.T) {
+	tera := teraData(1500, 13)
+	var outs []string
+	for _, algo := range []MergeAlgo{MergePairwise, MergePWay} {
+		for _, radixOn := range []bool{true, false} {
+			m := algo
+			cfg := Config{Runtime: RuntimeSupMR, ChunkBytes: 20 << 10, Boundary: CRLFRecords, Merge: &m}
+			out, _ := radixRun[string, uint64](t, SortJob(),
+				func() Container[string, uint64] { return SortContainer() }, tera, cfg, radixOn)
+			outs = append(outs, fmt.Sprintf("%v/%v:", algo, radixOn)+out)
+		}
+	}
+	base := outs[0][len("pairwise/true:"):]
+	for _, o := range outs[1:] {
+		body := o[len(o)-len(base):]
+		if body != base {
+			t.Fatalf("merge-algo/radix combination diverges: %s", o[:20])
+		}
+	}
+}

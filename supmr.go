@@ -135,6 +135,12 @@ type Config struct {
 	// Merge overrides the merge algorithm. By default the traditional
 	// runtime merges pairwise and SupMR uses the p-way merge.
 	Merge *MergeAlgo
+	// RadixSort overrides the fixed-width-key sort fast path (radix run
+	// sort plus columnar loser-tree merge). nil — the default — and
+	// &true enable it for apps that opt in via kv.FixedKeyApp; &false
+	// is the -radixsort=off ablation, forcing every run onto the
+	// comparison sort. Output is byte-identical either way.
+	RadixSort *bool
 	// Boundary adjusts chunk and split cut points to record boundaries
 	// (default: newline).
 	Boundary Boundary
@@ -296,6 +302,10 @@ func (c Config) boundary() Boundary {
 	return NewlineRecords
 }
 
+func (c Config) radixDisabled() bool {
+	return c.RadixSort != nil && !*c.RadixSort
+}
+
 func (c Config) mergeAlgo() MergeAlgo {
 	if c.Merge != nil {
 		return *c.Merge
@@ -310,10 +320,11 @@ func (c Config) mergeAlgo() MergeAlgo {
 // instrumentation — used by auxiliary drivers such as RunKMeans).
 func mapreduceOptions(cfg Config) mapreduce.Options {
 	return mapreduce.Options{
-		Workers:  cfg.Workers,
-		Splits:   cfg.Splits,
-		Merge:    cfg.mergeAlgo(),
-		Boundary: cfg.boundary(),
+		Workers:       cfg.Workers,
+		Splits:        cfg.Splits,
+		Merge:         cfg.mergeAlgo(),
+		Boundary:      cfg.boundary(),
+		RadixDisabled: cfg.radixDisabled(),
 	}
 }
 
@@ -401,13 +412,14 @@ type runSubstrate struct {
 // assembles the substrate-independent part of the Report.
 func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V], cfg Config, sub runSubstrate) (*Report[K, V], error) {
 	ro := mapreduce.Options{
-		Workers:  cfg.Workers,
-		Splits:   cfg.Splits,
-		Merge:    cfg.mergeAlgo(),
-		Boundary: cfg.boundary(),
-		Timer:    sub.timer,
-		Recorder: sub.rec,
-		Pool:     sub.pool,
+		Workers:       cfg.Workers,
+		Splits:        cfg.Splits,
+		Merge:         cfg.mergeAlgo(),
+		Boundary:      cfg.boundary(),
+		RadixDisabled: cfg.radixDisabled(),
+		Timer:         sub.timer,
+		Recorder:      sub.rec,
+		Pool:          sub.pool,
 	}
 
 	var (

@@ -52,6 +52,15 @@ echo "== race-mode multi-lane chaos gate =="
 SUPMR_IO_LANES=4 SUPMR_PREFETCH_DEPTH=3 \
     go test -race -count=1 -run 'TestChaos|TestDifferential' .
 
+echo "== race-mode multi-node shuffle gate =="
+# The scale-out invariant under the race detector: every app on 1/2/4
+# simulated nodes, with the in-node combiner on and off, must produce
+# output byte-identical to the single-node pipeline (TestDifferential-
+# MultiNode, TestMultiNode*), and seeded wire chaos — latency spikes and
+# torn frame transfers — must either recover via whole-frame resends or
+# fail with a wrapped injected error, leaking nothing (TestChaosShuffle).
+go test -race -count=1 -run 'TestChaosShuffle|TestDifferentialMultiNode|TestMultiNode' .
+
 echo "== race-mode multi-job chaos gate =="
 # The multi-job invariant under the race detector: jobs sharing one
 # engine — including the chaos seeds re-run as two concurrent
@@ -149,6 +158,28 @@ if ! echo "$sort_out" | grep -q 'digests_match=true'; then
     exit 1
 fi
 
+echo "== multi-node shuffle artifact and combiner gate (BENCH_shuffle.json) =="
+# The tentpole claim, gated: on a wordcount-class workload over a 4-node
+# simulated cluster, the in-node combiner must cut the framed bytes
+# crossing the links by >= 2x (measured ~2.2x) versus its
+# -innode-combiner=off ablation, with every run's digest — single-node,
+# combiner on, combiner off — byte-identical.
+shuffle_out=$(go run ./cmd/benchtable -shuffle-json BENCH_shuffle.json)
+echo "$shuffle_out"
+shuffle_reduction=$(echo "$shuffle_out" | awk -F'[=x]' '/^reduction=/ { print $2 }')
+if [[ -z "$shuffle_reduction" ]]; then
+    echo "could not parse reduction from the shuffle benchmark" >&2
+    exit 1
+fi
+if ! awk -v r="$shuffle_reduction" 'BEGIN { exit !(r >= 2) }'; then
+    echo "in-node combiner only cuts wire bytes ${shuffle_reduction}x (want >= 2x)" >&2
+    exit 1
+fi
+if ! echo "$shuffle_out" | grep -q 'digests_match=true'; then
+    echo "single-node/combiner-on/combiner-off digests diverge" >&2
+    exit 1
+fi
+
 echo "== map hot path allocation gate =="
 # A steady-state flat-combiner map wave must stay (near) allocation-free.
 # Measured ~22 allocs/op; the gate allows generous headroom for GC and
@@ -212,6 +243,29 @@ for args in \
     fi
 done
 echo "radix on/off digests identical"
+
+echo "== multi-node ablation digest gate =="
+# Scale-out must never change a byte: for each app, every cluster size
+# and combiner setting — clean and with torn-wire faults plus retries —
+# must reproduce the single-node digest exactly.
+for args in \
+    "-app wordcount -size 256k -chunk 32k -bw 0 -seed 3" \
+    "-app sort -size 200k -chunk 20k -bw 0 -seed 23" \
+    "-app wordcount -size 256k -chunk 32k -bw 0 -seed 3 -faults seed=1,write-err-every=3 -retries 4"; do
+    single=$("$supmr_bin" -digest $args)
+    for nodes in 1 2 4; do
+        for comb in "" "-innode-combiner=off"; do
+            multi=$("$supmr_bin" -digest -nodes "$nodes" $comb $args)
+            if [[ -z "$single" || "$single" != "$multi" ]]; then
+                echo "multi-node digest mismatch for '-nodes $nodes $comb $args':" >&2
+                echo " single: $single" >&2
+                echo " multi:  $multi" >&2
+                exit 1
+            fi
+        done
+    done
+done
+echo "multi-node digests identical to single-node"
 
 echo "== faulted CLI run must fail cleanly =="
 # A permanent ingest fault has to surface as exit 1 with one wrapped

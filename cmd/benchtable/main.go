@@ -41,8 +41,17 @@ func main() {
 		ingestJSON = flag.String("ingest-json", "", "write the multi-lane ingest sweep to this file and exit")
 		memoJSON   = flag.String("memo-json", "", "write the incremental-recompute (memo) benchmark to this file and exit")
 		sortJSON   = flag.String("sort-json", "", "write the sort-path (radix/columnar) benchmark to this file and exit")
+		shufJSON   = flag.String("shuffle-json", "", "write the multi-node shuffle / in-node combiner benchmark to this file and exit")
 	)
 	flag.Parse()
+
+	if *shufJSON != "" {
+		if err := shuffleSweep(*shufJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtable:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *sortJSON != "" {
 		if err := sortSweep(*sortJSON); err != nil {
@@ -201,6 +210,97 @@ type memoRow struct {
 // map cost a memo hit skips, while its output stays tiny; the run is
 // wall-clock timed on an infinitely fast simulated device so the scan,
 // not charged device time, is what the speedup measures.
+// shuffleRow is one multi-node shuffle measurement.
+type shuffleRow struct {
+	Run           string  `json:"run"`
+	Nodes         int     `json:"nodes"`
+	Combiner      bool    `json:"combiner"`
+	WallMS        float64 `json:"wall_ms"`
+	ShuffleBytes  int64   `json:"shuffle_bytes"`
+	BytesSaved    int64   `json:"shuffle_bytes_saved"`
+	ShuffleFrames int     `json:"shuffle_frames"`
+	Digest        string  `json:"digest"`
+}
+
+// shuffleSweep measures the in-node combiner's wire-byte reduction on a
+// wordcount-class (combining string-keyed) workload: the same input
+// runs single-node, on a 4-node cluster with the combiner, and on the
+// same cluster with the combiner ablated. The claim under test is that
+// pre-aggregating each node's map output before transmission cuts the
+// framed bytes crossing the simulated links by at least 2x while every
+// run's digest stays identical.
+func shuffleSweep(path string) error {
+	const (
+		size  = 8 << 20
+		chunk = 256 << 10
+		nodes = 4
+		seed  = 11
+	)
+	data := make([]byte, size)
+	workload.TextGen{Seed: seed}.Fill()(0, data)
+
+	run := func(label string, n int, combiner bool) (shuffleRow, error) {
+		cfg := supmr.Config{Runtime: supmr.RuntimeSupMR, ChunkBytes: chunk, Nodes: n}
+		if !combiner {
+			off := false
+			cfg.InNodeCombiner = &off
+		}
+		start := time.Now()
+		rep, err := supmr.RunBytes[string, int64](supmr.WordCountJob(), data, supmr.WordCountContainer(64), cfg)
+		if err != nil {
+			return shuffleRow{}, err
+		}
+		wall := time.Since(start)
+		return shuffleRow{
+			Run:           label,
+			Nodes:         n,
+			Combiner:      combiner,
+			WallMS:        float64(wall.Microseconds()) / 1000,
+			ShuffleBytes:  rep.Stats.ShuffleBytes,
+			BytesSaved:    rep.Stats.ShuffleBytesSaved,
+			ShuffleFrames: rep.Stats.ShuffleFrames,
+			Digest:        jobspec.Digest(rep.Pairs),
+		}, nil
+	}
+
+	single, err := run("single-node", 0, true)
+	if err != nil {
+		return err
+	}
+	on, err := run("combiner-on", nodes, true)
+	if err != nil {
+		return err
+	}
+	off, err := run("combiner-off", nodes, false)
+	if err != nil {
+		return err
+	}
+
+	var reduction float64
+	if on.ShuffleBytes > 0 {
+		reduction = float64(off.ShuffleBytes) / float64(on.ShuffleBytes)
+	}
+	match := single.Digest == on.Digest && single.Digest == off.Digest
+	out := struct {
+		Benchmark  string       `json:"benchmark"`
+		InputBytes int64        `json:"input_bytes"`
+		ChunkBytes int64        `json:"chunk_bytes"`
+		Rows       []shuffleRow `json:"rows"`
+		Reduction  float64      `json:"wire_bytes_reduction_off_vs_on"`
+		DigestsOK  bool         `json:"digests_match"`
+	}{"shuffle-innode-combiner", size, chunk, []shuffleRow{single, on, off}, reduction, match}
+	jdata, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(jdata, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("combiner on %d bytes vs off %d bytes on the wire\n", on.ShuffleBytes, off.ShuffleBytes)
+	fmt.Printf("reduction=%.2fx digests_match=%v\n", reduction, match)
+	return nil
+}
+
 func memoSweep(path string) error {
 	const (
 		baseSize = 24 << 20

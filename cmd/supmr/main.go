@@ -59,6 +59,7 @@ func main() {
 		prefetch  = flag.String("prefetch-depth", "1", "prefetch ring depth: ingest chunks kept in flight ahead of the map wave (supmr runtime)")
 		digest    = flag.Bool("digest", false, "print the output digest instead of the full report, for diffing against a server-mode run (wordcount/sort/histogram/grep)")
 		memoBudg  = flag.String("memo-budget", "64m", "memo-store byte budget; least-recently-used entries evict beyond it")
+		nodes     = flag.Int("nodes", 0, "run on a simulated cluster of N SupMR worker nodes exchanging hash-partitioned runs over simulated links (supmr runtime; 0 = single-node scale-up pipeline; output byte-identical)")
 	)
 	flatComb := onOffFlag(true)
 	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
@@ -66,6 +67,8 @@ func main() {
 	flag.Var(&memo, "memo", "content-addressed incremental recompute: content-defined chunking plus a per-chunk map/combine memo cache (supmr runtime, single-file inputs); off is the ablation spelling")
 	radix := onOffFlag(true)
 	flag.Var(&radix, "radixsort", "radix sort/columnar merge fast path for fixed-width-key apps (sort/histogram/linreg); off falls back to comparison sort everywhere (ablation, byte-identical output)")
+	innodeComb := onOffFlag(true)
+	flag.Var(&innodeComb, "innode-combiner", "pre-aggregate each node's map output before transmission in a -nodes run; off ships every per-chunk run as-is (ablation, byte-identical output, more wire bytes)")
 	flag.Parse()
 
 	if *energy {
@@ -89,6 +92,7 @@ func main() {
 			IOLanes: parseCount(*ioLanes), PrefetchDepth: parseCount(*prefetch),
 			Pattern: *pattern, Faults: *faultsStr, Retries: *retries, Memo: bool(memo),
 			RadixOff: !bool(radix),
+			Nodes:    *nodes, InNodeCombinerOff: *nodes > 0 && !bool(innodeComb),
 		}, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "supmr:", err)
@@ -106,6 +110,7 @@ func main() {
 		flatComb: bool(flatComb), faults: *faultsStr, retries: *retries,
 		ioLanes: parseCount(*ioLanes), prefetch: parseCount(*prefetch),
 		memo: bool(memo), memoBudget: parseSize(*memoBudg), radix: bool(radix),
+		nodes: *nodes, innodeComb: bool(innodeComb),
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "supmr: interrupted")
@@ -133,6 +138,8 @@ type runOpts struct {
 	memo                     bool
 	memoBudget               int64
 	radix                    bool
+	nodes                    int
+	innodeComb               bool
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -235,6 +242,25 @@ func run(ctx context.Context, o runOpts) error {
 		cfg.MemoKeySpace = app
 		if app == "grep" {
 			cfg.MemoKeySpace = "grep:" + o.pattern
+		}
+	}
+	if !o.innodeComb && o.nodes == 0 {
+		return fmt.Errorf("-innode-combiner=off requires -nodes: the combiner tier only exists in multi-node runs")
+	}
+	if o.nodes > 0 {
+		if cfg.Runtime != supmr.RuntimeSupMR {
+			return fmt.Errorf("-nodes requires -runtime supmr: each node runs the scale-up pipeline over its local chunks")
+		}
+		switch app {
+		case "invindex":
+			return fmt.Errorf("-nodes is incompatible with -app invindex: []string values have no wire codec")
+		case "kmeans":
+			return fmt.Errorf("-nodes is incompatible with -app kmeans: the iterative driver re-creates its container every iteration")
+		}
+		cfg.Nodes = o.nodes
+		if !o.innodeComb {
+			off := false
+			cfg.InNodeCombiner = &off
 		}
 	}
 
@@ -408,6 +434,11 @@ func run(ctx context.Context, o runOpts) error {
 	}
 	if stats != nil && stats.RadixRuns > 0 {
 		fmt.Printf("sortpath: %d run(s) radix-sorted\n", stats.RadixRuns)
+	}
+	if stats != nil && o.nodes > 0 {
+		fmt.Printf("shuffle: %d node(s), %s in %d frame(s) on the wire, %s saved by the in-node combiner\n",
+			o.nodes, cliutil.FormatBytes(stats.ShuffleBytes), stats.ShuffleFrames,
+			cliutil.FormatBytes(stats.ShuffleBytesSaved))
 	}
 	if stats != nil && (o.ioLanes > 1 || o.prefetch > 1) {
 		fmt.Printf("ingest: %d prefetch hits, %s stalled", stats.PrefetchHits, stats.IngestStall.Round(time.Microsecond))

@@ -433,3 +433,36 @@ func (d *LinkDelayer) TransferDelay(int64) time.Duration {
 	a := d.inj.decide(d.site, opRead, false)
 	return a.spike
 }
+
+// Wire is the fault seam for one directed shuffle link (one ordered
+// node pair). Unlike LinkDelayer it has an error path: a shuffle send
+// is a framed message, and the plan's write triggers model the message
+// being torn mid-flight — a prefix of the frame reaches the receiver
+// and the sender sees the fault, mirroring WrapBlockFile's torn-write
+// semantics. Latency spikes stall the send before bytes move.
+type Wire struct {
+	inj  *Injector
+	site string
+}
+
+// Wire returns the send seam for one directed link site.
+func (in *Injector) Wire(siteName string) *Wire {
+	return &Wire{inj: in, site: siteName}
+}
+
+// Send decides the fate of one n-byte framed send and charges any
+// latency spike on the injector clock. It returns how many bytes
+// actually leave the sender — n on success, a torn prefix on a fault —
+// and the injected fault, if any. A nil Wire passes everything through
+// untouched, so fault-free paths need no branching.
+func (w *Wire) Send(n int) (int, error) {
+	if w == nil {
+		return n, nil
+	}
+	a := w.inj.decide(w.site, opWrite, true)
+	w.inj.sleep(a.spike)
+	if a.fault != nil {
+		return n / 2, a.fault
+	}
+	return n, nil
+}

@@ -338,3 +338,72 @@ func TestPlanValidate(t *testing.T) {
 		t.Fatal("error plan reported inactive")
 	}
 }
+
+func TestWireTornSend(t *testing.T) {
+	clk := storage.NewFakeClock()
+	inj := New(Plan{Seed: 7, WriteErrEvery: 3}, clk)
+	w := inj.Wire("shuffle-n0-n1")
+	for i := 1; i <= 6; i++ {
+		sent, err := w.Send(1000)
+		if i%3 == 0 {
+			if err == nil {
+				t.Fatalf("send %d: no fault, want torn send", i)
+			}
+			var f *Fault
+			if !errors.As(err, &f) || f.Op != "write" || f.Site != "shuffle-n0-n1" {
+				t.Fatalf("send %d: fault = %+v", i, err)
+			}
+			if !IsTransient(err) {
+				t.Fatalf("send %d: torn send not transient", i)
+			}
+			if sent != 500 {
+				t.Fatalf("send %d: torn send delivered %d bytes, want half (500)", i, sent)
+			}
+		} else {
+			if err != nil || sent != 1000 {
+				t.Fatalf("send %d: = %d, %v, want clean 1000", i, sent, err)
+			}
+		}
+	}
+	if got := inj.Counters().Snapshot(); got.Injected != 2 {
+		t.Fatalf("counters = %+v, want Injected=2", got)
+	}
+}
+
+func TestWireDeterministicPerSite(t *testing.T) {
+	run := func(seed int64, site string) []int {
+		inj := New(Plan{Seed: seed, WriteErrProb: 0.3}, storage.NewFakeClock())
+		w := inj.Wire(site)
+		var torn []int
+		for i := 0; i < 64; i++ {
+			if _, err := w.Send(100); err != nil {
+				torn = append(torn, i)
+			}
+		}
+		return torn
+	}
+	a, b := run(5, "shuffle-n0-n1"), run(5, "shuffle-n0-n1")
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed+site diverged: %v vs %v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(run(5, "shuffle-n1-n0")) {
+		t.Fatal("directed sites share a fault stream")
+	}
+}
+
+func TestWireSpikeAndNil(t *testing.T) {
+	clk := storage.NewFakeClock()
+	inj := New(Plan{Seed: 1, Latency: 3 * time.Millisecond, LatencyEvery: 1}, clk)
+	w := inj.Wire("shuffle-n0-n1")
+	before := clk.Now()
+	if sent, err := w.Send(64); err != nil || sent != 64 {
+		t.Fatalf("spike-only plan failed the send: %d, %v", sent, err)
+	}
+	if got := clk.Now() - before; got != 3*time.Millisecond {
+		t.Fatalf("spike advanced clock by %v, want 3ms", got)
+	}
+	var nilWire *Wire
+	if sent, err := nilWire.Send(128); err != nil || sent != 128 {
+		t.Fatalf("nil wire = %d, %v, want clean passthrough", sent, err)
+	}
+}

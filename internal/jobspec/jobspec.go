@@ -63,6 +63,18 @@ type Spec struct {
 	// sort + columnar merge) — the -radixsort=off ablation. Output is
 	// byte-identical either way.
 	RadixOff bool `json:"radix_off,omitempty"`
+	// Nodes, when >= 1, runs the job on a simulated cluster of that
+	// many SupMR worker nodes exchanging hash-partitioned runs over
+	// simulated links (supmr runtime, solo execution only — the shared
+	// engine schedules operations on one substrate). Output is
+	// byte-identical to a single-node run; 0 keeps the scale-up
+	// pipeline.
+	Nodes int `json:"nodes,omitempty"`
+	// InNodeCombinerOff disables the in-node combiner tier of a
+	// multi-node run — the -innode-combiner=off ablation. Requires
+	// Nodes >= 1. Output is byte-identical either way; only wire
+	// traffic changes.
+	InNodeCombinerOff bool `json:"innode_combiner_off,omitempty"`
 	// Faults is a cliutil fault-plan string (e.g. "seed=7,read-err-every=5").
 	Faults string `json:"faults,omitempty"`
 	// Retries is a cliutil retry-policy string (e.g. "4" or "attempts=4,base=100us").
@@ -93,6 +105,14 @@ type Result struct {
 	MemoHits       int   `json:"memo_hits,omitempty"`
 	MemoMisses     int   `json:"memo_misses,omitempty"`
 	MemoBytesSaved int64 `json:"memo_bytes_saved,omitempty"`
+	// Nodes echoes the simulated cluster size of a multi-node run.
+	// ShuffleBytes is the framed bytes that crossed simulated links,
+	// ShuffleBytesSaved the encoded bytes the in-node combiner kept off
+	// the wire, ShuffleFrames the delivered frame count.
+	Nodes             int   `json:"nodes,omitempty"`
+	ShuffleBytes      int64 `json:"shuffle_bytes,omitempty"`
+	ShuffleBytesSaved int64 `json:"shuffle_bytes_saved,omitempty"`
+	ShuffleFrames     int   `json:"shuffle_frames,omitempty"`
 	// Notes surfaces configuration caveats the run adapted to (engine
 	// instruments disabled, memo ignoring the budget).
 	Notes []string `json:"notes,omitempty"`
@@ -138,6 +158,20 @@ func (s Spec) Validate() error {
 	}
 	if s.Memo && s.Runtime == "traditional" {
 		return fmt.Errorf("jobspec: memo requires the supmr runtime (the traditional runtime ingests the whole input as one chunk)")
+	}
+	if s.Nodes < 0 {
+		return fmt.Errorf("jobspec: negative node count %d", s.Nodes)
+	}
+	if s.Nodes > 0 {
+		if s.Runtime == "traditional" {
+			return fmt.Errorf("jobspec: nodes requires the supmr runtime (each node runs the scale-up pipeline over its local chunks)")
+		}
+		if s.Memo {
+			return fmt.Errorf("jobspec: nodes is incompatible with memo (multi-node runs shard chunks across node containers)")
+		}
+	}
+	if s.InNodeCombinerOff && s.Nodes == 0 {
+		return fmt.Errorf("jobspec: innode_combiner_off set without nodes")
 	}
 	if s.MemoKey != "" && !s.Memo {
 		return fmt.Errorf("jobspec: memo_key set without memo")
@@ -216,6 +250,13 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 	if spec.RadixOff {
 		off := false
 		cfg.RadixSort = &off
+	}
+	if spec.Nodes > 0 {
+		cfg.Nodes = spec.Nodes
+		if spec.InNodeCombinerOff {
+			off := false
+			cfg.InNodeCombiner = &off
+		}
 	}
 	if spec.Faults != "" {
 		plan, err := cliutil.ParseFaultPlan(spec.Faults)
@@ -296,19 +337,23 @@ func execJob[K comparable, V any](job supmr.Job[K, V], f supmr.Input, cont supmr
 		return nil, err
 	}
 	res := &Result{
-		App:            app,
-		Runtime:        rtName,
-		OutputPairs:    len(rep.Pairs),
-		Digest:         Digest(rep.Pairs),
-		Times:          rep.Times.String(),
-		MapWaves:       rep.Stats.MapWaves,
-		RadixRuns:      rep.Stats.RadixRuns,
-		SpilledRuns:    rep.Stats.SpilledRuns,
-		SpilledBytes:   rep.Stats.SpilledBytes,
-		MemoHits:       rep.Stats.MemoHits,
-		MemoMisses:     rep.Stats.MemoMisses,
-		MemoBytesSaved: rep.Stats.MemoBytesSaved,
-		Notes:          rep.Notes,
+		App:               app,
+		Runtime:           rtName,
+		OutputPairs:       len(rep.Pairs),
+		Digest:            Digest(rep.Pairs),
+		Times:             rep.Times.String(),
+		MapWaves:          rep.Stats.MapWaves,
+		RadixRuns:         rep.Stats.RadixRuns,
+		SpilledRuns:       rep.Stats.SpilledRuns,
+		SpilledBytes:      rep.Stats.SpilledBytes,
+		MemoHits:          rep.Stats.MemoHits,
+		MemoMisses:        rep.Stats.MemoMisses,
+		MemoBytesSaved:    rep.Stats.MemoBytesSaved,
+		Nodes:             cfg.Nodes,
+		ShuffleBytes:      rep.Stats.ShuffleBytes,
+		ShuffleBytesSaved: rep.Stats.ShuffleBytesSaved,
+		ShuffleFrames:     rep.Stats.ShuffleFrames,
+		Notes:             rep.Notes,
 	}
 	if rep.Stats.Faults.Any() {
 		res.Faults = rep.Stats.Faults.String()

@@ -139,6 +139,17 @@ type Stats struct {
 	// MemoBytesSaved is the total payload bytes of memo-hit chunks —
 	// input that was read and hashed but never mapped.
 	MemoBytesSaved int64
+	// ShuffleBytes is the framed intermediate bytes that crossed the
+	// simulated inter-node links in a multi-node run. Local-partition
+	// data never leaves its node and is not counted.
+	ShuffleBytes int64
+	// ShuffleBytesSaved is the encoded intermediate bytes the in-node
+	// combiner eliminated by pre-aggregating every local worker's
+	// output before partitioning for transmission.
+	ShuffleBytesSaved int64
+	// ShuffleFrames counts framed run transfers delivered between
+	// nodes (retries of torn frames resend and recount).
+	ShuffleFrames int
 	// Tasks is the executor's per-phase task instrumentation: task
 	// counts, queue-wait and busy durations keyed by phase label.
 	Tasks map[string]metrics.TaskStats

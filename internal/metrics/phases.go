@@ -26,6 +26,7 @@ const (
 	PhaseReadMap // fused ingest/map rounds of the SupMR pipeline
 	PhaseSpill   // budget-triggered container drains (internal/spill)
 	PhaseMemo    // memo-cache lookups, per-chunk drains and publishes (internal/memo)
+	PhaseShuffle // framed inter-node run exchange over netsim links (internal/shuffle)
 	PhaseReduce
 	PhaseRunSort // per-run sorting (radix or comparison) feeding the merge
 	PhaseMerge
@@ -48,6 +49,8 @@ func (p Phase) String() string {
 		return "spill"
 	case PhaseMemo:
 		return "memo"
+	case PhaseShuffle:
+		return "shuffle"
 	case PhaseReduce:
 		return "reduce"
 	case PhaseRunSort:

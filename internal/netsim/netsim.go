@@ -90,25 +90,22 @@ const quantum = 2 * time.Millisecond
 // Transfer moves n bytes across the link, blocking the caller for the
 // flow's fair share of capacity until all bytes are delivered. Latency is
 // charged once per transfer.
+//
+// A transfer counts as an active flow only while it is moving bytes:
+// the injected-delay and latency sleeps happen before the flow joins
+// the processor-sharing set, so a stalled transfer (degraded wire,
+// long RTT) does not depress the fair share of flows that are actually
+// streaming. Counting it earlier was an accounting drift: a spiked
+// flow halved a concurrent clean flow's bandwidth while moving nothing.
 func (l *Link) Transfer(n int64) {
 	if n <= 0 {
 		return
 	}
 	l.mu.Lock()
-	l.flows++
-	if l.flows > l.stats.MaxFlows {
-		l.stats.MaxFlows = l.flows
-	}
 	l.stats.Transfers++
 	l.stats.BytesMoved += n
 	delayer := l.delayer
 	l.mu.Unlock()
-
-	defer func() {
-		l.mu.Lock()
-		l.flows--
-		l.mu.Unlock()
-	}()
 
 	if delayer != nil {
 		if d := delayer.TransferDelay(n); d > 0 {
@@ -118,6 +115,19 @@ func (l *Link) Transfer(n int64) {
 	if l.latency > 0 {
 		l.clock.SleepUntil(l.clock.Now() + l.latency)
 	}
+
+	l.mu.Lock()
+	l.flows++
+	if l.flows > l.stats.MaxFlows {
+		l.stats.MaxFlows = l.flows
+	}
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.flows--
+		l.mu.Unlock()
+	}()
+
 	remaining := float64(n)
 	for remaining > 0 {
 		l.mu.Lock()
@@ -206,6 +216,79 @@ func (t *StarTopology) TransferFrom(node int, n int64) error {
 	t.access[node].mu.Unlock()
 	if deadline := start + accessTime; t.clock.Now() < deadline {
 		t.clock.SleepUntil(deadline)
+	}
+	return nil
+}
+
+// Fabric models the inter-node network of a multi-node SupMR cluster:
+// every node owns a duplex port — an egress link it sends shuffle
+// frames through and an ingress link it receives them on. A transfer
+// from src to dst streams through src's egress (charging latency and
+// its fair share of the port under concurrent sends) and is then
+// stretched to dst's ingress port time when the receive side is the
+// slower hop, mirroring StarTopology's two-hop accounting.
+type Fabric struct {
+	egress  []*Link
+	ingress []*Link
+	clock   storage.Clock
+}
+
+// NewFabric builds an n-node fabric whose ports all run at bw bytes/sec
+// with the given one-way latency (charged once per transfer, on the
+// egress hop).
+func NewFabric(n int, bw float64, latency time.Duration, clock storage.Clock) (*Fabric, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netsim: fabric needs at least one node, got %d", n)
+	}
+	f := &Fabric{clock: clock}
+	for i := 0; i < n; i++ {
+		eg, err := NewLink(bw, latency, clock)
+		if err != nil {
+			return nil, err
+		}
+		in, err := NewLink(bw, 0, clock)
+		if err != nil {
+			return nil, err
+		}
+		f.egress = append(f.egress, eg)
+		f.ingress = append(f.ingress, in)
+	}
+	return f, nil
+}
+
+// Nodes returns the number of ports.
+func (f *Fabric) Nodes() int { return len(f.egress) }
+
+// Egress returns node i's send link (for stats and delayer injection).
+func (f *Fabric) Egress(i int) *Link { return f.egress[i] }
+
+// Ingress returns node i's receive link.
+func (f *Fabric) Ingress(i int) *Link { return f.ingress[i] }
+
+// Transfer moves n bytes from src to dst. Loopback (src == dst) is
+// free: local-partition data never crosses the wire.
+func (f *Fabric) Transfer(src, dst int, n int64) error {
+	if src < 0 || src >= len(f.egress) {
+		return fmt.Errorf("netsim: fabric src %d out of range [0,%d)", src, len(f.egress))
+	}
+	if dst < 0 || dst >= len(f.ingress) {
+		return fmt.Errorf("netsim: fabric dst %d out of range [0,%d)", dst, len(f.ingress))
+	}
+	if src == dst || n <= 0 {
+		return nil
+	}
+	start := f.clock.Now()
+	f.egress[src].Transfer(n)
+	// Stretch to the receive port when it is the slower hop, and record
+	// the bytes on the ingress side.
+	in := f.ingress[dst]
+	inTime := time.Duration(float64(n) / in.capacity * float64(time.Second))
+	in.mu.Lock()
+	in.stats.BytesMoved += n
+	in.stats.Transfers++
+	in.mu.Unlock()
+	if deadline := start + inTime; f.clock.Now() < deadline {
+		f.clock.SleepUntil(deadline)
 	}
 	return nil
 }

@@ -209,3 +209,184 @@ func TestLinkDelayerStretchesTransfers(t *testing.T) {
 		t.Fatalf("zero delayer changed transfer time: %v vs %v", same, base)
 	}
 }
+
+func TestLinkBandwidthCharge(t *testing.T) {
+	// Exact single-flow arithmetic on the virtual clock: n bytes over a
+	// c B/s link must charge n/c seconds plus one latency, regardless of
+	// how many quanta the processor-sharing loop integrates over.
+	clock := storage.NewFakeClock()
+	l, err := NewLink(1e6, 10*time.Millisecond, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	l.Transfer(500_000) // 0.5s of wire time
+	el := clock.Now() - start
+	want := 510 * time.Millisecond
+	if d := el - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("500kB over 1MB/s + 10ms latency charged %v, want %v", el, want)
+	}
+	// A second transfer accumulates; stats count both.
+	l.Transfer(250_000)
+	s := l.Stats()
+	if s.BytesMoved != 750_000 || s.Transfers != 2 {
+		t.Errorf("stats = %+v, want 750000 bytes / 2 transfers", s)
+	}
+	if s.MaxFlows != 1 {
+		t.Errorf("MaxFlows = %d, want 1 for serial transfers", s.MaxFlows)
+	}
+}
+
+func TestLinkStalledFlowDoesNotDepressShare(t *testing.T) {
+	// Regression for the flow-accounting drift: a transfer stuck in its
+	// injected delay must not count as an active flow, so a concurrent
+	// clean transfer keeps the full link to itself. Before the fix the
+	// clean 1 MB below ran at half rate (~200ms) for the duration of the
+	// stall; fixed it finishes in ~100ms.
+	clock := storage.NewRealClock()
+	l, err := NewLink(10<<20, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delayer stalls only the first transfer; the second (clean)
+	// flow passes through it untouched.
+	l.SetDelayer(&stalledDelayer{stall: 300 * time.Millisecond})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the stalled flow: 300ms delay, then 1 MB
+		defer wg.Done()
+		l.Transfer(1 << 20)
+	}()
+	time.Sleep(20 * time.Millisecond) // let it enter the stall
+	start := clock.Now()
+	l.Transfer(1 << 20) // clean flow, issued mid-stall
+	el := clock.Now() - start
+	wg.Wait()
+	if el > 170*time.Millisecond {
+		t.Errorf("clean 1MB during a stalled flow took %v, want ~100ms (full share)", el)
+	}
+	if got := l.Stats().BytesMoved; got != 2<<20 {
+		t.Errorf("bytes conserved: moved %d, want %d", got, 2<<20)
+	}
+}
+
+// stalledDelayer delays only the first transfer it sees; later
+// transfers (the clean flow) pass untouched.
+type stalledDelayer struct {
+	mu    sync.Mutex
+	stall time.Duration
+	used  bool
+}
+
+func (s *stalledDelayer) TransferDelay(int64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used {
+		return 0
+	}
+	s.used = true
+	return s.stall
+}
+
+func TestLinkConcurrentFairnessConvergesToAggregate(t *testing.T) {
+	// Four concurrent transfers share the link; total wall time must be
+	// the aggregate serialization time, and each flow must see the other
+	// three (MaxFlows == 4) — per-link fairness, not FIFO.
+	clock := storage.NewRealClock()
+	l, err := NewLink(40<<20, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Transfer(1 << 20)
+		}()
+	}
+	wg.Wait()
+	el := clock.Now() - start
+	// 4 MB over 40 MB/s = ~100ms aggregate.
+	if el < 90*time.Millisecond || el > 300*time.Millisecond {
+		t.Errorf("4x1MB concurrent over 40MB/s took %v, want ~100ms", el)
+	}
+	s := l.Stats()
+	if s.MaxFlows != 4 {
+		t.Errorf("MaxFlows = %d, want 4", s.MaxFlows)
+	}
+	if s.BytesMoved != 4<<20 || s.Transfers != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFabricTransferRate(t *testing.T) {
+	clock := storage.NewFakeClock()
+	f, err := NewFabric(3, 1e6, 10*time.Millisecond, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	if err := f.Transfer(0, 2, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	el := clock.Now() - start
+	want := 510 * time.Millisecond // 0.5s wire + 10ms egress latency
+	if d := el - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("fabric transfer charged %v, want %v", el, want)
+	}
+	if got := f.Egress(0).Stats().BytesMoved; got != 500_000 {
+		t.Errorf("egress bytes = %d, want 500000", got)
+	}
+	if got := f.Ingress(2).Stats().BytesMoved; got != 500_000 {
+		t.Errorf("ingress bytes = %d, want 500000", got)
+	}
+	if got := f.Ingress(1).Stats().BytesMoved; got != 0 {
+		t.Errorf("uninvolved port charged %d bytes", got)
+	}
+}
+
+func TestFabricLoopbackFree(t *testing.T) {
+	clock := storage.NewFakeClock()
+	f, err := NewFabric(2, 1, time.Hour, clock) // 1 B/s: any wire charge would hang the virtual clock forward
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clock.Now()
+	if err := f.Transfer(1, 1, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if el := clock.Now() - start; el != 0 {
+		t.Errorf("loopback charged %v, want 0", el)
+	}
+	if got := f.Egress(1).Stats().BytesMoved; got != 0 {
+		t.Errorf("loopback counted %d egress bytes", got)
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	clock := storage.NewFakeClock()
+	if _, err := NewFabric(0, 1e6, 0, clock); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewFabric(2, 0, 0, clock); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	f, err := NewFabric(2, 1e6, 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Transfer(-1, 0, 10); err == nil {
+		t.Error("negative src accepted")
+	}
+	if err := f.Transfer(0, 2, 10); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if err := f.Transfer(0, 1, 0); err != nil {
+		t.Error("zero bytes should be a no-op")
+	}
+	if f.Nodes() != 2 {
+		t.Errorf("Nodes() = %d, want 2", f.Nodes())
+	}
+}

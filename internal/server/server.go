@@ -247,6 +247,12 @@ func (s *Server) submit(req Request) Response {
 	if err := spec.Validate(); err != nil {
 		return Response{Error: err.Error()}
 	}
+	if spec.Nodes > 0 {
+		// Rejected at submission rather than as a failed job: the engine
+		// schedules operations on one shared substrate, so a multi-node
+		// run can never start here.
+		return Response{Error: "submit: nodes requires a solo run (supmr -nodes); the engine schedules operations on one shared substrate"}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -132,6 +132,11 @@ func TestServerRejectsBadSpecs(t *testing.T) {
 		{App: "wordcount", Budget: -1},
 		{App: "histogram", Budget: 1 << 20}, // array container cannot spill
 		{App: "wordcount", Runtime: "phoenix"},
+		{App: "wordcount", Nodes: -1},
+		{App: "wordcount", Nodes: 2, Memo: true},
+		{App: "wordcount", Nodes: 2, Runtime: "traditional"},
+		{App: "wordcount", InNodeCombinerOff: true}, // combiner ablation without nodes
+		{App: "wordcount", Nodes: 2},                // valid spec, but the engine path cannot run it
 	}
 	for _, s := range cases {
 		if _, err := c.Submit(s); err == nil {

@@ -1,0 +1,419 @@
+package shuffle
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"supmr/internal/chunk"
+	"supmr/internal/container"
+	"supmr/internal/exec"
+	"supmr/internal/faults"
+	"supmr/internal/kv"
+	"supmr/internal/mapreduce"
+	"supmr/internal/metrics"
+	"supmr/internal/netsim"
+	"supmr/internal/sortalgo"
+	"supmr/internal/spill"
+	"supmr/internal/storage"
+)
+
+// Options configures a multi-node run. The embedded mapreduce.Options
+// carry the per-node pipeline knobs (workers, splits, boundary, radix
+// ablation, timer, recorder, pool) exactly as in single-node mode.
+type Options struct {
+	mapreduce.Options
+
+	// Nodes is the simulated worker-node count (>= 1; 1 is the
+	// degenerate single-node cluster, useful for differential tests).
+	Nodes int
+	// CombinerOff disables the in-node combiner tier: each per-chunk
+	// drained run is partitioned and transmitted as-is instead of being
+	// pre-aggregated across all of the node's local workers first. The
+	// destination merge re-reduces either way, so output bytes are
+	// identical — only wire traffic changes.
+	CombinerOff bool
+	// LinkBW is each node port's bandwidth in bytes/sec
+	// (0 = netsim.GigabitEthernet); LinkLatency is the per-transfer
+	// one-way latency.
+	LinkBW      float64
+	LinkLatency time.Duration
+	// Clock schedules fabric transfers and retry backoff.
+	Clock storage.Clock
+	// Injector (optional) arms one fault seam per directed node pair —
+	// sites "shuffle-n<src>-n<dst>" — injecting latency spikes and torn
+	// frame transfers; Retry resends torn frames (transient faults
+	// only) with Counters accumulating outcomes.
+	Injector *faults.Injector
+	Retry    faults.RetryPolicy
+	Counters *faults.Counters
+}
+
+// Run executes app over input on a simulated cluster of opts.Nodes
+// SupMR worker nodes:
+//
+//	ingest:  chunks round-robin to nodes; each node runs map waves into
+//	         its own container (built via the Fresher extension) and
+//	         drains it per chunk into key-sorted local runs
+//	combine: (in-node combiner, unless ablated) each node pre-aggregates
+//	         all its local runs into one run before transmission
+//	shuffle: runs are hash-partitioned by encoded key; partition p is
+//	         owned by node p; remote slices travel as checksummed frames
+//	         over per-node fabric links, local slices bypass the wire
+//	reduce:  each node merges its received + local slices with the
+//	         re-reducing loser-tree pass
+//	merge:   node outputs hold disjoint keys; one final interleave
+//	         produces the globally sorted result
+//
+// The caller's container serves node 0; the remaining nodes get Fresh()
+// clones. Output is byte-identical to a single-node run: hash
+// partitioning keeps each key on one node and every merge re-reduces
+// under the standing associative-combiner contract.
+func Run[K comparable, V any](app kv.App[K, V], input chunk.Stream, cont container.Container[K, V], opts Options) (*mapreduce.Result[K, V], error) {
+	nodes := opts.Nodes
+	if nodes < 1 {
+		return nil, fmt.Errorf("shuffle: node count must be >= 1, got %d", nodes)
+	}
+	pool := opts.Pool
+	if pool == nil {
+		return nil, fmt.Errorf("shuffle: multi-node run requires an executor pool")
+	}
+	timer := opts.Timer
+	if timer == nil {
+		timer = metrics.NewTimer(pool.Now)
+	}
+	if opts.Clock == nil {
+		return nil, fmt.Errorf("shuffle: multi-node run requires a clock")
+	}
+	kc, err := spill.CodecFor[K]()
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: key: %w", err)
+	}
+	vc, err := spill.CodecFor[V]()
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: value: %w", err)
+	}
+	conts := make([]container.Container[K, V], nodes)
+	conts[0] = cont
+	if nodes > 1 {
+		fr, ok := any(cont).(container.Fresher[K, V])
+		if !ok {
+			return nil, fmt.Errorf("shuffle: container %T cannot be replicated across nodes (no Fresh method)", cont)
+		}
+		for i := 1; i < nodes; i++ {
+			conts[i] = fr.Fresh()
+		}
+	}
+	bw := opts.LinkBW
+	if bw == 0 {
+		bw = netsim.GigabitEthernet
+	}
+	fab, err := netsim.NewFabric(nodes, bw, opts.LinkLatency, opts.Clock)
+	if err != nil {
+		return nil, err
+	}
+	var retrier *faults.Retrier
+	if opts.Retry.Enabled() {
+		retrier = faults.NewRetrier(opts.Retry, opts.Clock, opts.Counters)
+	}
+	wires := make([][]*faults.Wire, nodes)
+	for src := range wires {
+		wires[src] = make([]*faults.Wire, nodes)
+		if opts.Injector == nil {
+			continue
+		}
+		for dst := range wires[src] {
+			if dst != src {
+				wires[src][dst] = opts.Injector.Wire(fmt.Sprintf("shuffle-n%d-n%d", src, dst))
+			}
+		}
+	}
+
+	ro := opts.Options
+	ro.ResetContainer = false
+	var fixed *kv.FixedKeyCodec[K]
+	if !ro.RadixDisabled {
+		fixed = kv.FixedKeyOf[K, V](app)
+	}
+
+	var stats mapreduce.Stats
+	cont.Reset()
+
+	// --- ingest + map + per-chunk drain ------------------------------
+	// Chunks route round-robin to nodes. Reads are issued serially with
+	// one read prefetched on the IO lane while the previous chunk maps,
+	// preserving the per-site fault op order that chaos determinism
+	// depends on.
+	type ingestRes struct {
+		c   *chunk.Chunk
+		err error
+	}
+	issue := func() (*exec.Handle, *ingestRes) {
+		res := &ingestRes{}
+		h := pool.GoIO("ingest", metrics.StateIOWait, func() error {
+			c, err := input.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+			res.c = c
+			return nil
+		})
+		return h, res
+	}
+	nodeRuns := make([][][]kv.Pair[K, V], nodes)
+	radixRuns := 0
+	fail := func(err error) (*mapreduce.Result[K, V], error) {
+		pool.Abort(err)
+		return nil, err
+	}
+	timer.StartPhase(metrics.PhaseReadMap)
+	h, res := issue()
+	for i := 0; ; i++ {
+		if werr := h.Wait(); werr != nil {
+			timer.EndPhase(metrics.PhaseReadMap)
+			return fail(werr)
+		}
+		c := res.c
+		if c == nil {
+			break // EOF
+		}
+		h, res = issue() // prefetch the next chunk while this one maps
+		node := i % nodes
+		if ca, ok := any(app).(interface{ SetData(*chunk.Chunk) }); ok {
+			ca.SetData(c)
+		}
+		n, busy, merr := mapreduce.MapWaveTimed(app, c.Data, conts[node], ro)
+		if merr != nil {
+			c.Release()
+			timer.EndPhase(metrics.PhaseReadMap)
+			return fail(merr)
+		}
+		stats.Splits += n
+		stats.MapBusy += busy
+		stats.MapWaves++
+		stats.BytesIngested += c.Size()
+		c.Release()
+		// Drain this chunk's container state into a key-sorted local
+		// run now: residency stays bounded by one chunk's output, and
+		// combiner-off mode transmits exactly these per-chunk runs.
+		timer.EndPhase(metrics.PhaseReadMap)
+		timer.StartPhase(metrics.PhaseShuffle)
+		run, nrad, derr := spill.DrainContainer(conts[node], app.Less, app.Reduce, fixed, pool, "shuffle")
+		timer.EndPhase(metrics.PhaseShuffle)
+		timer.StartPhase(metrics.PhaseReadMap)
+		if derr != nil {
+			return fail(derr)
+		}
+		radixRuns += nrad
+		if len(run) > 0 {
+			nodeRuns[node] = append(nodeRuns[node], run)
+			stats.IntermediateN += len(run)
+		}
+	}
+	timer.EndPhase(metrics.PhaseReadMap)
+	if len(pool.LaneBytes()) > 1 {
+		stats.IngestLaneBytes = pool.LaneBytes()
+	}
+
+	// --- in-node combine + partition + framed exchange ---------------
+	timer.StartPhase(metrics.PhaseShuffle)
+	recv := make([][][]kv.Pair[K, V], nodes) // recv[dst]: runs to merge at dst, in arrival order
+	var kbuf, vbuf []byte
+	recordBytes := func(p kv.Pair[K, V]) int64 {
+		kbuf = kc.Append(kbuf[:0], p.Key)
+		vbuf = vc.Append(vbuf[:0], p.Val)
+		return int64(uvarintLen(len(kbuf)) + len(kbuf) + uvarintLen(len(vbuf)) + len(vbuf))
+	}
+	for src := 0; src < nodes; src++ {
+		runs := nodeRuns[src]
+		if !opts.CombinerOff && len(runs) > 1 {
+			// The in-node combiner tier: one pre-aggregation pass over
+			// every local worker's output before any byte is framed for
+			// transmission. The saved-bytes counter is exact: encoded
+			// size in, encoded size out.
+			var before, total int64
+			for _, r := range runs {
+				total += int64(len(r))
+				for _, p := range r {
+					before += recordBytes(p)
+				}
+			}
+			var combined []kv.Pair[K, V]
+			_, err := pool.ForEach("shuffle", metrics.StateUser, 1, func(int) error {
+				srcs := make([]sortalgo.Source[K, V], len(runs))
+				for i, r := range runs {
+					srcs[i] = sortalgo.NewSliceSource(r)
+				}
+				var mErr error
+				combined, mErr = sortalgo.MergeSources(srcs, app.Less, app.Reduce, make([]kv.Pair[K, V], 0, total))
+				return mErr
+			})
+			if err != nil {
+				timer.EndPhase(metrics.PhaseShuffle)
+				return fail(err)
+			}
+			var after int64
+			for _, p := range combined {
+				after += recordBytes(p)
+			}
+			stats.ShuffleBytesSaved += before - after
+			runs = [][]kv.Pair[K, V]{combined}
+		}
+		for _, run := range runs {
+			// Split the sorted run into per-destination sub-runs: a
+			// subsequence of a sorted run stays sorted.
+			payloads := make([][]byte, nodes)
+			counts := make([]int, nodes)
+			var local []kv.Pair[K, V]
+			for _, p := range run {
+				kbuf = kc.Append(kbuf[:0], p.Key)
+				dst := PartitionOf(kbuf, nodes)
+				if dst == src {
+					local = append(local, p)
+					continue
+				}
+				vbuf = vc.Append(vbuf[:0], p.Val)
+				payloads[dst] = AppendRecord(payloads[dst], kbuf, vbuf)
+				counts[dst]++
+			}
+			if len(local) > 0 {
+				recv[src] = append(recv[src], local)
+			}
+			for dst := 0; dst < nodes; dst++ {
+				if counts[dst] == 0 {
+					continue
+				}
+				frame := EncodeFrame(nil, src, dst, counts[dst], payloads[dst])
+				send := func() error {
+					n, ferr := wires[src][dst].Send(len(frame))
+					if terr := fab.Transfer(src, dst, int64(n)); terr != nil {
+						return terr
+					}
+					stats.ShuffleBytes += int64(n)
+					if ferr != nil {
+						// Only a prefix reached the receiver: it must
+						// reject the torn frame with a typed error,
+						// never accept it, and the sender retries.
+						if _, derr := DecodeFrame(frame[:n]); derr == nil {
+							return fmt.Errorf("shuffle: torn frame to n%d accepted: %w", dst, ErrCorrupt)
+						}
+						return ferr
+					}
+					run, derr := decodeRun(frame, src, dst, kc, vc)
+					if derr != nil {
+						return derr
+					}
+					recv[dst] = append(recv[dst], run)
+					stats.ShuffleFrames++
+					return nil
+				}
+				if err := retrier.Do(send); err != nil {
+					timer.EndPhase(metrics.PhaseShuffle)
+					return fail(fmt.Errorf("shuffle: n%d->n%d: %w", src, dst, err))
+				}
+			}
+		}
+	}
+	timer.EndPhase(metrics.PhaseShuffle)
+
+	// --- per-node destination merge (the reduce tier) ----------------
+	outs := make([][]kv.Pair[K, V], nodes)
+	for dst := range recv {
+		stats.Runs += len(recv[dst])
+	}
+	timer.StartPhase(metrics.PhaseReduce)
+	reduceBusy, err := pool.ForEach("reduce", metrics.StateUser, nodes, func(dst int) error {
+		if len(recv[dst]) == 0 {
+			return nil
+		}
+		total := 0
+		for _, r := range recv[dst] {
+			total += len(r)
+		}
+		srcs := make([]sortalgo.Source[K, V], len(recv[dst]))
+		for i, r := range recv[dst] {
+			srcs[i] = sortalgo.NewSliceSource(r)
+		}
+		var mErr error
+		outs[dst], mErr = sortalgo.MergeSources(srcs, app.Less, app.Reduce, make([]kv.Pair[K, V], 0, total))
+		return mErr
+	})
+	timer.EndPhase(metrics.PhaseReduce)
+	if err != nil {
+		return fail(err)
+	}
+	stats.ReduceBusy = reduceBusy
+
+	// --- global assembly: partitions hold disjoint keys --------------
+	timer.StartPhase(metrics.PhaseMerge)
+	var merged []kv.Pair[K, V]
+	_, err = pool.ForEach("merge", metrics.StateUser, 1, func(int) error {
+		total := 0
+		var srcs []sortalgo.Source[K, V]
+		for _, out := range outs {
+			if len(out) > 0 {
+				total += len(out)
+				srcs = append(srcs, sortalgo.NewSliceSource(out))
+			}
+		}
+		var mErr error
+		merged, mErr = sortalgo.MergeSources(srcs, app.Less, app.Reduce, make([]kv.Pair[K, V], 0, total))
+		return mErr
+	})
+	timer.EndPhase(metrics.PhaseMerge)
+	if err != nil {
+		return fail(err)
+	}
+	stats.MergeRounds = 1
+	stats.RadixRuns = radixRuns
+	stats.OutputPairs = len(merged)
+	stats.Tasks = pool.TaskStats()
+	return &mapreduce.Result[K, V]{Pairs: merged, Times: timer.Finish(), Stats: stats}, nil
+}
+
+// decodeRun verifies and decodes one received frame into a key-sorted
+// run. Header fields must match the link the frame arrived on.
+func decodeRun[K comparable, V any](frame []byte, src, dst int, kc spill.Codec[K], vc spill.Codec[V]) ([]kv.Pair[K, V], error) {
+	f, err := DecodeFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if f.Src != src || f.Part != dst {
+		return nil, fmt.Errorf("%w: frame for n%d->n%d arrived on n%d->n%d", ErrCorrupt, f.Src, f.Part, src, dst)
+	}
+	run := make([]kv.Pair[K, V], 0, f.Records)
+	payload := f.Payload
+	for len(payload) > 0 {
+		key, val, rest, err := ReadRecord(payload)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kc.Decode(key)
+		if err != nil {
+			return nil, fmt.Errorf("%w: key: %v", ErrCorrupt, err)
+		}
+		v, err := vc.Decode(val)
+		if err != nil {
+			return nil, fmt.Errorf("%w: value: %v", ErrCorrupt, err)
+		}
+		run = append(run, kv.Pair[K, V]{Key: k, Val: v})
+		payload = rest
+	}
+	if len(run) != f.Records {
+		return nil, fmt.Errorf("%w: %d records, header says %d", ErrCorrupt, len(run), f.Records)
+	}
+	return run, nil
+}
+
+// uvarintLen returns the encoded size of n as a uvarint.
+func uvarintLen(n int) int {
+	l := 1
+	for v := uint64(n); v >= 0x80; v >>= 7 {
+		l++
+	}
+	return l
+}

@@ -34,6 +34,7 @@ import (
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
 	"supmr/internal/metrics"
+	"supmr/internal/shuffle"
 	"supmr/internal/sortalgo"
 	"supmr/internal/spill"
 	"supmr/internal/storage"
@@ -255,6 +256,36 @@ type Config struct {
 	// nor an engine store is supplied (default 64 MiB). Ignored when a
 	// store is supplied — its own budget governs.
 	MemoBudget int64
+	// Nodes, when >= 1, runs the job on a simulated cluster of that
+	// many SupMR worker nodes (SupMR runtime only): ingest chunks route
+	// round-robin to nodes, each node runs the scale-up pipeline into
+	// its own container clone and drains it per chunk, and the nodes
+	// exchange hash-partitioned intermediate runs as checksummed frames
+	// over simulated per-node network links before the final merge (see
+	// internal/shuffle and DESIGN.md §15). Output is byte-identical to
+	// a single-node run. 1 is the degenerate one-node cluster —
+	// exercising the same code path — and 0, the default, keeps the
+	// scale-up pipeline. Requires a container implementing the Fresher
+	// extension (all built-ins do) and codec-supported key/value types;
+	// incompatible with Engine, Memo, AdaptiveChunks and ResetEachRound.
+	// MemoryBudget is accepted but ignored: the multi-node pipeline
+	// drains the container after every chunk, so residency stays
+	// bounded without a spiller (see Report.Notes).
+	Nodes int
+	// InNodeCombiner gates the in-node combiner tier of a multi-node
+	// run: one pre-aggregation pass across all of a node's local
+	// workers' output before anything is partitioned for transmission.
+	// nil — the default — and &true enable it; &false is the
+	// -innode-combiner=off ablation, transmitting every per-chunk run
+	// as-is. Output is byte-identical either way (destination merges
+	// re-reduce); only Stats.ShuffleBytes and ShuffleBytesSaved change.
+	InNodeCombiner *bool
+	// NodeLinkBW is each node port's bandwidth in bytes/sec for a
+	// multi-node run (default GigabitLinkBW); NodeLinkLatency is the
+	// per-transfer one-way latency (default 0). Shuffle transfer time
+	// lands on the job clock like any other simulated IO.
+	NodeLinkBW      float64
+	NodeLinkLatency time.Duration
 }
 
 // Report is the outcome of a run: globally key-sorted output pairs,
@@ -306,6 +337,28 @@ func (c Config) radixDisabled() bool {
 	return c.RadixSort != nil && !*c.RadixSort
 }
 
+func (c Config) innodeCombinerOff() bool {
+	return c.InNodeCombiner != nil && !*c.InNodeCombiner
+}
+
+// validateNodes rejects configurations the multi-node pipeline cannot
+// honour, rather than silently changing their meaning.
+func (c Config) validateNodes() error {
+	if c.Runtime != RuntimeSupMR {
+		return errors.New("supmr: Nodes requires RuntimeSupMR (each node runs the scale-up pipeline over its local chunks)")
+	}
+	if c.Memo {
+		return errors.New("supmr: Nodes is incompatible with Memo (memoization keys per-chunk drains of one container; multi-node runs shard chunks across node containers)")
+	}
+	if c.AdaptiveChunks {
+		return errors.New("supmr: Nodes is incompatible with AdaptiveChunks (chunk-size feedback would make the node routing of each byte depend on timing)")
+	}
+	if c.ResetEachRound {
+		return errors.New("supmr: Nodes is incompatible with ResetEachRound (multi-node mode drains containers per chunk already)")
+	}
+	return nil
+}
+
 func (c Config) mergeAlgo() MergeAlgo {
 	if c.Merge != nil {
 		return *c.Merge
@@ -348,6 +401,9 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		return nil, errors.New("supmr: nil container")
 	}
 	if cfg.Engine != nil {
+		if cfg.Nodes > 0 {
+			return nil, errors.New("supmr: Nodes is incompatible with Engine (the multi-job engine schedules operations on one shared substrate; run multi-node jobs solo)")
+		}
 		return runOnEngine(cfg.Engine, job, input, cont, cfg)
 	}
 	clk := cfg.clock()
@@ -430,6 +486,31 @@ func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Cont
 		return nil, err
 	}
 	var notes []string
+	if cfg.Nodes > 0 {
+		if err := cfg.validateNodes(); err != nil {
+			return nil, err
+		}
+		if cfg.MemoryBudget > 0 {
+			notes = append(notes, "nodes: MemoryBudget ignored (per-chunk drains bound container residency without the spill path)")
+		}
+		res, err := shuffle.Run(job, input, cont, shuffle.Options{
+			Options:     ro,
+			Nodes:       cfg.Nodes,
+			CombinerOff: cfg.innodeCombinerOff(),
+			LinkBW:      cfg.NodeLinkBW,
+			LinkLatency: cfg.NodeLinkLatency,
+			Clock:       sub.clk,
+			Injector:    cfg.Faults,
+			Retry:       cfg.Retry,
+			Counters:    cfg.faultCounters(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats, Notes: notes}
+		rep.Stats.Faults = cfg.faultCounters().Snapshot()
+		return rep, nil
+	}
 	var store *spill.Store
 	if cfg.wouldSpill(sub.budget) {
 		if cfg.Runtime != RuntimeSupMR {

@@ -36,6 +36,8 @@ go test -race -count=1 \
     ./internal/apps/ \
     ./internal/sched/ \
     ./internal/server/ \
+    ./internal/egress/ \
+    ./internal/dag/ \
     .
 
 echo "== race-mode chaos gate =="
@@ -67,6 +69,15 @@ echo "== race-mode multi-job chaos gate =="
 # submissions — must produce outcomes byte-identical to solo runs, with
 # per-job stats isolated and no goroutine leaks.
 go test -race -count=1 -run 'TestChaosConcurrentEngine|TestEngine' .
+
+echo "== race-mode chained-DAG chaos gate =="
+# The zero-copy pipe invariant under the race detector: two-round job
+# chains (psum1→psum2, sort→grep) piped through egressed extents must be
+# byte-identical to re-ingesting a materialized copy on every axis —
+# faulted, budgeted, radix-off, multi-lane — and seeded chaos over both
+# rounds must either recover to the clean digests with deterministic
+# fault counters or fail wrapped, leaking no goroutines.
+go test -race -count=1 -run 'TestChaosChainedDAG|TestPipedMatchesMaterialized' ./internal/dag/
 
 echo "== race-mode sort-path gate =="
 # The radix/columnar invariants under the race detector: every
@@ -180,6 +191,28 @@ if ! echo "$shuffle_out" | grep -q 'digests_match=true'; then
     exit 1
 fi
 
+echo "== parallel egress artifact and lane gate (BENCH_egress.json) =="
+# The tentpole claim, gated: fanning the merged sort output across 4
+# egress lanes onto a stream-capped disk must beat the serial writer's
+# virtual egress time by >= 1.5x at every input size (measured
+# ~1.8-2x), with the stitched bytes — and so the digest — identical at
+# every lane count.
+egress_out=$(go run ./cmd/benchtable -egress-json BENCH_egress.json)
+echo "$egress_out"
+egress_speedup=$(echo "$egress_out" | awk -F'[=x]' '/^speedup=/ { print $2 }')
+if [[ -z "$egress_speedup" ]]; then
+    echo "could not parse speedup from the egress benchmark" >&2
+    exit 1
+fi
+if ! awk -v s="$egress_speedup" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "4-lane egress only ${egress_speedup}x vs serial (want >= 1.5x)" >&2
+    exit 1
+fi
+if ! echo "$egress_out" | grep -q 'digests_match=true'; then
+    echo "egress lane digests diverge" >&2
+    exit 1
+fi
+
 echo "== map hot path allocation gate =="
 # A steady-state flat-combiner map wave must stay (near) allocation-free.
 # Measured ~22 allocs/op; the gate allows generous headroom for GC and
@@ -266,6 +299,43 @@ for args in \
     done
 done
 echo "multi-node digests identical to single-node"
+
+echo "== egress lane ablation digest gate =="
+# Parallel egress must never change a byte: -egress-lanes=4 must print
+# the same digest line — including the egressed byte and extent counts —
+# as the serial -egress-lanes=1 writer, clean and under write faults
+# with retries.
+for args in \
+    "-app wordcount -size 256k -chunk 32k -bw 0 -seed 3" \
+    "-app sort -size 200k -chunk 20k -bw 0 -seed 23" \
+    "-app wordcount -size 256k -chunk 32k -bw 0 -seed 3 -faults seed=1,write-err-every=3 -retries 4"; do
+    eg_serial=$("$supmr_bin" -digest -egress-lanes=1 $args)
+    eg_wide=$("$supmr_bin" -digest -egress-lanes=4 $args)
+    if [[ -z "$eg_serial" || "$eg_serial" != "$eg_wide" ]]; then
+        echo "egress lane ablation digest mismatch for '$args':" >&2
+        echo " 1 lane:  $eg_serial" >&2
+        echo " 4 lanes: $eg_wide" >&2
+        exit 1
+    fi
+done
+echo "serial and 4-lane egress digests identical"
+
+echo "== pipeline piped vs materialized digest gate =="
+# The zero-copy pipe end to end: chaining rounds through egressed
+# extents must produce the same per-round digests as the -materialize
+# ablation, which re-ingests a stitched in-memory copy of each round's
+# output.
+for kind in prefixsum sortgrep; do
+    piped=$("$supmr_bin" pipeline -kind "$kind" -size 256k -egress-lanes 4 | grep -o 'digest=[0-9a-f]*')
+    mat=$("$supmr_bin" pipeline -kind "$kind" -size 256k -materialize | grep -o 'digest=[0-9a-f]*')
+    if [[ -z "$piped" || "$piped" != "$mat" ]]; then
+        echo "pipeline $kind piped vs materialized digest mismatch:" >&2
+        echo " piped:        $piped" >&2
+        echo " materialized: $mat" >&2
+        exit 1
+    fi
+done
+echo "piped and materialized pipeline digests identical"
 
 echo "== faulted CLI run must fail cleanly =="
 # A permanent ingest fault has to surface as exit 1 with one wrapped

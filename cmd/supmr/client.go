@@ -45,9 +45,13 @@ func dial(socket string) *server.Client {
 	return c
 }
 
+// fatal prints the error and exits with its typed status: protocol
+// rejections carry distinct codes (3 = multi-node unsupported, 4 = DAG
+// unsupported) so scripts can tell "run it locally instead" apart from
+// a plain failure.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "supmr:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitCode(err))
 }
 
 // submitMain submits one job, optionally waiting for its result.
@@ -55,7 +59,7 @@ func submitMain(args []string) {
 	fs := flag.NewFlagSet("supmr submit", flag.ExitOnError)
 	var (
 		socket   = fs.String("socket", "/tmp/supmrd.sock", "supmrd unix socket")
-		app      = fs.String("app", "wordcount", "application: wordcount | sort | histogram | grep")
+		app      = fs.String("app", "wordcount", "application: wordcount | sort | histogram | grep | psum1 | psum2")
 		rt       = fs.String("runtime", "supmr", "runtime: traditional | supmr")
 		size     = fs.String("size", "4m", "input size in bytes (k/m/g suffixes)")
 		seed     = fs.Int64("seed", 1, "workload generation seed")
@@ -70,6 +74,9 @@ func submitMain(args []string) {
 		faults   = fs.String("faults", "", "deterministic fault plan (see supmr -faults)")
 		retries  = fs.String("retries", "", "retry policy for transient faults (see supmr -retries)")
 		memoKey  = fs.String("memo-key", "", "memo cache key space (default: derived from the app and its parameters)")
+		egLanes  = fs.String("egress-lanes", "0", "IO lanes for parallel output egress (0 = keep pairs in memory only)")
+		block    = fs.String("block", "0", "records per block for -app psum1/psum2 (0 = default)")
+		blocks   = fs.String("blocks", "0", "block count for -app psum2 (0 = derived from the input)")
 		wait     = fs.Bool("wait", false, "block until the job finishes and print its result")
 	)
 	memo := onOffFlag(false)
@@ -95,6 +102,9 @@ func submitMain(args []string) {
 		Memo:          bool(memo),
 		MemoKey:       *memoKey,
 		RadixOff:      !bool(radix),
+		EgressLanes:   parseCount0(*egLanes),
+		Block:         int64(parseCount0(*block)),
+		Blocks:        int64(parseCount0(*blocks)),
 	}
 	if spec.Runtime == "supmr" {
 		spec.Runtime = "" // spec default
@@ -220,6 +230,10 @@ func printJob(v server.JobView) {
 		}
 		if v.Result.RadixRuns > 0 {
 			fmt.Printf("\n  sortpath: %d run(s) radix-sorted", v.Result.RadixRuns)
+		}
+		if v.Result.EgressBytes > 0 {
+			fmt.Printf("\n  egress: %s in %d extent(s)",
+				cliutil.FormatBytes(v.Result.EgressBytes), v.Result.EgressExtents)
 		}
 		if v.Result.Faults != "" {
 			fmt.Printf("\n  faults: %s", v.Result.Faults)

@@ -27,10 +27,15 @@ import (
 )
 
 func main() {
-	// A known subcommand routes to the supmrd client (`supmr submit ...`);
-	// everything else is the classic single-run CLI.
+	// A known subcommand routes to the supmrd client (`supmr submit ...`)
+	// or the local pipeline runner; everything else is the classic
+	// single-run CLI.
 	if len(os.Args) > 1 && clientCommands[os.Args[1]] {
 		clientMain(os.Args[1], os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "pipeline" {
+		pipelineMain(os.Args[2:])
 		return
 	}
 	var (
@@ -60,6 +65,8 @@ func main() {
 		digest    = flag.Bool("digest", false, "print the output digest instead of the full report, for diffing against a server-mode run (wordcount/sort/histogram/grep)")
 		memoBudg  = flag.String("memo-budget", "64m", "memo-store byte budget; least-recently-used entries evict beyond it")
 		nodes     = flag.Int("nodes", 0, "run on a simulated cluster of N SupMR worker nodes exchanging hash-partitioned runs over simulated links (supmr runtime; 0 = single-node scale-up pipeline; output byte-identical)")
+		egLanes   = flag.Int("egress-lanes", 0, "materialize the merged output across N concurrent extent writers after the merge (1 = serial-writer ablation, byte-identical output at any lane count; 0 = skip output materialization)")
+		egExtent  = flag.String("egress-extent", "256k", "egress extent size for -egress-lanes")
 	)
 	flatComb := onOffFlag(true)
 	flag.Var(&flatComb, "flatcombiner", "use the flat (arena-interned, open-addressing) combining container for wordcount/grep; off selects the map-backed combiner (ablation)")
@@ -93,12 +100,19 @@ func main() {
 			Pattern: *pattern, Faults: *faultsStr, Retries: *retries, Memo: bool(memo),
 			RadixOff: !bool(radix),
 			Nodes:    *nodes, InNodeCombinerOff: *nodes > 0 && !bool(innodeComb),
+			EgressLanes: *egLanes,
 		}, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "supmr:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("app=%s pairs=%d digest=%s\n", res.App, res.OutputPairs, res.Digest)
+		fmt.Printf("app=%s pairs=%d digest=%s", res.App, res.OutputPairs, res.Digest)
+		if res.EgressBytes > 0 {
+			// Byte-identical at any lane count, so this line diffs cleanly
+			// across -egress-lanes settings.
+			fmt.Printf(" egress=%dB/%d", res.EgressBytes, res.EgressExtents)
+		}
+		fmt.Println()
 		return
 	}
 	if err := run(ctx, runOpts{
@@ -111,6 +125,7 @@ func main() {
 		ioLanes: parseCount(*ioLanes), prefetch: parseCount(*prefetch),
 		memo: bool(memo), memoBudget: parseSize(*memoBudg), radix: bool(radix),
 		nodes: *nodes, innodeComb: bool(innodeComb),
+		egressLanes: *egLanes, egressExtent: parseSize(*egExtent),
 	}); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "supmr: interrupted")
@@ -140,6 +155,8 @@ type runOpts struct {
 	radix                    bool
 	nodes                    int
 	innodeComb               bool
+	egressLanes              int
+	egressExtent             int64
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -185,6 +202,13 @@ func run(ctx context.Context, o runOpts) error {
 			return err
 		}
 		cfg.Retry = policy
+	}
+	if o.egressLanes != 0 {
+		// Negative values flow through so the runtime rejects them with a
+		// named error instead of silently skipping egress.
+		cfg.EgressLanes = o.egressLanes
+		cfg.EgressExtentBytes = o.egressExtent
+		cfg.EgressDevice = dev // egress contends with ingest for the same bandwidth
 	}
 	switch rt {
 	case "supmr":
@@ -450,6 +474,17 @@ func run(ctx context.Context, o runOpts) error {
 		}
 		fmt.Println()
 	}
+	if stats != nil && o.egressLanes > 0 {
+		fmt.Printf("egress: %s in %d extent(s), %s stalled", cliutil.FormatBytes(stats.EgressBytes),
+			stats.EgressExtents, stats.EgressStall.Round(time.Microsecond))
+		if len(stats.EgressLaneBytes) > 0 {
+			fmt.Printf(", lane bytes")
+			for i, b := range stats.EgressLaneBytes {
+				fmt.Printf(" %d:%s", i, cliutil.FormatBytes(b))
+			}
+		}
+		fmt.Println()
+	}
 	if trace && tr != nil {
 		fmt.Println()
 		fmt.Print(tr.ASCII(16))
@@ -521,6 +556,17 @@ func parseSize(s string) int64 {
 
 func parseCount(s string) int {
 	v, err := cliutil.ParseCount(s, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supmr:", err)
+		os.Exit(2)
+	}
+	return v
+}
+
+// parseCount0 is parseCount for knobs where 0 means "default/off"
+// (egress lanes, psum block sizing).
+func parseCount0(s string) int {
+	v, err := cliutil.ParseCount(s, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "supmr:", err)
 		os.Exit(2)

@@ -222,6 +222,22 @@ func GrepJob(patterns ...string) apps.Grep { return apps.Grep{Patterns: patterns
 // (array container over six statistic cells; Fit solves the model).
 func LinearRegressionJob() apps.LinearRegression { return apps.LinearRegression{} }
 
+// PrefixPartJob returns round 1 of the 2-round prefix-sum pipeline:
+// per-block partial sums over self-indexed records (block records per
+// block). Chain its egressed output into PrefixTotalJob via a DAG.
+func PrefixPartJob(block int64) apps.PrefixPart { return apps.PrefixPart{Block: block} }
+
+// PrefixTotalJob returns round 2 of the prefix-sum pipeline: running
+// prefix totals over round 1's "block\tsum" output lines, for blocks
+// total blocks.
+func PrefixTotalJob(blocks int64) apps.PrefixTotal { return apps.PrefixTotal{Blocks: blocks} }
+
+// SeqFile generates the prefix-sum input: records self-indexed 16-byte
+// numeric records on dev, deterministically from seed.
+func SeqFile(name string, records int64, seed int64, dev Device) (*File, error) {
+	return workload.SeqGen{Seed: seed}.File(name, records, dev)
+}
+
 // WordCountContainer returns the container word count uses (the flat
 // combiner).
 func WordCountContainer(shards int) Container[string, int64] {

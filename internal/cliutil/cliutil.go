@@ -3,6 +3,7 @@
 package cliutil
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -76,4 +77,25 @@ func FormatBytes(n int64) string {
 // FormatSeconds renders a duration as the paper's table cells do.
 func FormatSeconds(d time.Duration) string {
 	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// ExitCoder is implemented by errors that carry a specific process
+// exit status (e.g. the server client's typed protocol rejections).
+type ExitCoder interface {
+	error
+	ExitCode() int
+}
+
+// ExitCode maps an error to the process exit status the CLI should
+// use: 0 for nil, the error's own code when it (or anything it wraps)
+// implements ExitCoder, 1 otherwise.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ec ExitCoder
+	if errors.As(err, &ec) {
+		return ec.ExitCode()
+	}
+	return 1
 }

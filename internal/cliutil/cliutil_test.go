@@ -1,6 +1,8 @@
 package cliutil
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -108,5 +110,26 @@ func TestKnobErrorsAreDescriptive(t *testing.T) {
 	}
 	if _, err := ParseCount("heavy", 1); err == nil || !strings.Contains(err.Error(), "heavy") {
 		t.Errorf("ParseCount(heavy) as -weight: %v", err)
+	}
+}
+
+type exitErr struct{ code int }
+
+func (e *exitErr) Error() string { return "exit" }
+func (e *exitErr) ExitCode() int { return e.code }
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(nil); got != 0 {
+		t.Errorf("ExitCode(nil) = %d", got)
+	}
+	if got := ExitCode(errors.New("plain")); got != 1 {
+		t.Errorf("plain error = %d, want 1", got)
+	}
+	if got := ExitCode(&exitErr{code: 4}); got != 4 {
+		t.Errorf("ExitCoder = %d, want 4", got)
+	}
+	// Codes survive wrapping.
+	if got := ExitCode(fmt.Errorf("submit: %w", &exitErr{code: 3})); got != 3 {
+		t.Errorf("wrapped ExitCoder = %d, want 3", got)
 	}
 }

@@ -1,0 +1,328 @@
+package egress
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"supmr/internal/exec"
+	"supmr/internal/faults"
+	"supmr/internal/storage"
+)
+
+// testStream returns size deterministic pseudo-random bytes.
+func testStream(size int) []byte {
+	buf := make([]byte, size)
+	x := uint64(0x243F6A8885A308D3)
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte(x)
+	}
+	return buf
+}
+
+// egressAll streams data through a Writer in odd-sized writes and
+// returns the closed Output.
+func egressAll(t *testing.T, cfg Config, data []byte) *Output {
+	t.Helper()
+	w, err := NewWriter(cfg)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for off := 0; off < len(data); {
+		n := 7777
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := w.Write(data[off : off+n]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		off += n
+	}
+	out, err := w.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return out
+}
+
+func newPool(t *testing.T, ioWorkers int) *exec.Pool {
+	t.Helper()
+	p := exec.NewPool(context.Background(), exec.Config{Workers: 2, IOWorkers: ioWorkers})
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestLaneCountsByteIdentical(t *testing.T) {
+	data := testStream(1<<20 + 12345) // non-multiple: forces a short tail extent
+	const extent = 64 << 10
+
+	var ref []byte
+	var refMan Manifest
+	for _, lanes := range []int{1, 2, 4} {
+		pool := newPool(t, lanes)
+		out := egressAll(t, Config{Pool: pool, Lanes: lanes, ExtentBytes: extent}, data)
+		got, err := out.Bytes()
+		if err != nil {
+			t.Fatalf("lanes=%d: Bytes: %v", lanes, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("lanes=%d: stitched output differs from input", lanes)
+		}
+		if lanes == 1 {
+			ref, refMan = got, out.Manifest()
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("lanes=%d: output differs from serial writer", lanes)
+		}
+		if !bytes.Equal(out.Manifest().Encode(), refMan.Encode()) {
+			t.Fatalf("lanes=%d: manifest differs from serial writer", lanes)
+		}
+		out.Close()
+	}
+
+	// Manifest shape: all extents but the last are exactly ExtentBytes,
+	// the last carries the remainder.
+	wantExtents := (len(data) + extent - 1) / extent
+	if len(refMan.Extents) != wantExtents {
+		t.Fatalf("extents = %d, want %d", len(refMan.Extents), wantExtents)
+	}
+	for i, e := range refMan.Extents[:len(refMan.Extents)-1] {
+		if e.Len != extent || e.Off != int64(i)*extent {
+			t.Fatalf("extent %d = %+v, want len %d off %d", i, e, extent, i*extent)
+		}
+	}
+	if last := refMan.Extents[len(refMan.Extents)-1]; last.Len != int64(len(data)%extent) {
+		t.Fatalf("tail extent len = %d, want %d", last.Len, len(data)%extent)
+	}
+}
+
+func TestOutputReadAt(t *testing.T) {
+	data := testStream(200_000)
+	pool := newPool(t, 2)
+	out := egressAll(t, Config{Pool: pool, Lanes: 2, ExtentBytes: 64 << 10}, data)
+	defer out.Close()
+
+	if out.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", out.Size(), len(data))
+	}
+	// Reads crossing extent boundaries.
+	for _, c := range []struct{ off, n int }{
+		{0, 100}, {64<<10 - 50, 100}, {128<<10 - 1, 3}, {199_000, 1000},
+	} {
+		got := make([]byte, c.n)
+		n, err := out.ReadAt(got, int64(c.off))
+		if err != nil || n != c.n {
+			t.Fatalf("ReadAt(%d, %d) = %d, %v", c.off, c.n, n, err)
+		}
+		if !bytes.Equal(got, data[c.off:c.off+c.n]) {
+			t.Fatalf("ReadAt(%d, %d): wrong bytes", c.off, c.n)
+		}
+	}
+	// Read past the end returns the available prefix and io.EOF.
+	got := make([]byte, 100)
+	n, err := out.ReadAt(got, int64(len(data)-30))
+	if n != 30 || err != io.EOF {
+		t.Fatalf("tail ReadAt = %d, %v; want 30, EOF", n, err)
+	}
+	if !bytes.Equal(got[:30], data[len(data)-30:]) {
+		t.Fatalf("tail ReadAt: wrong bytes")
+	}
+	// Two-phase read completes at issue.
+	wait, err := out.IssueReadAt(got[:10], 0)
+	if err != nil {
+		t.Fatalf("IssueReadAt: %v", err)
+	}
+	if n, err := wait(); n != 10 || err != nil {
+		t.Fatalf("IssueReadAt wait = %d, %v", n, err)
+	}
+}
+
+func TestTornWriteRetryDeterministic(t *testing.T) {
+	data := testStream(512 << 10) // 8 extents of 64 KiB
+	plan := faults.Plan{Seed: 7, WriteErrProb: 0.4}
+	policy := faults.RetryPolicy{MaxAttempts: 8}
+
+	var ref []byte
+	var refFaults string
+	for _, lanes := range []int{1, 4} {
+		clock := storage.NewRealClock()
+		inj := faults.New(plan, clock)
+		pool := newPool(t, lanes)
+		out := egressAll(t, Config{
+			Pool: pool, Lanes: lanes, ExtentBytes: 64 << 10,
+			Injector: inj, Retry: policy, Clock: clock, Counters: inj.Counters(),
+		}, data)
+		got, err := out.Bytes()
+		if err != nil {
+			t.Fatalf("lanes=%d: Bytes: %v", lanes, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("lanes=%d: faulted egress diverged from input", lanes)
+		}
+		snap := inj.Counters().Snapshot()
+		if snap.Injected == 0 || snap.Retried == 0 || snap.Recovered == 0 {
+			t.Fatalf("lanes=%d: no faults exercised: %+v", lanes, snap)
+		}
+		fs := snap.String()
+		if lanes == 1 {
+			ref, refFaults = got, fs
+			continue
+		}
+		// Per-extent fault sites make the schedule — and so the exact
+		// counter totals — independent of lane interleaving.
+		if fs != refFaults {
+			t.Fatalf("fault counters depend on lane count: %q vs %q", fs, refFaults)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("lanes=%d: faulted output differs from serial", lanes)
+		}
+		out.Close()
+	}
+}
+
+func TestFaultWithoutRetryFails(t *testing.T) {
+	data := testStream(256 << 10)
+	clock := storage.NewRealClock()
+	inj := faults.New(faults.Plan{Seed: 1, WriteErrProb: 1}, clock)
+	pool := newPool(t, 2)
+	w, err := NewWriter(Config{Pool: pool, Lanes: 2, ExtentBytes: 64 << 10, Injector: inj})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := w.Close(); err == nil {
+		t.Fatalf("Close succeeded with every write faulted and no retry policy")
+	}
+}
+
+func TestDeviceChargesWriteTime(t *testing.T) {
+	clock := storage.NewFakeClock()
+	disk, err := storage.NewDisk(storage.DiskConfig{Name: "out", Bandwidth: 1 << 20}, clock)
+	if err != nil {
+		t.Fatalf("NewDisk: %v", err)
+	}
+	data := testStream(1 << 20)
+	pool := newPool(t, 1)
+	before := clock.Now()
+	out := egressAll(t, Config{Pool: pool, Lanes: 1, ExtentBytes: 256 << 10, Device: disk}, data)
+	defer out.Close()
+	if elapsed := clock.Now() - before; elapsed <= 0 {
+		t.Fatalf("egress through a 1 MB/s disk advanced no device time")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(Config{}); err == nil || !strings.Contains(err.Error(), "pool") {
+		t.Fatalf("nil pool accepted: %v", err)
+	}
+	pool := newPool(t, 1)
+	if _, err := NewWriter(Config{Pool: pool, ExtentBytes: -1}); err == nil {
+		t.Fatalf("negative extent size accepted")
+	}
+	if _, err := NewWriter(Config{Pool: pool, Lanes: -1}); err == nil {
+		t.Fatalf("negative lane count accepted")
+	}
+	w, err := NewWriter(Config{Pool: pool})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatalf("empty Close: %v", err)
+	}
+	if _, err := w.Close(); err == nil {
+		t.Fatalf("double Close accepted")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := Manifest{ExtentBytes: 1024, Total: 2500, Extents: []Extent{
+		{Off: 0, Len: 1024, CRC: 0xDEADBEEF},
+		{Off: 1024, Len: 1024, CRC: 0x12345678},
+		{Off: 2048, Len: 452, CRC: 0xCAFEBABE},
+	}}
+	got, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+	if !bytes.Equal(got.Encode(), m.Encode()) {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, m)
+	}
+
+	empty := Manifest{ExtentBytes: 1024}
+	if _, err := DecodeManifest(empty.Encode()); err != nil {
+		t.Fatalf("empty manifest: %v", err)
+	}
+}
+
+// TestManifestCorruptionTyped is the deterministic core of the fuzz
+// target: every truncation and every single-bit flip of a valid
+// encoding must surface as a *CorruptError, never as silently wrong
+// data (the trailing CRC-32C makes this exhaustive).
+func TestManifestCorruptionTyped(t *testing.T) {
+	m := Manifest{ExtentBytes: 512, Total: 1500, Extents: []Extent{
+		{Off: 0, Len: 512, CRC: 1}, {Off: 512, Len: 512, CRC: 2}, {Off: 1024, Len: 476, CRC: 3},
+	}}
+	enc := m.Encode()
+
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeManifest(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", cut, err)
+		}
+	}
+	for bit := 0; bit < len(enc)*8; bit++ {
+		mut := bytes.Clone(enc)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeManifest(mut); err == nil {
+			t.Fatalf("bit flip %d decoded", bit)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip %d: untyped error %v", bit, err)
+		}
+		var ce *CorruptError
+		if _, err := DecodeManifest(mut); !errors.As(err, &ce) {
+			t.Fatalf("bit flip %d: not a *CorruptError", bit)
+		}
+	}
+}
+
+func FuzzManifestDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Manifest{ExtentBytes: 1024}.Encode())
+	f.Add(Manifest{ExtentBytes: 64, Total: 100, Extents: []Extent{
+		{Off: 0, Len: 64, CRC: 9}, {Off: 64, Len: 36, CRC: 8},
+	}}.Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeManifest(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error not typed: %v", err)
+			}
+			return
+		}
+		// A successful decode must re-encode to the exact input (the
+		// encoding is canonical) and be internally consistent.
+		if !bytes.Equal(m.Encode(), b) {
+			t.Fatalf("accepted non-canonical encoding")
+		}
+		var sum int64
+		for i, e := range m.Extents {
+			if e.Off != sum {
+				t.Fatalf("extent %d offset %d, want %d", i, e.Off, sum)
+			}
+			sum += e.Len
+		}
+		if sum != m.Total {
+			t.Fatalf("lengths sum %d != total %d", sum, m.Total)
+		}
+	})
+}

@@ -15,13 +15,15 @@ import (
 
 	"supmr"
 	"supmr/internal/cliutil"
+	"supmr/internal/workload"
 )
 
 // Spec describes one job submission. The zero value of every optional
 // field selects the documented default; Validate rejects nonsensical
 // values instead of guessing.
 type Spec struct {
-	// App selects the application: wordcount | sort | histogram | grep.
+	// App selects the application: wordcount | sort | histogram | grep |
+	// psum1 | psum2 (the two rounds of the prefix-sum pipeline).
 	App string `json:"app"`
 	// Runtime selects the runtime: "supmr" (default) | "traditional".
 	Runtime string `json:"runtime,omitempty"`
@@ -79,6 +81,17 @@ type Spec struct {
 	Faults string `json:"faults,omitempty"`
 	// Retries is a cliutil retry-policy string (e.g. "4" or "attempts=4,base=100us").
 	Retries string `json:"retries,omitempty"`
+	// EgressLanes, when >= 1, materializes the merged output across
+	// that many concurrent extent writers after the merge (1 is the
+	// serial-writer ablation; output is byte-identical at any lane
+	// count). 0 skips output materialization.
+	EgressLanes int `json:"egress_lanes,omitempty"`
+	// Block is the records-per-block grouping of psum1 (default 256).
+	Block int64 `json:"block,omitempty"`
+	// Blocks is the total block count psum2 emits prefix sums for
+	// (default: derived from Size and Block as a standalone round-1
+	// reference; a DAG fills it from the upstream round).
+	Blocks int64 `json:"blocks,omitempty"`
 }
 
 // Result summarizes a completed job: counters, the phase breakdown, and
@@ -113,13 +126,32 @@ type Result struct {
 	ShuffleBytes      int64 `json:"shuffle_bytes,omitempty"`
 	ShuffleBytesSaved int64 `json:"shuffle_bytes_saved,omitempty"`
 	ShuffleFrames     int   `json:"shuffle_frames,omitempty"`
+	// EgressBytes/EgressExtents report the materialized output when the
+	// spec set EgressLanes (sha256 of the egressed bytes == Digest).
+	EgressBytes   int64 `json:"egress_bytes,omitempty"`
+	EgressExtents int   `json:"egress_extents,omitempty"`
 	// Notes surfaces configuration caveats the run adapted to (engine
 	// instruments disabled, memo ignoring the budget).
 	Notes []string `json:"notes,omitempty"`
 }
 
 // apps the server knows how to build workloads for.
-var knownApps = map[string]bool{"wordcount": true, "sort": true, "histogram": true, "grep": true}
+var knownApps = map[string]bool{
+	"wordcount": true, "sort": true, "histogram": true, "grep": true,
+	"psum1": true, "psum2": true,
+}
+
+// pipedApps consume newline-terminated "key\tvalue" text — the egress
+// rendering — so they can run over a piped upstream output in a DAG.
+// sort (100-byte CRLF records) and psum1 (16-byte self-indexed
+// records) need generated workloads and can only be source rounds.
+var pipedApps = map[string]bool{
+	"wordcount": true, "histogram": true, "grep": true, "psum2": true,
+}
+
+// CanConsumePiped reports whether app can run over a piped upstream
+// output (internal/dag uses this to validate graph edges).
+func CanConsumePiped(app string) bool { return pipedApps[app] }
 
 // Validate rejects malformed specs with a descriptive error and fills
 // in no defaults — normalization happens in Run.
@@ -128,7 +160,7 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("jobspec: missing app")
 	}
 	if !knownApps[s.App] {
-		return fmt.Errorf("jobspec: unknown app %q (want wordcount, sort, histogram or grep)", s.App)
+		return fmt.Errorf("jobspec: unknown app %q (want wordcount, sort, histogram, grep, psum1 or psum2)", s.App)
 	}
 	switch s.Runtime {
 	case "", "supmr", "traditional":
@@ -194,6 +226,21 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("jobspec: %w", err)
 		}
 	}
+	if s.EgressLanes < 0 {
+		return fmt.Errorf("jobspec: egress_lanes must be positive, got %d", s.EgressLanes)
+	}
+	if s.Block < 0 {
+		return fmt.Errorf("jobspec: negative block %d", s.Block)
+	}
+	if s.Blocks < 0 {
+		return fmt.Errorf("jobspec: negative blocks %d", s.Blocks)
+	}
+	if s.Block > 0 && s.App != "psum1" && s.App != "psum2" {
+		return fmt.Errorf("jobspec: block is only meaningful for psum1/psum2, not %q", s.App)
+	}
+	if s.Blocks > 0 && s.App != "psum2" {
+		return fmt.Errorf("jobspec: blocks is only meaningful for psum2, not %q", s.App)
+	}
 	return nil
 }
 
@@ -202,8 +249,28 @@ func (s Spec) Validate() error {
 // with eng nil it runs solo on a dedicated pool — output and digest are
 // identical either way. ctx cancellation aborts the job.
 func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
+	res, _, err := RunInput(ctx, spec, eng, nil)
+	return res, err
+}
+
+// RunInput is Run over an explicit ingest source: with input non-nil
+// the spec's generated workload is replaced by input — the zero-copy
+// pipe internal/dag chains rounds with (an upstream job's egressed
+// output is newline-terminated "key\tvalue" text, so the piped app
+// must be one CanConsumePiped accepts). The returned EgressOutput is
+// the materialized output when spec.EgressLanes was set, nil
+// otherwise; callers chaining jobs feed it to the next round.
+func RunInput(ctx context.Context, spec Spec, eng *supmr.Engine, input supmr.Input) (*Result, *supmr.EgressOutput, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if input != nil {
+		if !CanConsumePiped(spec.App) {
+			return nil, nil, fmt.Errorf("jobspec: app %q cannot consume a piped input (it maps a generated record format; pipe into wordcount, histogram, grep or psum2)", spec.App)
+		}
+		if spec.Memo {
+			return nil, nil, fmt.Errorf("jobspec: memo is incompatible with a piped input (piped rounds hold no stable file identity to key the cache by)")
+		}
 	}
 	size := spec.Size
 	if size <= 0 {
@@ -217,6 +284,10 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 	if chunk <= 0 {
 		chunk = 256 << 10
 	}
+	block := spec.Block
+	if block <= 0 {
+		block = 256
+	}
 	rt := supmr.RuntimeSupMR
 	rtName := "supmr"
 	if spec.Runtime == "traditional" {
@@ -229,7 +300,7 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 	if spec.BW > 0 {
 		d, err := supmr.NewDisk("sim", float64(spec.BW), 0, clock)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		dev = d
 	} else {
@@ -247,6 +318,10 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 		Tenant:        spec.Tenant,
 		Weight:        spec.Weight,
 	}
+	if spec.EgressLanes > 0 {
+		cfg.EgressLanes = spec.EgressLanes
+		cfg.EgressDevice = dev // egress contends with ingest for the same bandwidth
+	}
 	if spec.RadixOff {
 		off := false
 		cfg.RadixSort = &off
@@ -261,14 +336,14 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 	if spec.Faults != "" {
 		plan, err := cliutil.ParseFaultPlan(spec.Faults)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Faults = supmr.NewFaultInjector(plan, clock)
 	}
 	if spec.Retries != "" {
 		policy, err := cliutil.ParseRetryPolicy(spec.Retries)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Retry = policy
 	}
@@ -296,22 +371,30 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 
 	switch spec.App {
 	case "wordcount":
-		f, err := supmr.TextFile("wcinput", size, seed, dev)
-		if err != nil {
-			return nil, err
+		f := input
+		if f == nil {
+			tf, err := supmr.TextFile("wcinput", size, seed, dev)
+			if err != nil {
+				return nil, nil, err
+			}
+			f = tf
 		}
 		return execJob(supmr.WordCountJob(), f, supmr.WordCountContainer(64), cfg, spec.App, rtName)
 	case "sort":
 		cfg.Boundary = supmr.CRLFRecords
 		f, err := supmr.TeraFile("sortinput", size/100, uint64(seed), dev)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		return execJob(supmr.SortJob(), f, supmr.SortContainer(), cfg, spec.App, rtName)
 	case "histogram":
-		f, err := supmr.TextFile("histinput", size, seed, dev)
-		if err != nil {
-			return nil, err
+		f := input
+		if f == nil {
+			tf, err := supmr.TextFile("histinput", size, seed, dev)
+			if err != nil {
+				return nil, nil, err
+			}
+			f = tf
 		}
 		job := supmr.HistogramJob()
 		return execJob(job, f, job.NewContainer(8), cfg, spec.App, rtName)
@@ -321,20 +404,54 @@ func Run(ctx context.Context, spec Spec, eng *supmr.Engine) (*Result, error) {
 			pattern = "ERROR"
 		}
 		job := supmr.GrepJob(strings.Split(pattern, ",")...)
-		f, err := supmr.TextFile("grepinput", size, seed, dev)
-		if err != nil {
-			return nil, err
+		f := input
+		if f == nil {
+			tf, err := supmr.TextFile("grepinput", size, seed, dev)
+			if err != nil {
+				return nil, nil, err
+			}
+			f = tf
 		}
 		return execJob(job, f, job.NewContainer(), cfg, spec.App, rtName)
+	case "psum1":
+		records := size / workload.SeqRecordWidth
+		f, err := supmr.SeqFile("psuminput", records, seed, dev)
+		if err != nil {
+			return nil, nil, err
+		}
+		job := supmr.PrefixPartJob(block)
+		return execJob(job, f, job.NewContainer(64), cfg, spec.App, rtName)
+	case "psum2":
+		f := input
+		blocks := spec.Blocks
+		if f == nil {
+			// Standalone: synthesize round 1's reference output from the
+			// generator's expected block sums.
+			records := size / workload.SeqRecordWidth
+			sums := workload.SeqGen{Seed: seed}.BlockSums(records, block)
+			var buf strings.Builder
+			for b, s := range sums {
+				fmt.Fprintf(&buf, "%d\t%d\n", b, s)
+			}
+			f = supmr.MemoryFile("psum2input", []byte(buf.String()), clock)
+			if blocks <= 0 {
+				blocks = int64(len(sums))
+			}
+		}
+		if blocks <= 0 {
+			return nil, nil, fmt.Errorf("jobspec: psum2 over a piped input needs blocks (the upstream round's block count)")
+		}
+		job := supmr.PrefixTotalJob(blocks)
+		return execJob(job, f, job.NewContainer(64), cfg, spec.App, rtName)
 	}
-	return nil, fmt.Errorf("jobspec: unknown app %q", spec.App)
+	return nil, nil, fmt.Errorf("jobspec: unknown app %q", spec.App)
 }
 
 // execJob runs one typed job and flattens its report into a Result.
-func execJob[K comparable, V any](job supmr.Job[K, V], f supmr.Input, cont supmr.Container[K, V], cfg supmr.Config, app, rtName string) (*Result, error) {
+func execJob[K comparable, V any](job supmr.Job[K, V], f supmr.Input, cont supmr.Container[K, V], cfg supmr.Config, app, rtName string) (*Result, *supmr.EgressOutput, error) {
 	rep, err := supmr.RunFile(job, f, cont, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res := &Result{
 		App:               app,
@@ -353,12 +470,14 @@ func execJob[K comparable, V any](job supmr.Job[K, V], f supmr.Input, cont supmr
 		ShuffleBytes:      rep.Stats.ShuffleBytes,
 		ShuffleBytesSaved: rep.Stats.ShuffleBytesSaved,
 		ShuffleFrames:     rep.Stats.ShuffleFrames,
+		EgressBytes:       rep.Stats.EgressBytes,
+		EgressExtents:     rep.Stats.EgressExtents,
 		Notes:             rep.Notes,
 	}
 	if rep.Stats.Faults.Any() {
 		res.Faults = rep.Stats.Faults.String()
 	}
-	return res, nil
+	return res, rep.Egress, nil
 }
 
 // Digest hashes key-sorted output pairs: hex SHA-256 over one
@@ -371,4 +490,13 @@ func Digest[K comparable, V any](pairs []supmr.Pair[K, V]) string {
 		fmt.Fprintf(h, "%v\t%v\n", p.Key, p.Val)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestBytes hashes already-rendered output text. Egress renders
+// pairs exactly as Digest does, so DigestBytes over a job's egressed
+// bytes equals Digest over its pairs — the property the egress-lanes
+// ablation gates on.
+func DigestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }

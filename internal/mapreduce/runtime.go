@@ -150,6 +150,20 @@ type Stats struct {
 	// ShuffleFrames counts framed run transfers delivered between
 	// nodes (retries of torn frames resend and recount).
 	ShuffleFrames int
+	// EgressBytes is the merged-output bytes materialized by the
+	// parallel egress phase (0 when egress was not requested).
+	EgressBytes int64
+	// EgressExtents counts the fixed-size extents the egress writer cut
+	// the output into.
+	EgressExtents int
+	// EgressLaneBytes is the payload bytes each IO lane carried during
+	// egress, indexed by lane; nil when egress ran a single lane.
+	EgressLaneBytes []int64
+	// EgressBusy and EgressStall aggregate the egress extent tasks'
+	// lane-busy and queue-wait time — the per-lane utilization split of
+	// the output tail the serial writer used to spend entirely stalled.
+	EgressBusy  time.Duration
+	EgressStall time.Duration
 	// Tasks is the executor's per-phase task instrumentation: task
 	// counts, queue-wait and busy durations keyed by phase label.
 	Tasks map[string]metrics.TaskStats

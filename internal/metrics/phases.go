@@ -30,6 +30,7 @@ const (
 	PhaseReduce
 	PhaseRunSort // per-run sorting (radix or comparison) feeding the merge
 	PhaseMerge
+	PhaseEgress // parallel output materialization across the IO lanes (internal/egress)
 	PhaseCleanup
 	numPhases
 )
@@ -57,6 +58,8 @@ func (p Phase) String() string {
 		return "runsort"
 	case PhaseMerge:
 		return "merge"
+	case PhaseEgress:
+		return "egress"
 	case PhaseCleanup:
 		return "cleanup"
 	default:

@@ -54,9 +54,23 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 		return nil, fmt.Errorf("client: bad response: %w", err)
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("client: server error: %s", resp.Error)
+		// Typed so callers can branch on the rejection class (and the
+		// CLI can exit with its distinct status) via errors.As.
+		return nil, &ProtocolError{Code: resp.Code, Message: resp.Error}
 	}
 	return &resp, nil
+}
+
+// SubmitGraph asks the server to run a pipeline graph. Every current
+// server rejects this with CodeDAGUnsupported — the method exists so
+// the rejection is exercised over the real protocol and scripted
+// clients get the typed error rather than a parse failure.
+func (c *Client) SubmitGraph(graph json.RawMessage) (int64, error) {
+	resp, err := c.roundTrip(Request{Op: "submit", Graph: graph})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
 }
 
 // Submit enqueues a job and returns its server-assigned id.

@@ -34,18 +34,70 @@ type Request struct {
 	Op string `json:"op"`
 	// Spec is the job description (submit only).
 	Spec *jobspec.Spec `json:"spec,omitempty"`
+	// Graph is a multi-round pipeline (internal/dag). The server does
+	// not run pipelines — rounds chain through in-process egress
+	// outputs, which cannot cross the socket — so a submit carrying one
+	// is rejected with CodeDAGUnsupported; run it client-side with
+	// `supmr pipeline`.
+	Graph json.RawMessage `json:"graph,omitempty"`
 	// ID addresses a job (status, wait, cancel).
 	ID int64 `json:"id,omitempty"`
 }
 
 // Response is one protocol message from server to client.
 type Response struct {
-	OK    bool               `json:"ok"`
-	Error string             `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code classifies a rejection so scripted clients can branch on it
+	// (and the CLI can exit with a distinct status) without parsing the
+	// message text. Empty on success and on unclassified errors.
+	Code  string             `json:"code,omitempty"`
 	ID    int64              `json:"id,omitempty"`
 	Job   *JobView           `json:"job,omitempty"`
 	Jobs  []JobView          `json:"jobs,omitempty"`
 	Stats *supmr.EngineStats `json:"stats,omitempty"`
+}
+
+// Rejection codes a Response.Code can carry.
+const (
+	// CodeNodesUnsupported rejects a submit with Spec.Nodes > 0: the
+	// engine schedules operations on one shared substrate, so a
+	// multi-node simulation can never start server-side.
+	CodeNodesUnsupported = "nodes_unsupported"
+	// CodeDAGUnsupported rejects a submit carrying a pipeline graph:
+	// chained rounds pipe in-process egress outputs, which cannot cross
+	// the socket boundary.
+	CodeDAGUnsupported = "dag_unsupported"
+)
+
+// ProtocolError is a server rejection surfaced by the Client: the
+// response's code and message, with the exit status the CLI maps it
+// to.
+type ProtocolError struct {
+	Code    string
+	Message string
+}
+
+// Error renders the rejection.
+func (e *ProtocolError) Error() string {
+	if e.Code == "" {
+		return "server error: " + e.Message
+	}
+	return fmt.Sprintf("server error (%s): %s", e.Code, e.Message)
+}
+
+// ExitCode maps the rejection to a distinct process exit status
+// (cliutil.ExitCode consumes this via the ExitCoder interface): 3 for
+// multi-node rejections, 4 for pipeline rejections, 1 otherwise.
+func (e *ProtocolError) ExitCode() int {
+	switch e.Code {
+	case CodeNodesUnsupported:
+		return 3
+	case CodeDAGUnsupported:
+		return 4
+	default:
+		return 1
+	}
 }
 
 // Job states.
@@ -240,6 +292,15 @@ func (s *Server) dispatch(req Request) Response {
 
 // submit validates the spec, registers the job and starts its run.
 func (s *Server) submit(req Request) Response {
+	if len(req.Graph) > 0 {
+		// Rejected at submission rather than as a failed job: pipeline
+		// rounds chain in-process egress outputs, which cannot cross the
+		// socket; run the graph client-side with `supmr pipeline`.
+		return Response{
+			Code:  CodeDAGUnsupported,
+			Error: "submit: pipelines run client-side (supmr pipeline); chained rounds pipe in-process egress outputs the socket cannot carry",
+		}
+	}
 	if req.Spec == nil {
 		return Response{Error: "submit: missing spec"}
 	}
@@ -251,7 +312,10 @@ func (s *Server) submit(req Request) Response {
 		// Rejected at submission rather than as a failed job: the engine
 		// schedules operations on one shared substrate, so a multi-node
 		// run can never start here.
-		return Response{Error: "submit: nodes requires a solo run (supmr -nodes); the engine schedules operations on one shared substrate"}
+		return Response{
+			Code:  CodeNodesUnsupported,
+			Error: "submit: nodes requires a solo run (supmr -nodes); the engine schedules operations on one shared substrate",
+		}
 	}
 	s.mu.Lock()
 	if s.closed {

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"net"
 	"path/filepath"
 	"strings"
@@ -10,6 +13,7 @@ import (
 	"time"
 
 	"supmr"
+	"supmr/internal/cliutil"
 	"supmr/internal/jobspec"
 )
 
@@ -213,4 +217,73 @@ func TestServerStaleSocketReclaim(t *testing.T) {
 		t.Fatalf("server on stale socket: %v", err)
 	}
 	srv2.Close()
+}
+
+// TestServerTypedRejections exercises the protocol rejection codes
+// end-to-end: the wire response carries the code, the client surfaces
+// a *ProtocolError, and the error maps to the CLI's distinct exit
+// statuses through cliutil.ExitCode.
+func TestServerTypedRejections(t *testing.T) {
+	c, _ := startServer(t, supmr.EngineConfig{Workers: 2})
+
+	_, err := c.Submit(jobspec.Spec{App: "wordcount", Size: 4 << 10, Nodes: 2})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("multi-node submit: got %v, want *ProtocolError", err)
+	}
+	if pe.Code != CodeNodesUnsupported || pe.ExitCode() != 3 {
+		t.Fatalf("multi-node rejection = code %q exit %d, want %q/3", pe.Code, pe.ExitCode(), CodeNodesUnsupported)
+	}
+	if cliutil.ExitCode(err) != 3 {
+		t.Fatalf("cliutil.ExitCode = %d, want 3", cliutil.ExitCode(err))
+	}
+
+	_, err = c.SubmitGraph(json.RawMessage(`{"nodes":[{"id":"a","spec":{"app":"wordcount"}}]}`))
+	pe = nil
+	if !errors.As(err, &pe) {
+		t.Fatalf("graph submit: got %v, want *ProtocolError", err)
+	}
+	if pe.Code != CodeDAGUnsupported || pe.ExitCode() != 4 {
+		t.Fatalf("graph rejection = code %q exit %d, want %q/4", pe.Code, pe.ExitCode(), CodeDAGUnsupported)
+	}
+	if cliutil.ExitCode(err) != 4 {
+		t.Fatalf("cliutil.ExitCode = %d, want 4", cliutil.ExitCode(err))
+	}
+
+	// Unclassified rejections stay generic: typed error, default exit 1.
+	_, err = c.Submit(jobspec.Spec{App: "nope"})
+	pe = nil
+	if !errors.As(err, &pe) {
+		t.Fatalf("bad-spec submit: got %v, want *ProtocolError", err)
+	}
+	if pe.Code != "" || pe.ExitCode() != 1 || cliutil.ExitCode(err) != 1 {
+		t.Fatalf("bad-spec rejection = code %q exit %d, want empty/1", pe.Code, pe.ExitCode())
+	}
+
+}
+
+// TestServerWireCode checks the code rides the raw NDJSON wire, not
+// just the client abstraction.
+func TestServerWireCode(t *testing.T) {
+	_, sock := startServer(t, supmr.EngineConfig{Workers: 2})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	req := `{"op":"submit","spec":{"app":"wordcount","nodes":3}}` + "\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("decode %q: %v", line, err)
+	}
+	if resp.OK || resp.Code != CodeNodesUnsupported {
+		t.Fatalf("wire response = %+v, want code %q", resp, CodeNodesUnsupported)
+	}
 }

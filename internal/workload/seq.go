@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"supmr/internal/storage"
+)
+
+// SeqGen produces the self-indexed numeric input of the 2-round prefix
+// sum example: fixed 16-byte records "iiiiiii vvvvvvv\n" where i is the
+// record index and v a deterministic pseudo-random value, both
+// zero-padded to 7 digits. Records carry their own index, so the
+// per-block partial sums of round 1 are a pure function of content —
+// independent of chunking, lane count and node routing.
+type SeqGen struct {
+	Seed int64
+}
+
+// SeqRecordWidth is the fixed record width in bytes.
+const SeqRecordWidth = 16
+
+// seqValueMod bounds values to the 7 digits the record format holds.
+const seqValueMod = 10000000
+
+// Value returns record i's deterministic value in [0, 10^7).
+func (g SeqGen) Value(i int64) int64 {
+	// splitmix64-style mixing over (seed, index).
+	x := uint64(g.Seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x % seqValueMod)
+}
+
+// fillRecord renders record i into dst[:SeqRecordWidth].
+func (g SeqGen) fillRecord(i int64, dst []byte) {
+	put7 := func(at int, v int64) {
+		for k := 6; k >= 0; k-- {
+			dst[at+k] = byte('0' + v%10)
+			v /= 10
+		}
+	}
+	put7(0, i%seqValueMod)
+	dst[7] = ' '
+	put7(8, g.Value(i))
+	dst[15] = '\n'
+}
+
+// Fill returns a storage.Fill over the infinite record stream.
+func (g SeqGen) Fill() storage.Fill {
+	return func(off int64, p []byte) {
+		var rec [SeqRecordWidth]byte
+		for len(p) > 0 {
+			i := off / SeqRecordWidth
+			in := off % SeqRecordWidth
+			g.fillRecord(i, rec[:])
+			n := copy(p, rec[in:])
+			p = p[n:]
+			off += int64(n)
+		}
+	}
+}
+
+// File creates a simulated file of records 16-byte records on dev.
+func (g SeqGen) File(name string, records int64, dev storage.Device) (*storage.File, error) {
+	return storage.NewFile(name, records*SeqRecordWidth, 0, g.Fill(), dev)
+}
+
+// BlockSums returns the expected per-block value sums for records
+// grouped block records apiece — the reference round-1 output tests
+// diff the pipeline against.
+func (g SeqGen) BlockSums(records, block int64) []int64 {
+	if block <= 0 || records <= 0 {
+		return nil
+	}
+	sums := make([]int64, (records+block-1)/block)
+	for i := int64(0); i < records; i++ {
+		sums[i/block] += g.Value(i)
+	}
+	return sums
+}

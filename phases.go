@@ -19,6 +19,7 @@ const (
 	PhaseReadMap = metrics.PhaseReadMap // fused ingest/map of the SupMR pipeline
 	PhaseReduce  = metrics.PhaseReduce
 	PhaseMerge   = metrics.PhaseMerge
+	PhaseEgress  = metrics.PhaseEgress // parallel output materialization (Config.EgressLanes)
 )
 
 // PhaseTimes holds per-phase wall-clock durations.

@@ -22,6 +22,7 @@
 package supmr
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"supmr/internal/chunk"
 	"supmr/internal/container"
 	"supmr/internal/core"
+	"supmr/internal/egress"
 	"supmr/internal/exec"
 	"supmr/internal/kv"
 	"supmr/internal/mapreduce"
@@ -286,6 +288,25 @@ type Config struct {
 	// lands on the job clock like any other simulated IO.
 	NodeLinkBW      float64
 	NodeLinkLatency time.Duration
+	// EgressLanes, when >= 1, materializes the merged output after the
+	// merge phase: pairs are rendered one "key\tvalue\n" line each (the
+	// digest encoding), the stream is cut into fixed-size extents and
+	// the extents are written concurrently across up to EgressLanes IO
+	// lanes — the "parallel restore" pattern that removes the serial
+	// output tail. 1 is the serial-writer ablation (-egress-lanes=1);
+	// output bytes and the extent manifest are byte-identical at any
+	// lane count. The materialized output lands in Report.Egress, which
+	// implements Input so it can feed a subsequent job's ingest without
+	// a file round-trip (see internal/dag). 0, the default, skips
+	// output materialization entirely (the Report's in-memory pairs are
+	// the only output, as before).
+	EgressLanes int
+	// EgressExtentBytes is the egress extent size (default 256 KiB).
+	EgressExtentBytes int64
+	// EgressDevice charges egress write time; point it at the ingest
+	// device so output traffic contends for the same bandwidth. Nil
+	// models a free output path.
+	EgressDevice Device
 }
 
 // Report is the outcome of a run: globally key-sorted output pairs,
@@ -313,7 +334,17 @@ type Report[K comparable, V any] struct {
 	// instruments disabled in engine mode, knobs ignored in memo mode —
 	// so a report never hides that a requested measurement is absent.
 	Notes []string
+	// Egress is the materialized output when Config.EgressLanes was set:
+	// the merged pairs rendered one "key\tvalue\n" line each, written as
+	// checksummed extents with a stitching manifest. It implements Input,
+	// so it can be streamed into another job's ingest directly.
+	Egress *EgressOutput
 }
+
+// EgressOutput is a materialized parallel-egress output: a stitched,
+// manifest-verified view over the written extents that also implements
+// Input (see internal/egress).
+type EgressOutput = egress.Output
 
 // Stats re-exports the execution statistics type found in
 // Report.Stats, including the spill counters SpilledRuns/SpilledBytes.
@@ -415,9 +446,15 @@ func Run[K comparable, V any](job Job[K, V], input Stream, cont Container[K, V],
 		markers = &metrics.MarkerLog{}
 		timer.WithMarkers(markers)
 	}
+	ioWorkers := cfg.IOLanes
+	if cfg.EgressLanes > ioWorkers {
+		// Egress fans wider than ingest: size the IO pool for the wider
+		// of the two so egress extents actually overlap.
+		ioWorkers = cfg.EgressLanes
+	}
 	pool := exec.NewPool(cfg.Context, exec.Config{
 		Workers:   cfg.Workers,
-		IOWorkers: cfg.IOLanes,
+		IOWorkers: ioWorkers,
 		Recorder:  rec,
 		Now:       clk.Now,
 	})
@@ -508,6 +545,9 @@ func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Cont
 			return nil, err
 		}
 		rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats, Notes: notes}
+		if err := runEgress(cfg, sub, rep); err != nil {
+			return nil, err
+		}
 		rep.Stats.Faults = cfg.faultCounters().Snapshot()
 		return rep, nil
 	}
@@ -582,11 +622,90 @@ func runWithExecutor[K comparable, V any](job Job[K, V], input Stream, cont Cont
 		return nil, err
 	}
 	rep := &Report[K, V]{Pairs: res.Pairs, Times: res.Times, Stats: res.Stats, Notes: notes}
+	if err := runEgress(cfg, sub, rep); err != nil {
+		return nil, err
+	}
 	rep.Stats.Faults = cfg.faultCounters().Snapshot()
 	if store != nil {
 		rep.SpillBytes = store.Series()
 	}
 	return rep, nil
+}
+
+// runEgress materializes rep's merged pairs across the IO lanes when
+// the config asks for it: each pair renders as one "key\tvalue\n" line
+// (exactly the digest encoding, so the materialized bytes hash to the
+// job's output digest and parse as text input for a chained job), the
+// stream cuts into fixed-size extents, and up to EgressLanes extents
+// are written concurrently with whole-extent retry of torn writes.
+// The phase lands in Times under metrics.PhaseEgress and the job total
+// is re-stamped to include it.
+func runEgress[K comparable, V any](cfg Config, sub runSubstrate, rep *Report[K, V]) error {
+	if cfg.EgressLanes == 0 {
+		return nil
+	}
+	if cfg.EgressLanes < 0 {
+		return fmt.Errorf("supmr: EgressLanes must be positive, got %d", cfg.EgressLanes)
+	}
+	if cfg.EgressExtentBytes < 0 {
+		return fmt.Errorf("supmr: EgressExtentBytes must be positive, got %d", cfg.EgressExtentBytes)
+	}
+	sub.timer.StartPhase(metrics.PhaseEgress)
+	defer func() {
+		sub.timer.EndPhase(metrics.PhaseEgress)
+		// The runtime already stamped the job total before egress ran;
+		// re-finish so Times covers the egress tail too.
+		rep.Times = sub.timer.Finish()
+	}()
+	laneBase := sub.pool.LaneBytes()
+	taskBase := sub.pool.TaskStats()["egress"]
+	w, err := egress.NewWriter(egress.Config{
+		Pool:        sub.pool,
+		Lanes:       cfg.EgressLanes,
+		ExtentBytes: cfg.EgressExtentBytes,
+		Device:      cfg.EgressDevice,
+		Injector:    cfg.Faults,
+		Retry:       cfg.Retry,
+		Clock:       sub.clk,
+		Counters:    cfg.faultCounters(),
+	})
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for _, p := range rep.Pairs {
+		fmt.Fprintf(bw, "%v\t%v\n", p.Key, p.Val)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	out, err := w.Close()
+	if err != nil {
+		return err
+	}
+	rep.Egress = out
+	rep.Stats.EgressBytes = out.Size()
+	rep.Stats.EgressExtents = out.Extents()
+	if lanes := sub.pool.LaneBytes(); len(lanes) > 1 {
+		delta := make([]int64, len(lanes))
+		for i, n := range lanes {
+			if i < len(laneBase) {
+				n -= laneBase[i]
+			}
+			delta[i] = n
+		}
+		rep.Stats.EgressLaneBytes = delta
+	}
+	ts := sub.pool.TaskStats()
+	et := ts["egress"]
+	rep.Stats.EgressBusy = et.Busy - taskBase.Busy
+	rep.Stats.EgressStall = et.QueueWait - taskBase.QueueWait
+	if rep.Stats.Tasks != nil {
+		// Refresh the per-phase task snapshot the runtime took before
+		// egress ran so the egress tasks appear in it.
+		rep.Stats.Tasks = ts
+	}
+	return nil
 }
 
 // RunContext is Run bounded by ctx: cancelling ctx aborts the job
